@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark harness.
+
+Every module regenerates one of the paper's tables or figures; run with
+
+    pytest benchmarks/ --benchmark-only -s
+
+(the ``-s`` shows the regenerated rows/diagrams next to the timings).
+"""
+
+import os
+import sys
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+if os.path.isdir(_SRC) and _SRC not in sys.path:
+    sys.path.insert(0, os.path.abspath(_SRC))
+
+from repro.bench import BENCHMARKS, iwls_benchmark  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def instances():
+    """All seven benchmark stand-ins, generated once."""
+    return {name: iwls_benchmark(name) for name in BENCHMARKS}
+
+
+@pytest.fixture(scope="session")
+def s1238():
+    return iwls_benchmark("s1238")
+
+
+@pytest.fixture(scope="session")
+def s5378():
+    return iwls_benchmark("s5378")

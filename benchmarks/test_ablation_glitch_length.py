@@ -1,0 +1,71 @@
+"""Ablation: Table I coverage as a function of the glitch length.
+
+The paper fixes L_glitch = 1ns ("this scenario needs the strictest
+requirement") but never shows the sensitivity.  A GK needs
+``arrival + L_glitch < UB`` at its flip-flop (Eq. (3)), so longer
+glitches consume more slack and availability must fall monotonically.
+This sweep quantifies that trade-off on every benchmark.
+"""
+
+import pytest
+
+from repro.bench import BENCHMARKS
+from repro.core import available_ffs
+
+#: sweep points; 0.4ns sits below the physical floor (a glitch must
+#: exceed setup + hold + planning margin to carry data at all)
+_FLOOR = 0.4
+_LENGTHS = (0.5, 0.7, 1.0, 1.5, 2.0)
+
+
+def coverage(instance, length):
+    plans = available_ffs(instance.circuit, instance.clock, length)
+    feasible = sum(p.feasible for p in plans.values())
+    return 100.0 * feasible / max(1, len(plans))
+
+
+def test_ablation_glitch_length(benchmark, instances):
+    def sweep():
+        return {
+            name: [coverage(instances[name], length) for length in _LENGTHS]
+            for name in BENCHMARKS
+        }
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\n" + "=" * 72)
+    print("ABLATION — FF availability vs. designed glitch length")
+    header = f"{'Bench.':<9}" + "".join(f"{l:>8.1f}ns" for l in _LENGTHS)
+    print(header)
+    for name, row in table.items():
+        print(f"{name:<9}" + "".join(f"{v:>9.1f}%" for v in row))
+    for name, row in table.items():
+        # monotone non-increasing in the glitch length
+        assert all(a >= b for a, b in zip(row, row[1:])), name
+        # below the setup+hold floor nothing can host a GK
+        assert coverage(instances[name], _FLOOR) == 0.0
+    # at the paper's 1ns the average coverage sits in the paper's band
+    avg_at_1ns = sum(row[2] for row in table.values()) / len(table)
+    assert 40.0 <= avg_at_1ns <= 90.0
+
+
+def test_ablation_clock_margin(benchmark, s1238):
+    """Coverage also rises with the clock period: slack is the currency
+    a GK spends.  Sweep the period at fixed 1ns glitch."""
+    from repro.sta import ClockSpec
+
+    periods = [s1238.clock.period * f for f in (1.0, 1.2, 1.5, 2.0)]
+
+    def sweep():
+        out = []
+        for period in periods:
+            plans = available_ffs(s1238.circuit, ClockSpec(period=period), 1.0)
+            out.append(100.0 * sum(p.feasible for p in plans.values())
+                       / len(plans))
+        return out
+
+    coverages = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nABLATION — s1238 coverage vs clock period")
+    for period, cov in zip(periods, coverages):
+        print(f"  T = {period:5.2f}ns -> {cov:5.1f}%")
+    assert all(a <= b for a, b in zip(coverages, coverages[1:]))
+    assert coverages[-1] > coverages[0]

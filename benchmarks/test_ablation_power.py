@@ -1,0 +1,66 @@
+"""Ablation: the dynamic-power price of deliberate glitches.
+
+"A glitch is not a waste anymore" (Sec. III) — but it still costs
+energy: every GK fires one glitch per cycle through its arm chains, and
+every KEYGEN toggles continuously.  The bench measures switching
+activity (fanout-weighted transitions per cycle) of the original vs the
+GK-locked design under identical stimulus, and attributes the growth
+per GK — an overhead dimension Table II does not cover.
+"""
+
+import random
+
+import pytest
+
+from repro.core import GkLock
+from repro.reporting.activity import switching_activity
+from repro.sim.harness import random_input_sequence
+
+
+def test_ablation_glitch_power(benchmark, s1238):
+    circuit, clock = s1238.circuit, s1238.clock
+    seq = random_input_sequence(circuit, 10, random.Random(21))
+    locked4 = GkLock(clock).lock(circuit, 8, random.Random(42))
+
+    def measure():
+        base = switching_activity(circuit, clock.period, seq)
+        gk = switching_activity(
+            locked4.circuit, clock.period, seq, key=locked4.key
+        )
+        return base, gk
+
+    base, gk = benchmark.pedantic(measure, rounds=1, iterations=1)
+    growth = gk.weighted_per_cycle / base.weighted_per_cycle - 1.0
+    per_gk = (gk.weighted_per_cycle - base.weighted_per_cycle) / 4
+    print("\n" + "=" * 72)
+    print("ABLATION — switching activity (dynamic-power proxy)")
+    print(f"  original : {base.weighted_per_cycle:8.1f} weighted "
+          f"transitions/cycle")
+    print(f"  4 GKs    : {gk.weighted_per_cycle:8.1f}  (+{100*growth:.1f}%)")
+    print(f"  per GK   : {per_gk:8.1f} weighted transitions/cycle")
+    print(f"  busiest locked nets: {gk.busiest(3)}")
+    # the locked design must be strictly more active: each KEYGEN
+    # toggles every cycle and each GK fires a glitch every cycle
+    assert gk.weighted_per_cycle > base.weighted_per_cycle
+    assert growth > 0.01
+
+
+def test_keygen_toggles_even_when_inputs_idle(benchmark, s1238):
+    """With constant primary inputs the original circuit goes quiet;
+    the locked one keeps glitching — the KEYGEN never sleeps."""
+    circuit, clock = s1238.circuit, s1238.clock
+    locked = GkLock(clock).lock(circuit, 4, random.Random(43))
+    idle = [{net: 0 for net in circuit.inputs}] * 8
+
+    def measure():
+        base = switching_activity(circuit, clock.period, idle,
+                                  settle_cycles=2)
+        gk = switching_activity(locked.circuit, clock.period, idle,
+                                key=locked.key, settle_cycles=2)
+        return base, gk
+
+    base, gk = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(f"\n  idle-input activity: original "
+          f"{base.transitions_per_cycle:.1f} vs locked "
+          f"{gk.transitions_per_cycle:.1f} transitions/cycle")
+    assert gk.transitions_per_cycle > base.transitions_per_cycle + 2

@@ -1,0 +1,63 @@
+"""Sec. VI's corruptibility claim, quantified.
+
+"a GK also can act as an inverter or a buffer just like conventional
+key-gate does, and the behaviors provide a stronger corruptibility to
+POs than other SAT resistant methods."
+
+The bench measures, on s1238, the average fraction of corrupted output
+observations under random wrong keys:
+
+* SARLock / Anti-SAT — near zero (one bad pattern per wrong key: that is
+  *why* they resist SAT attack, and why they need a companion scheme);
+* XOR locking — high Boolean corruption;
+* GK — high corruption at the timing level (every cycle the glitch'd
+  flip-flop captures the complement), comparable to XOR and orders of
+  magnitude above the point functions.
+"""
+
+import random
+
+import pytest
+
+from repro.core import GkLock
+from repro.locking import AntiSat, SarLock, XorLock
+from repro.reporting.corruption import (
+    combinational_corruption,
+    sequential_corruption,
+)
+
+
+def test_corruptibility_table(benchmark, s1238):
+    circuit, clock = s1238.circuit, s1238.clock
+    rng = random.Random(77)
+    locked = {
+        "sarlock": SarLock().lock(circuit, 8, rng),
+        "antisat": AntiSat().lock(circuit, 8, rng),
+        "xor": XorLock().lock(circuit, 8, rng),
+        "gk": GkLock(clock).lock(circuit, 8, rng),
+    }
+
+    def measure():
+        rates = {}
+        for name in ("sarlock", "antisat", "xor"):
+            rates[name] = combinational_corruption(
+                locked[name], wrong_keys=6, patterns_per_key=24,
+                rng=random.Random(1),
+            ).rate
+        rates["gk"] = sequential_corruption(
+            locked["gk"], clock.period, wrong_keys=3, cycles=8,
+            rng=random.Random(2),
+        ).rate
+        return rates
+
+    rates = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print("\n" + "=" * 72)
+    print("Wrong-key output corruption (Sec. VI's corruptibility claim)")
+    for name, rate in sorted(rates.items(), key=lambda kv: kv[1]):
+        print(f"  {name:<8}: {100 * rate:6.2f}% of observations corrupted")
+    # point functions corrupt almost nothing
+    assert rates["sarlock"] < 0.02
+    assert rates["antisat"] < 0.02
+    # the GK corrupts like a conventional key-gate, far above them
+    assert rates["gk"] > 10 * max(rates["sarlock"], rates["antisat"])
+    assert rates["gk"] > 0.02

@@ -1,0 +1,47 @@
+"""Extension: the DFT (testability) cost of GK locking.
+
+The GK's security comes from combinational redundancy — the key never
+influences the Boolean function — but redundancy is exactly what makes
+stuck-at faults untestable.  The bench measures stuck-at coverage of
+the GK structures on an activated part: the unselected arm of every GK
+is dead logic under the programmed constant-key view, so its faults
+escape production test.  A real deployment has to accept that escape
+rate or add test modes — a trade-off the paper does not discuss.
+"""
+
+import random
+
+import pytest
+
+from repro.core import GkLock, expose_gk_keys
+from repro.netlist.atpg import Fault, fault_coverage, generate_test
+
+
+def test_dft_cost_of_gk(benchmark, s1238):
+    locked = GkLock(s1238.clock).lock(s1238.circuit, 2, random.Random(2))
+    exposed = expose_gk_keys(locked)
+    key = {net: 0 for net in exposed.key_inputs}
+    gk_nets = []
+    for record in locked.metadata["gks"]:
+        for gate_name in record.gk.gate_names:
+            if gate_name in exposed.gates:
+                gk_nets.append(exposed.gates[gate_name].output)
+
+    def measure():
+        structure = fault_coverage(exposed, nets=gk_nets, key=key)
+        baseline = fault_coverage(
+            s1238.circuit, sample=len(gk_nets), rng=random.Random(3)
+        )
+        return structure, baseline
+
+    structure, baseline = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print("\n" + "=" * 72)
+    print("DFT cost of GK locking (stuck-at coverage, activated part)")
+    print(f"  original logic sample : {100 * baseline.coverage:5.1f}% "
+          f"({baseline.total} faults)")
+    print(f"  GK structure nets     : {100 * structure.coverage:5.1f}% "
+          f"({structure.total} faults, "
+          f"{len(structure.untestable)} untestable)")
+    # the GK structures carry untestable faults by construction
+    assert structure.coverage < baseline.coverage
+    assert structure.untestable

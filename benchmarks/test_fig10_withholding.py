@@ -1,0 +1,56 @@
+"""Fig. 10 — a GK associated with the withholding technique.
+
+The paper's example reuses an AND gate from the encrypted path: the GK
+arm functions (and the absorbed gate) move into LUTs whose contents are
+externally inaccessible.  The bench reproduces that structure and shows
+the security consequence: the enhanced removal attack's locator can no
+longer prove the GK's buffer/inverter model.
+"""
+
+import random
+
+import pytest
+
+from repro.attacks import CombinationalOracle, enhanced_removal_attack
+from repro.core import GkLock, expose_gk_keys, withhold_gk
+from repro.sim.harness import compare_with_original, random_input_sequence
+
+
+def test_fig10_withholding(benchmark, s1238):
+    def run():
+        locked = GkLock(s1238.clock, margin=0.35).lock(
+            s1238.circuit, 8, random.Random(43)
+        )
+        records = []
+        for record in locked.metadata["gks"]:
+            records.append(
+                withhold_gk(locked.circuit, record, s1238.clock.period)
+            )
+        return locked, records
+
+    locked, records = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n" + "=" * 72)
+    print("FIG. 10 — GKs with withheld (LUT) arms")
+    absorbed = sum(len(r.absorbed_gates) for r in records)
+    fused = sum(1 for r in records if len(r.lut_inputs) >= 2)
+    for r in records:
+        print(f"  {r.ff}: LUT inputs {r.lut_inputs} "
+              f"(absorbed: {r.absorbed_gates or 'none'})")
+    print(f"  {len(records)} GKs withheld, {absorbed} neighbour gates absorbed"
+          f" ({fused} LUT3 fusions)")
+
+    # the chip still operates with the licensed key
+    seq = random_input_sequence(s1238.circuit, 8, random.Random(5))
+    check = compare_with_original(
+        s1238.circuit, locked.circuit, s1238.clock.period, seq, locked.key
+    )
+    assert check.equivalent and check.violations == 0
+
+    # and the enhanced removal attack loses its footing
+    exposed = expose_gk_keys(locked)
+    result = enhanced_removal_attack(exposed, CombinationalOracle(s1238.circuit))
+    print(f"  enhanced removal attack: located={len(result.located)}, "
+          f"unresolvable={len(result.unresolvable_muxes)}, "
+          f"success={result.success}")
+    assert not result.success
+    assert len(result.unresolvable_muxes) == len(records)

@@ -1,0 +1,119 @@
+"""Fig. 2 — the Tunable Delay Key-gate [12] and why the paper rejects it.
+
+Three demonstrations:
+
+* Fig. 2(c): with the wrong delay key the TDB's delay lands on the
+  timing path and violates setup;
+* Fig. 2(d): when the path *depends* on the TDB delay (capture-clock
+  skew), wrongly selecting the fast arm violates hold;
+* the removal attack the paper describes (Sec. I): strip the TDB,
+  re-synthesize to fix timing, SAT-attack the leftover functional
+  key-gate — the design is decrypted with no performance loss.
+"""
+
+import random
+
+import pytest
+
+from repro.attacks import CombinationalOracle, sat_attack
+from repro.locking import TdkLock
+from repro.netlist import Builder
+from repro.sta import ClockSpec, analyze
+from repro.synth import resynthesize
+
+
+def host():
+    b = Builder("tdk_host")
+    b.clock("clk")
+    a, bb = b.inputs("a", "b")
+    q0 = b.circuit.new_net("q0")
+    b.dff(b.xor(a, bb), out=q0, name="ff0")
+    b.dff(b.and2(q0, a), name="ff1")
+    b.po(q0, "y")
+    return b.circuit
+
+
+def test_fig2c_setup_violation_under_wrong_key(benchmark):
+    clock = ClockSpec(period=3.0)
+
+    def run():
+        c = host()
+        locked = TdkLock(slow_delay=2.8, ff_names=["ff0"]).lock(
+            c, 2, random.Random(1)
+        )
+        return c, locked
+
+    _c, locked = benchmark(run)
+    record = locked.metadata["tdks"][0]
+    analysis = analyze(locked.circuit, clock)
+    print("\n" + "=" * 72)
+    print("FIG. 2(c) — TDK slow arm on the static worst path")
+    print(f"  endpoint ff0 setup slack: "
+          f"{analysis.endpoints['ff0'].setup_slack:+.3f} ns")
+    # the static view exposes the deliberate delay: that is exactly the
+    # removability the paper criticizes
+    assert analysis.endpoints["ff0"].setup_slack < 0
+    assert not record["correct_slow"]
+
+
+def test_fig2d_hold_violation_with_fast_arm(benchmark):
+    """Capture skew makes the slow arm mandatory; the fast arm races."""
+    def run():
+        c = host()
+        locked = TdkLock(
+            slow_delay=1.2, ff_names=["ff0"], correct_slow_fraction=1.0
+        ).lock(c, 2, random.Random(2))
+        return locked
+
+    locked = benchmark(run)
+    record = locked.metadata["tdks"][0]
+    assert record["correct_slow"]
+    skewed = ClockSpec(period=3.0, skew={"ff0": 1.0})
+    analysis = analyze(locked.circuit, skewed)
+    endpoint = analysis.endpoints["ff0"]
+    print("\n" + "=" * 72)
+    print("FIG. 2(d) — fast arm races the skewed capture clock")
+    print(f"  min arrival {endpoint.arrival_min:.3f} vs hold bound "
+          f"{endpoint.required_hold:.3f}")
+    # the fast (wrong-key) arm is the min-delay path: hold fails
+    assert endpoint.hold_slack < 0
+
+
+def test_tdk_removal_attack(benchmark):
+    """The attack flow of Sec. I: remove TDBs -> re-synthesize -> SAT."""
+    clock = ClockSpec(period=3.0)
+    c = host()
+    locked = TdkLock(slow_delay=2.8, ff_names=["ff0", "ff1"]).lock(
+        c, 4, random.Random(3)
+    )
+
+    def attack():
+        stripped = locked.circuit.clone("stripped")
+        for record in locked.metadata["tdks"]:
+            # bypass the TDB MUX: keep only the direct (fast) arm
+            mux = stripped.gates[record["tdb_gate"]]
+            direct = mux.pins["A"]
+            output = mux.output
+            stripped.remove_gate(record["tdb_gate"])
+            for name in record["chain_gates"]:
+                stripped.remove_gate(name)
+            stripped.rewire_sinks(output, direct)
+            k2 = record["k2"]
+            stripped.key_inputs.remove(k2)
+            del stripped._driver[k2]
+        resynthesize(stripped, clock, run_pnr=False)
+        oracle = CombinationalOracle(c)
+        return stripped, sat_attack(stripped, oracle)
+
+    stripped, result = benchmark.pedantic(attack, rounds=1, iterations=1)
+    timing = analyze(stripped, clock)
+    print("\n" + "=" * 72)
+    print("TDK removal attack (Sec. I)")
+    print(f"  after re-synthesis: WNS {timing.worst_setup_slack():+.3f} ns")
+    print(f"  SAT attack on leftover functional keys: {result.iterations} "
+          f"DIPs, completed={result.completed}")
+    assert not timing.setup_violations()  # timing fixed by re-synthesis
+    assert result.completed
+    # the functional keys are recovered
+    for record in locked.metadata["tdks"]:
+        assert result.key[record["k1"]] == locked.key[record["k1"]]

@@ -1,0 +1,29 @@
+"""Fig. 4 — the GK's internal signals under key transitions.
+
+Regenerates the paper's timing diagram from event simulation: x = 1,
+DA = 2ns, DB = 3ns, a rising key transition at 3ns and a falling one at
+11ns; the output carries a 3ns (DB) buffer-value glitch and a 2ns (DA)
+one, and equals x' everywhere else.
+"""
+
+import pytest
+
+from repro.reporting import figure4_gk_waveform
+
+
+def test_fig4(benchmark):
+    fig = benchmark(figure4_gk_waveform)
+    print("\n" + "=" * 72)
+    print(fig.title)
+    print(fig.diagram)
+    print("glitches (start, end, length):", fig.data["glitches"])
+    assert fig.data["glitches"] == [(3.0, 6.0, 3.0), (11.0, 13.0, 2.0)]
+
+
+def test_fig4_variant_3b(benchmark):
+    fig = benchmark(figure4_gk_waveform, da=1.5, db=2.5, x_value=0)
+    # with x = 0 the inverter output is 1; glitches dip to the buffer 0
+    starts = [g[0] for g in fig.data["glitches"]]
+    assert starts == [3.0, 11.0]
+    lengths = [g[2] for g in fig.data["glitches"]]
+    assert lengths == [2.5, 1.5]

@@ -1,0 +1,23 @@
+"""Fig. 6 — KEYGEN ``key_out`` under the four (k1, k2) assignments.
+
+DA = 3ns, DB = 6ns: constant 0, the toggle shifted by DA, the toggle
+shifted by DB, constant 1 — top to bottom as in the paper.
+"""
+
+import pytest
+
+from repro.reporting import figure6_keygen_waveform
+
+
+def test_fig6(benchmark):
+    fig = benchmark(figure6_keygen_waveform)
+    print("\n" + "=" * 72)
+    print(fig.title)
+    print(fig.diagram)
+    assert fig.data["key_out_00"] == []  # constant 0: no transitions
+    shifts_a = fig.data["key_out_10"]
+    shifts_b = fig.data["key_out_01"]
+    assert shifts_a[0][0] == pytest.approx(3.0)
+    assert shifts_b[0][0] == pytest.approx(6.0)
+    # one transition per clock cycle, alternating polarity
+    assert [v for _t, v in shifts_a] == [1, 0, 1]

@@ -1,0 +1,26 @@
+"""Fig. 7 — the four violation-free data-transmission scenarios.
+
+Tclk = 8ns, L_glitch = 3ns, setup = hold = 1ns.  (a) samples the glitch
+level (the buffer value x), (b)/(c) keep the glitch clear of the sample
+window (the steady inverter value x' is captured), (d) is the
+glitchless constant-key case.  None of the four may violate timing.
+"""
+
+import pytest
+
+from repro.reporting import figure7_scenarios
+
+
+def test_fig7(benchmark):
+    fig = benchmark(figure7_scenarios)
+    print("\n" + "=" * 72)
+    print(fig.title)
+    print(fig.diagram)
+    for label, outcome in fig.data.items():
+        print(f"  {label}: captured={outcome['captured']} "
+              f"violations={outcome['violations']}")
+    assert all(o["violations"] == 0 for o in fig.data.values())
+    assert fig.data["(a) on glitch level"]["captured"] == 1  # buffer: x
+    assert fig.data["(b) glitch before window"]["captured"] == 0  # x'
+    assert fig.data["(c) glitch after window"]["captured"] == 0
+    assert fig.data["(d) constant key"]["captured"] == 0

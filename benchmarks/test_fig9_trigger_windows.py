@@ -1,0 +1,29 @@
+"""Fig. 9 — trigger-time boundaries of Eqs. (5) and (6).
+
+The paper's worked example: Tclk = 8ns, setup = hold = 1ns, glitch
+length 3ns, T_j = 8ns, so UB = 7ns and LB = 1ns.  Analytically the
+on-level window is (6, 7) and the off-level window is (1, 4); the bench
+also sweeps real trigger times through simulation and checks each
+capture outcome against the windows.
+"""
+
+import pytest
+
+from repro.reporting import figure9_trigger_windows
+
+
+def test_fig9(benchmark):
+    fig = benchmark(figure9_trigger_windows)
+    print("\n" + "=" * 72)
+    print(fig.title)
+    print(fig.diagram)
+    assert fig.data["on_window"] == (pytest.approx(6.0), pytest.approx(7.0))
+    assert fig.data["off_window"] == (pytest.approx(1.0), pytest.approx(4.0))
+    # empirical confirmation from the sweep
+    for trigger, captured, violations in fig.data["sweep"]:
+        if 6.0 < trigger <= 7.0:
+            assert captured == 1 and violations == 0
+        elif 1.0 <= trigger <= 4.0:
+            assert captured == 0 and violations == 0
+        elif 4.3 < trigger < 5.8:
+            assert violations > 0

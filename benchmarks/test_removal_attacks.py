@@ -1,0 +1,129 @@
+"""Sec. V-C / V-D — the removal-attack family.
+
+* the signal-probability removal attack [15][16] cracks SARLock and
+  Anti-SAT but finds nothing to remove in XOR- or GK-locked designs;
+* the enhanced removal attack (locate -> remodel -> SAT) decrypts plain
+  GK designs but is blocked by withholding;
+* the scan-based measurement resolves GK-only designs and is confounded
+  by the hybrid GK+XOR encryption.
+"""
+
+import random
+
+import pytest
+
+from repro.attacks import (
+    CombinationalOracle,
+    enhanced_removal_attack,
+    removal_attack,
+    scan_attack,
+)
+from repro.core import GkLock, expose_gk_keys
+from repro.locking import AntiSat, HybridGkXor, SarLock, XorLock
+from repro.locking.base import LockedCircuit
+
+
+def test_removal_attack_matrix(benchmark, s1238):
+    """One row per scheme: located / removed / success."""
+    rng = random.Random(5)
+    circuit, clock = s1238.circuit, s1238.clock
+    schemes = {
+        "sarlock": SarLock().lock(circuit, 8, rng),
+        "antisat": AntiSat().lock(circuit, 8, rng),
+        "xor": XorLock().lock(circuit, 8, rng),
+    }
+    gk = GkLock(clock).lock(circuit, 8, rng)
+    schemes["gk"] = LockedCircuit(
+        circuit=expose_gk_keys(gk), original=circuit, key={}, scheme="gk",
+    )
+
+    def run():
+        return {
+            name: removal_attack(locked, samples=300, rng=random.Random(6))
+            for name, locked in schemes.items()
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n" + "=" * 72)
+    print("Removal attack (Sec. V-C)")
+    print(f"{'scheme':<10}{'candidates':>12}{'removed':>9}{'success':>9}")
+    for name, result in results.items():
+        print(f"{name:<10}{len(result.located):>12}"
+              f"{len(result.removed_nets):>9}{str(result.success):>9}")
+    assert results["sarlock"].success
+    assert results["antisat"].success
+    assert not results["xor"].success
+    assert not results["gk"].success
+
+
+def test_enhanced_removal_vs_withholding(benchmark, s1238):
+    from repro.core import withhold_gk
+
+    oracle = CombinationalOracle(s1238.circuit)
+
+    def run():
+        plain = GkLock(s1238.clock).lock(
+            s1238.circuit, 8, random.Random(42)
+        )
+        plain_result = enhanced_removal_attack(
+            expose_gk_keys(plain), oracle
+        )
+        shielded = GkLock(s1238.clock, margin=0.35).lock(
+            s1238.circuit, 8, random.Random(43)
+        )
+        for record in shielded.metadata["gks"]:
+            withhold_gk(shielded.circuit, record, s1238.clock.period)
+        shielded_result = enhanced_removal_attack(
+            expose_gk_keys(shielded), oracle
+        )
+        return plain_result, shielded_result
+
+    plain_result, shielded_result = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    print("\n" + "=" * 72)
+    print("Enhanced removal attack (Sec. V-D)")
+    print(f"  plain GK   : located={len(plain_result.located)}, "
+          f"success={plain_result.success}, "
+          f"accuracy={plain_result.key_accuracy}")
+    print(f"  withheld GK: located={len(shielded_result.located)}, "
+          f"unresolvable={len(shielded_result.unresolvable_muxes)}, "
+          f"success={shielded_result.success}")
+    assert plain_result.success
+    assert not shielded_result.success
+
+
+def test_scan_attack_vs_hybrid(benchmark, s1238):
+    def run():
+        gk = GkLock(s1238.clock).lock(s1238.circuit, 8, random.Random(42))
+        gk_result = scan_attack(
+            gk,
+            expose_gk_keys(gk),
+            s1238.clock.period,
+            {r.gk.ff: r.keygen.key_out for r in gk.metadata["gks"]},
+            trials=3,
+            cycles=6,
+        )
+        hybrid = HybridGkXor(s1238.clock).lock(
+            s1238.circuit, 8, random.Random(11)
+        )
+        hybrid_result = scan_attack(
+            hybrid,
+            expose_gk_keys(hybrid),
+            s1238.clock.period,
+            {r.gk.ff: r.keygen.key_out for r in hybrid.metadata["gks"]},
+            trials=3,
+            cycles=6,
+        )
+        return gk_result, hybrid_result
+
+    gk_result, hybrid_result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n" + "=" * 72)
+    print("Scan-based measurement (Sec. VI's BIST weakness)")
+    print(f"  GK only : resolved={gk_result.resolved}, "
+          f"success={gk_result.success}")
+    print(f"  GK + XOR: resolved={hybrid_result.resolved}, "
+          f"ambiguous={len(hybrid_result.ambiguous)}, "
+          f"success={hybrid_result.success}")
+    assert gk_result.success
+    assert not hybrid_result.success

@@ -1,0 +1,36 @@
+"""Table I — the number of available FFs for encryption.
+
+Regenerates, per benchmark: cell count, FF count, the number of FFs
+where a 1ns-glitch GK fits (Eqs. (2)-(5) under the synthesis clock),
+the coverage percentage, and the size of the Encrypt-Flip-Flop [4]
+selection group.  Paper reference values print alongside.
+"""
+
+import pytest
+
+from repro.bench import BENCHMARKS
+from repro.reporting import format_table1, table1_row
+
+
+@pytest.mark.parametrize("name", BENCHMARKS)
+def test_table1_row(benchmark, instances, name):
+    row = benchmark(table1_row, name, instances[name])
+    assert row.flip_flops > 0
+    assert 0 <= row.available <= row.flip_flops
+    assert 0 <= row.encrypt_ff_group <= row.available
+    # the paper's qualitative claim: a substantial share of FFs is
+    # available, but not all of them
+    assert row.available < row.flip_flops
+
+
+def test_table1_full(benchmark, instances):
+    rows = benchmark.pedantic(
+        lambda: [table1_row(name, instances[name]) for name in BENCHMARKS],
+        rounds=1, iterations=1,
+    )
+    print("\n" + "=" * 72)
+    print("TABLE I — available FFs for GK encryption (1ns glitch)")
+    print(format_table1(rows))
+    average = sum(r.coverage for r in rows) / len(rows)
+    # shape check vs. the paper's 64.07% average coverage
+    assert 40.0 <= average <= 90.0

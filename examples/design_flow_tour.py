@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""A tour of the full GK design flow (paper Sec. IV-B) with real EDA steps.
+
+Follows one benchmark through every stage the paper runs with commercial
+tools, using this repo's substrates:
+
+  synthesize -> place & route -> STA -> pick feasible FFs -> insert GKs
+  + KEYGENs -> re-synthesize under constraints -> re-P&R -> re-run STA
+  -> triage true/false violations -> hybridize with XOR key-gates.
+
+Run:  python examples/design_flow_tour.py
+"""
+
+import os
+import random
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.bench import iwls_benchmark
+from repro.core import GkLock, available_ffs
+from repro.locking import HybridGkXor, select_encrypt_ff_group
+from repro.netlist import overhead
+from repro.pnr import place, route
+from repro.sim.harness import compare_with_original, random_input_sequence
+from repro.sta import analyze, path_report, summary_line
+
+
+def main():
+    # -- 1. "synthesis": the calibrated benchmark is born post-synthesis
+    inst = iwls_benchmark("s5378")
+    circuit, clock = inst.circuit, inst.clock
+    print(f"[synth]    {circuit}")
+    print(f"[synth]    clock period {clock.period}ns "
+          f"(critical path {inst.critical_delay:.2f}ns)")
+
+    # -- 2. placement & routing, timing sign-off -------------------------
+    layout = place(circuit)
+    routing = route(layout)
+    timing = analyze(circuit, clock, wire_delay=routing.wire_delay)
+    print(f"[pnr]      die {layout.width:.0f}x{layout.height:.0f}um, "
+          f"utilization {layout.utilization:.0%}, "
+          f"HPWL {routing.total_hpwl/1000:.1f}mm")
+    print(f"[sta]      {summary_line(timing)}")
+
+    # -- 3. feasible FF locations (Table I for this design) --------------
+    plans = available_ffs(circuit, clock, analysis=timing)
+    feasible = sorted(ff for ff, plan in plans.items() if plan.feasible)
+    group = select_encrypt_ff_group(circuit, feasible)
+    print(f"[plan]     {len(feasible)}/{len(plans)} FFs can host a 1ns-"
+          f"glitch GK ({100*len(feasible)/len(plans):.1f}% coverage)")
+    print(f"[plan]     Encrypt-Flip-Flop [4] group: {len(group)} FFs "
+          f"sharing one PO signature")
+
+    # -- 4. GK insertion + constrained re-synthesis + re-P&R -------------
+    locked = GkLock(clock, run_pnr=True).lock(circuit, 16, random.Random(5))
+    print(f"[lock]     inserted {len(locked.metadata['gks'])} GKs "
+          f"({locked.key_size} key bits); "
+          f"{len(locked.metadata['rejected_locations'])} locations rejected "
+          f"by post-insertion verification")
+    print(f"[lock]     overhead: {overhead(circuit, locked.circuit)}")
+
+    # -- 5. violation triage ---------------------------------------------
+    false_v = locked.metadata["false_violations"]
+    true_v = locked.metadata["true_violations"]
+    drift = locked.metadata["drift_waived_violations"]
+    print(f"[triage]   STA reports {len(false_v)} endpoints violated through "
+          f"deliberately delayed GK paths (false violations), "
+          f"{len(drift)} waived as placement drift, {len(true_v)} true")
+    if false_v:
+        post = analyze(locked.circuit, clock)
+        print("[triage]   pin-by-pin report of one 'false' violation "
+              "(the deliberate delay is visible):")
+        report = path_report(post, false_v[0])
+        print("           " + report.replace("\n", "\n           "))
+
+    # -- 6. the chip works; wrong keys do not ----------------------------
+    seq = random_input_sequence(circuit, 10, random.Random(6))
+    good = compare_with_original(circuit, locked.circuit, clock.period, seq,
+                                 locked.key)
+    wrong = compare_with_original(circuit, locked.circuit, clock.period, seq,
+                                  locked.random_wrong_key(random.Random(7)))
+    print(f"[verify]   correct key: equivalent={good.equivalent}; "
+          f"wrong key: {wrong.mismatch_count} corrupted observations")
+
+    # -- 7. the paper's hybrid: half the keys as XOR gates ----------------
+    hybrid = HybridGkXor(clock).lock(circuit, 16, random.Random(8))
+    print(f"[hybrid]   8 key bits on XOR gates + 4 GKs: "
+          f"{overhead(circuit, hybrid.circuit)}")
+    print("[hybrid]   (compare: the all-GK version above costs "
+          f"{overhead(circuit, locked.circuit).cells_added} cells)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's timing figures as ASCII diagrams.
+
+Figs. 4, 6, 7, and 9 — all produced by live event-driven simulation of
+the GK/KEYGEN structures, not drawings.
+
+Run:  python examples/glitch_waveforms.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.reporting import (
+    figure4_gk_waveform,
+    figure6_keygen_waveform,
+    figure7_scenarios,
+    figure9_trigger_windows,
+)
+
+
+def main():
+    for figure in (
+        figure4_gk_waveform(),
+        figure6_keygen_waveform(),
+        figure7_scenarios(),
+        figure9_trigger_windows(),
+    ):
+        print("=" * 74)
+        print(figure.title)
+        print("-" * 74)
+        print(figure.diagram)
+        print()
+    print("legend: '#' = 1, '_' = 0, '?' = X/metastable")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Quickstart: lock a small sequential design with Glitch Key-gates.
+
+Walks the whole story on a hand-built circuit:
+
+1. build a sequential netlist with the fluent Builder API;
+2. encrypt it with two GKs (GkLock — the paper's design flow);
+3. show that the chip at the *timing* level matches the original under
+   the correct key and corrupts under every wrong key;
+4. show that the SAT attack finds no DIP (UNSAT at iteration 1).
+
+Run:  python examples/quickstart.py
+"""
+
+import os
+import random
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.attacks import CombinationalOracle, sat_attack
+from repro.core import GkLock, expose_gk_keys
+from repro.locking import format_key
+from repro.netlist import Builder, overhead
+from repro.sim.harness import compare_with_original, random_input_sequence
+from repro.sta import ClockSpec
+
+
+def build_design():
+    """A toy bus controller: 4 FFs of state over a few gates."""
+    b = Builder("buslet")
+    b.clock("clk")
+    req, grant, data, mode = b.inputs("req", "grant", "data", "mode")
+    s0, s1, s2, s3 = (b.circuit.new_net(f"s{i}") for i in range(4))
+    b.dff(b.xor(req, s1), out=s0, name="state0")
+    b.dff(b.nand2(grant, s0), out=s1, name="state1")
+    b.dff(b.mux2(data, s2, mode), out=s2, name="hold")
+    b.dff(b.or2(s2, s0), out=s3, name="flag")
+    b.po(b.and2(s3, s1), "busy")
+    b.po(s2, "q")
+    b.circuit.validate()
+    return b.circuit
+
+
+def main():
+    circuit = build_design()
+    clock = ClockSpec(period=3.0)
+    print(f"original design: {circuit}")
+
+    # --- encrypt with 2 GKs (4 key bits) --------------------------------
+    rng = random.Random(2019)
+    locked = GkLock(clock).lock(circuit, 4, rng)
+    keys = locked.circuit.key_inputs
+    print(f"locked design  : {locked.circuit}")
+    print(f"overhead       : {overhead(circuit, locked.circuit)}")
+    print(f"correct key    : {format_key(locked.key, keys)}  "
+          f"(each GK's 2 bits pick a KEYGEN mode)")
+    for record in locked.metadata["gks"]:
+        print(f"  GK at FF {record.gk.ff}: variant {record.gk.variant}, "
+              f"glitch {record.gk.glitch_length_rise:.2f}ns, trigger "
+              f"{record.trigger_correct_achieved:.2f}ns after each edge")
+
+    # --- the chip on the bench ------------------------------------------
+    seq = random_input_sequence(circuit, 20, random.Random(7))
+    good = compare_with_original(circuit, locked.circuit, clock.period, seq,
+                                 locked.key)
+    print(f"\ncorrect key : equivalent={good.equivalent} "
+          f"(0 of {good.cycles} cycles differ, "
+          f"{good.violations} timing violations)")
+    for trial in range(3):
+        wrong = locked.random_wrong_key(random.Random(trial))
+        bad = compare_with_original(circuit, locked.circuit, clock.period,
+                                    seq, wrong)
+        print(f"wrong key #{trial}: equivalent={bad.equivalent} "
+              f"({bad.mismatch_count} corrupted observations)")
+
+    # --- the SAT attack hits a wall --------------------------------------
+    exposed = expose_gk_keys(locked)  # the attacker's preprocessing
+    oracle = CombinationalOracle(circuit)
+    result = sat_attack(exposed, oracle)
+    print(f"\nSAT attack  : UNSAT at DIP iteration 1 = "
+          f"{result.unsat_at_first_iteration} "
+          f"({result.iterations} DIPs found, "
+          f"{result.oracle_queries} oracle queries)")
+    print("the key the attack 'certifies' describes the glitch-blind "
+          "netlist, not the chip — the encryption stands.")
+
+
+if __name__ == "__main__":
+    main()

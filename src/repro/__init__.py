@@ -1,0 +1,18 @@
+"""repro — reproduction of "A Glitch Key-Gate for Logic Locking" (SOCC 2019).
+
+Public API highlights:
+
+* :mod:`repro.netlist` — gate-level netlists and the cell library.
+* :mod:`repro.sim` — cycle-accurate and event-driven timing simulation.
+* :mod:`repro.sat` — CDCL SAT solver and circuit-to-CNF encoding.
+* :mod:`repro.sta` — static timing analysis (arrival/slack/LB-UB bounds).
+* :mod:`repro.synth` / :mod:`repro.pnr` — synthesis and P&R substrates.
+* :mod:`repro.locking` — baseline locking schemes (XOR/XNOR, SARLock,
+  Anti-SAT, TDK, Encrypt-Flip-Flop).
+* :mod:`repro.core` — the paper's contribution: the Glitch Key-gate,
+  its KEYGEN, timing rules, insertion, and the full design flow.
+* :mod:`repro.attacks` — SAT attack, removal attacks, TCF timed SAT.
+* :mod:`repro.bench` — IWLS2005-calibrated synthetic benchmarks.
+"""
+
+__version__ = "1.0.0"

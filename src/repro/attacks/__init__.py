@@ -1,0 +1,34 @@
+"""Attacks on logic locking: SAT, removal, enhanced removal, TCF, scan."""
+
+from .oracle import CombinationalOracle, TimingOracle, random_pattern
+from .sat_attack import SatAttackResult, sat_attack, verify_key_against_oracle
+from .removal import RemovalResult, removal_attack, signal_probabilities
+from .enhanced_removal import (
+    EnhancedRemovalResult,
+    LocatedGk,
+    enhanced_removal_attack,
+    locate_gk_structures,
+)
+from .tcf import (
+    TcfAttackResult,
+    encode_timed,
+    find_delay_test,
+    tcf_attack,
+    two_vector_response,
+)
+from .scan import ScanAttackResult, ScanChain, insert_scan_chain, scan_attack
+from .appsat import AppSatResult, appsat_attack
+from .unroll import SequentialAttackResult, sequential_sat_attack
+
+__all__ = [
+    "CombinationalOracle", "TimingOracle", "random_pattern",
+    "SatAttackResult", "sat_attack", "verify_key_against_oracle",
+    "RemovalResult", "removal_attack", "signal_probabilities",
+    "EnhancedRemovalResult", "LocatedGk", "enhanced_removal_attack",
+    "locate_gk_structures",
+    "TcfAttackResult", "encode_timed", "find_delay_test", "tcf_attack",
+    "two_vector_response",
+    "ScanAttackResult", "ScanChain", "insert_scan_chain", "scan_attack",
+    "AppSatResult", "appsat_attack",
+    "SequentialAttackResult", "sequential_sat_attack",
+]

@@ -1,0 +1,82 @@
+"""Attack oracles: models of the "functionally correct chip".
+
+The SAT attack model [11] assumes the attacker holds (1) the locked
+netlist and (2) an *activated* chip — a black box answering input/output
+queries.  Two oracle flavours:
+
+* :class:`CombinationalOracle` — the standard scan-enabled view: the
+  chip's combinational core queried directly (pseudo-PIs = FF outputs,
+  pseudo-POs = FF inputs).  Backed by the original netlist's
+  zero-delay evaluation, since the activated chip computes the original
+  function.
+* :class:`TimingOracle` — the chip at speed: event-driven simulation of
+  the *locked* netlist under the correct key.  This is what a
+  scan-based launch/capture test (Sec. VI's BIST discussion) actually
+  observes, glitches included.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..locking.base import LockedCircuit
+from ..netlist.circuit import Circuit, NetlistError
+from ..netlist.transform import extract_combinational
+from ..sim.cyclesim import evaluate_combinational
+from ..sim.harness import SequentialTrace, simulate_sequential
+from ..sim.logic import LogicValue
+
+__all__ = ["CombinationalOracle", "TimingOracle", "random_pattern"]
+
+
+def random_pattern(nets: Sequence[str], rng: random.Random) -> Dict[str, int]:
+    return {net: rng.randint(0, 1) for net in nets}
+
+
+class CombinationalOracle:
+    """I/O oracle over the combinational core of the original design."""
+
+    def __init__(self, original: Circuit) -> None:
+        if original.key_inputs:
+            raise NetlistError("the oracle wraps the *original* (keyless) design")
+        if original.flip_flops():
+            original = extract_combinational(original).circuit
+        self.circuit = original
+        self.inputs: List[str] = list(original.inputs)
+        self.outputs: List[str] = list(original.outputs)
+        self.query_count = 0
+
+    def query(self, assignment: Mapping[str, LogicValue]) -> Dict[str, LogicValue]:
+        """Outputs of the activated chip for one input pattern."""
+        self.query_count += 1
+        values = evaluate_combinational(self.circuit, assignment)
+        return {net: values[net] for net in self.outputs}
+
+
+class TimingOracle:
+    """The activated chip observed at speed (glitches and all)."""
+
+    def __init__(
+        self,
+        locked: LockedCircuit,
+        clock_period: float,
+        delay_mode: str = "transport",
+    ) -> None:
+        self.locked = locked
+        self.clock_period = clock_period
+        self.delay_mode = delay_mode
+        self.run_count = 0
+
+    def run(
+        self, input_sequence: Sequence[Mapping[str, LogicValue]]
+    ) -> SequentialTrace:
+        """Drive the chip for ``len(input_sequence)`` cycles."""
+        self.run_count += 1
+        return simulate_sequential(
+            self.locked.circuit,
+            self.clock_period,
+            input_sequence,
+            key=self.locked.key,
+            delay_mode=self.delay_mode,
+        )

@@ -1,0 +1,189 @@
+"""The SAT attack on logic locking (Subramanyan et al. [11]).
+
+The attack builds a miter of two copies of the locked netlist sharing
+primary inputs but with independent keys, and asks a SAT solver for a
+**distinguishing input pattern** (DIP): an input making the copies
+disagree for some key pair.  Each DIP is resolved against the oracle
+(the activated chip) and both copies are constrained to match the
+observed response, pruning every key inconsistent with it.  When no DIP
+remains, any key satisfying the accumulated constraints is functionally
+correct — for ordinary locking.
+
+Against the paper's GK-locked designs, the very first DIP query returns
+UNSAT (the GK key inputs are combinationally non-influential), so the
+attack "succeeds" immediately with an arbitrary key — and the function
+it certifies is the *glitch-blind* one, which is wrong wherever a GK
+transmits data on a glitch.  :func:`verify_key_against_oracle` makes
+that failure observable, reproducing Sec. VI's result.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from ..netlist.circuit import Circuit, NetlistError
+from ..netlist.transform import extract_combinational
+from ..sat.cnf import CNF
+from ..sat.solver import Solver
+from ..sat.tseitin import CircuitEncoder
+from .oracle import CombinationalOracle
+
+__all__ = ["SatAttackResult", "sat_attack", "verify_key_against_oracle"]
+
+
+@dataclass
+class SatAttackResult:
+    """Outcome of one SAT attack run."""
+
+    completed: bool  # the DIP loop terminated (UNSAT) within budget
+    key: Optional[Dict[str, int]]  # a key consistent with all DIPs
+    iterations: int  # number of DIPs found
+    unsat_at_first_iteration: bool  # the GK signature (Sec. VI)
+    dips: List[Dict[str, int]] = field(default_factory=list)
+    oracle_queries: int = 0
+    solver_conflicts: int = 0
+    solver_decisions: int = 0
+
+    @property
+    def found_any_dip(self) -> bool:
+        return self.iterations > 0
+
+
+def _comb_view(locked_netlist: Circuit) -> Circuit:
+    if locked_netlist.flip_flops():
+        return extract_combinational(locked_netlist).circuit
+    return locked_netlist
+
+
+def _interface_map(comb: Circuit, oracle: CombinationalOracle) -> Dict[str, str]:
+    """Locked-netlist output net -> oracle output net.
+
+    Locking may rename a flip-flop's D net (a GK splices its MUX in
+    front of the FF), but both combinational extractions list outputs in
+    the same order: original POs first, then pseudo-POs sorted by FF
+    name.  Inputs must agree by name (locking never renames Q nets or
+    PIs).
+    """
+    if sorted(comb.inputs) != sorted(oracle.inputs):
+        raise NetlistError("oracle input interface does not match")
+    if len(comb.outputs) != len(oracle.outputs):
+        raise NetlistError("oracle output interface does not match")
+    return dict(zip(comb.outputs, oracle.outputs))
+
+
+def sat_attack(
+    locked_netlist: Circuit,
+    oracle: CombinationalOracle,
+    max_iterations: int = 256,
+) -> SatAttackResult:
+    """Run the DIP loop against *locked_netlist* using *oracle*.
+
+    Sequential netlists are first reduced to their combinational core
+    (pseudo-PI/PO transformation), matching the paper's preprocessing.
+    The oracle must expose the same input/output interface (it will, if
+    built from the corresponding original design).
+    """
+    comb = _comb_view(locked_netlist)
+    if not comb.key_inputs:
+        raise NetlistError("netlist has no key inputs; nothing to attack")
+    oracle_output_of = _interface_map(comb, oracle)
+
+    solver = Solver()
+
+    def encode_copy(shared: Mapping[str, int]) -> CircuitEncoder:
+        cnf = CNF(num_vars=solver.num_vars)
+        encoder = CircuitEncoder(cnf, comb, net_vars=shared)
+        solver.add_cnf(cnf)
+        return encoder
+
+    copy1 = encode_copy({})
+    pi_vars = {net: copy1.var_of[net] for net in comb.inputs}
+    copy2 = encode_copy(pi_vars)
+
+    # Miter: diff <-> OR over per-output XORs; assumed true per DIP query.
+    miter_cnf = CNF(num_vars=solver.num_vars)
+    xor_vars = []
+    for net in comb.outputs:
+        x = miter_cnf.new_var()
+        miter_cnf.add_xor(x, copy1.var_of[net], copy2.var_of[net])
+        xor_vars.append(x)
+    diff = miter_cnf.new_var()
+    miter_cnf.add_or(diff, xor_vars)
+    solver.add_cnf(miter_cnf)
+
+    result = SatAttackResult(
+        completed=False, key=None, iterations=0, unsat_at_first_iteration=False
+    )
+    for _ in range(max_iterations):
+        if not solver.solve([diff]):
+            result.completed = True
+            break
+        model = solver.model()
+        dip = {net: int(model[var]) for net, var in pi_vars.items()}
+        result.dips.append(dip)
+        result.iterations += 1
+        response = oracle.query(dip)
+        result.oracle_queries += 1
+        # Pin both copies to the oracle's answer on this DIP.
+        for copy in (copy1, copy2):
+            cnf = CNF(num_vars=solver.num_vars)
+            encoder = CircuitEncoder(
+                cnf, comb, net_vars={net: copy.var_of[net] for net in comb.key_inputs}
+            )
+            for net, value in dip.items():
+                var = encoder.var_of[net]
+                cnf.add_clause([var if value else -var])
+            for net in comb.outputs:
+                var = encoder.var_of[net]
+                value = response[oracle_output_of[net]]
+                cnf.add_clause([var if value else -var])
+            solver.add_cnf(cnf)
+
+    result.unsat_at_first_iteration = result.completed and result.iterations == 0
+    result.solver_conflicts = solver.num_conflicts
+    result.solver_decisions = solver.num_decisions
+    if result.completed:
+        if solver.solve([]):
+            model = solver.model()
+            result.key = {
+                net: int(model[copy1.var_of[net]]) for net in comb.key_inputs
+            }
+        else:
+            result.key = None  # over-constrained: no consistent key at all
+    return result
+
+
+def verify_key_against_oracle(
+    locked_netlist: Circuit,
+    oracle: CombinationalOracle,
+    key: Mapping[str, int],
+    samples: int = 64,
+    rng: Optional[random.Random] = None,
+) -> float:
+    """Fraction of random patterns on which *key* matches the oracle.
+
+    1.0 means the recovered key reproduces the chip on every sampled
+    pattern (the attack truly decrypted the design); for GK-locked
+    designs this lands well below 1.0 no matter the key, because the
+    combinational netlist itself is glitch-blind.
+    """
+    rng = rng or random.Random(0)
+    comb = _comb_view(locked_netlist)
+    from ..sim.cyclesim import evaluate_combinational
+
+    oracle_output_of = _interface_map(comb, oracle)
+    matches = 0
+    for _ in range(samples):
+        pattern = {net: rng.randint(0, 1) for net in comb.inputs}
+        response = oracle.query(pattern)
+        assignment = dict(pattern)
+        assignment.update(key)
+        values = evaluate_combinational(comb, assignment)
+        if all(
+            values[net] == response[oracle_output_of[net]]
+            for net in comb.outputs
+        ):
+            matches += 1
+    return matches / samples

@@ -1,0 +1,13 @@
+"""Synthetic benchmark circuits calibrated to the paper's Table I."""
+
+from .generator import GeneratorSpec, random_sequential_circuit
+from .iwls import BENCHMARKS, BenchmarkInstance, benchmark_names, iwls_benchmark
+
+__all__ = [
+    "GeneratorSpec",
+    "random_sequential_circuit",
+    "BENCHMARKS",
+    "BenchmarkInstance",
+    "benchmark_names",
+    "iwls_benchmark",
+]

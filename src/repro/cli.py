@@ -1,0 +1,253 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives the library's main flows a tool-like surface operating on
+``.bench`` / structural-Verilog netlists:
+
+* ``info``     — netlist statistics and timing summary
+* ``lock``     — encrypt a design (gk / xor / sarlock / antisat / tdk /
+  hybrid), writing the locked netlist and the key
+* ``attack``   — run the SAT attack against a locked netlist + oracle
+* ``table1`` / ``table2`` — regenerate the paper's tables
+* ``figures``  — print the paper's timing diagrams
+* ``reproduce`` — regenerate the whole evaluation in one run
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+from typing import Dict, Optional
+
+from .attacks.oracle import CombinationalOracle
+from .attacks.sat_attack import sat_attack, verify_key_against_oracle
+from .bench.iwls import BENCHMARKS, iwls_benchmark
+from .locking.antisat import AntiSat
+from .locking.base import LockingScheme
+from .locking.hybrid import HybridGkXor
+from .locking.sarlock import SarLock
+from .locking.tdk import TdkLock
+from .locking.xor_lock import XorLock
+from .netlist.bench_io import parse_bench, write_bench
+from .netlist.circuit import Circuit
+from .netlist.stats import overhead
+from .netlist.verilog_io import parse_verilog, write_verilog
+from .sta.clock import ClockSpec
+from .sta.report import slack_report
+from .sta.timing import analyze
+
+__all__ = ["main"]
+
+
+def _load(path: str) -> Circuit:
+    if path.startswith("iwls:"):
+        return iwls_benchmark(path[5:]).circuit
+    with open(path) as stream:
+        text = stream.read()
+    if path.endswith((".v", ".sv")):
+        return parse_verilog(text)
+    return parse_bench(text, name=path.rsplit("/", 1)[-1])
+
+
+def _save(circuit: Circuit, path: str) -> None:
+    with open(path, "w") as stream:
+        if path.endswith((".v", ".sv")):
+            write_verilog(circuit, stream)
+        else:
+            write_bench(circuit, stream)
+
+
+def _clock_for(circuit: Circuit, period: Optional[float]) -> ClockSpec:
+    if period is not None:
+        return ClockSpec(period=period)
+    probe = analyze(circuit, ClockSpec(period=1e9))
+    critical = max(
+        (e.arrival_max + circuit.gates[e.ff].cell.setup
+         for e in probe.endpoints.values()),
+        default=1.0,
+    )
+    return ClockSpec(period=round(critical * 1.08 + 0.005, 2))
+
+
+def _scheme(name: str, clock: ClockSpec) -> LockingScheme:
+    from .core.flow import GkLock
+
+    registry = {
+        "gk": lambda: GkLock(clock),
+        "xor": XorLock,
+        "sarlock": SarLock,
+        "antisat": AntiSat,
+        "tdk": TdkLock,
+        "hybrid": lambda: HybridGkXor(clock),
+    }
+    try:
+        return registry[name]()
+    except KeyError:
+        raise SystemExit(
+            f"unknown scheme {name!r}; choose from {', '.join(registry)}"
+        )
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    circuit = _load(args.netlist)
+    stats = circuit.stats()
+    print(f"name        : {circuit.name}")
+    print(f"cells       : {stats.num_cells} "
+          f"({stats.num_flip_flops} FFs, {stats.num_combinational} comb)")
+    print(f"area        : {stats.area:.1f} um^2")
+    print(f"ports       : {stats.num_inputs} PIs, {stats.num_key_inputs} "
+          f"keys, {stats.num_outputs} POs")
+    if circuit.flip_flops():
+        clock = _clock_for(circuit, args.period)
+        print(f"clock       : {clock.period} ns"
+              + ("" if args.period else " (auto: critical x 1.08)"))
+        print(slack_report(analyze(circuit, clock), limit=args.paths))
+    return 0
+
+
+def cmd_lock(args: argparse.Namespace) -> int:
+    circuit = _load(args.netlist)
+    clock = _clock_for(circuit, args.period)
+    scheme = _scheme(args.scheme, clock)
+    rng = random.Random(args.seed)
+    locked = scheme.lock(circuit, args.key_bits, rng)
+    print(f"locked with {args.scheme}: {locked.circuit}")
+    print(f"overhead: {overhead(circuit, locked.circuit)}")
+    if args.output:
+        _save(locked.circuit, args.output)
+        print(f"netlist -> {args.output}")
+    if args.key_file:
+        with open(args.key_file, "w") as stream:
+            json.dump(locked.key, stream, indent=2, sort_keys=True)
+        print(f"key     -> {args.key_file}")
+    else:
+        print(f"key     : {json.dumps(locked.key, sort_keys=True)}")
+    return 0
+
+
+def cmd_attack(args: argparse.Namespace) -> int:
+    locked = _load(args.locked)
+    original = _load(args.oracle)
+    oracle = CombinationalOracle(original)
+    result = sat_attack(locked, oracle, max_iterations=args.max_iterations)
+    print(f"completed              : {result.completed}")
+    print(f"DIP iterations         : {result.iterations}")
+    print(f"UNSAT at 1st iteration : {result.unsat_at_first_iteration}")
+    if result.key is not None:
+        accuracy = verify_key_against_oracle(
+            locked, oracle, result.key, samples=args.verify_samples
+        )
+        print(f"recovered key          : "
+              f"{json.dumps(result.key, sort_keys=True)}")
+        print(f"functional accuracy    : {accuracy:.3f}")
+        return 0 if accuracy == 1.0 else 1
+    print("no consistent key")
+    return 1
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    from .reporting.tables import format_table1, table1_row
+
+    names = args.benchmarks or list(BENCHMARKS)
+    rows = [table1_row(name) for name in names]
+    print(format_table1(rows))
+    return 0
+
+
+def cmd_table2(args: argparse.Namespace) -> int:
+    from .reporting.tables import format_table2, table2_row
+
+    names = args.benchmarks or list(BENCHMARKS)
+    rows = [table2_row(name) for name in names]
+    print(format_table2(rows))
+    return 0
+
+
+def cmd_reproduce(args: argparse.Namespace) -> int:
+    from .reporting.summary import reproduce
+
+    reproduce(fast=not args.full, echo=print, seed=args.seed)
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    from .reporting.figures import (
+        figure4_gk_waveform,
+        figure6_keygen_waveform,
+        figure7_scenarios,
+        figure9_trigger_windows,
+    )
+
+    for figure in (
+        figure4_gk_waveform(),
+        figure6_keygen_waveform(),
+        figure7_scenarios(),
+        figure9_trigger_windows(),
+    ):
+        print("=" * 74)
+        print(figure.title)
+        print(figure.diagram)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Glitch Key-gate logic locking — paper reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("info", help="netlist statistics and timing")
+    p.add_argument("netlist", help=".bench/.v file, or iwls:<name>")
+    p.add_argument("--period", type=float, help="clock period in ns")
+    p.add_argument("--paths", type=int, default=10, help="endpoints to list")
+    p.set_defaults(func=cmd_info)
+
+    p = sub.add_parser("lock", help="encrypt a design")
+    p.add_argument("netlist")
+    p.add_argument("--scheme", default="gk",
+                   choices=["gk", "xor", "sarlock", "antisat", "tdk", "hybrid"])
+    p.add_argument("--key-bits", type=int, default=8)
+    p.add_argument("--seed", type=int, default=2019)
+    p.add_argument("--period", type=float)
+    p.add_argument("--output", "-o", help="write the locked netlist here")
+    p.add_argument("--key-file", help="write the correct key (JSON) here")
+    p.set_defaults(func=cmd_lock)
+
+    p = sub.add_parser("attack", help="SAT-attack a locked netlist")
+    p.add_argument("locked", help="locked netlist (key inputs present)")
+    p.add_argument("oracle", help="original netlist (the activated chip)")
+    p.add_argument("--max-iterations", type=int, default=256)
+    p.add_argument("--verify-samples", type=int, default=64)
+    p.set_defaults(func=cmd_attack)
+
+    p = sub.add_parser("table1", help="regenerate paper Table I")
+    p.add_argument("benchmarks", nargs="*", choices=list(BENCHMARKS) + [[]])
+    p.set_defaults(func=cmd_table1)
+
+    p = sub.add_parser("table2", help="regenerate paper Table II")
+    p.add_argument("benchmarks", nargs="*", choices=list(BENCHMARKS) + [[]])
+    p.set_defaults(func=cmd_table2)
+
+    p = sub.add_parser("figures", help="regenerate paper Figs. 4/6/7/9")
+    p.set_defaults(func=cmd_figures)
+
+    p = sub.add_parser(
+        "reproduce", help="regenerate the paper's whole evaluation"
+    )
+    p.add_argument("--full", action="store_true",
+                   help="run the SAT attack on three benchmarks, not one")
+    p.add_argument("--seed", type=int, default=2019)
+    p.set_defaults(func=cmd_reproduce)
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,360 @@
+"""The GK encryption design flow (paper Sec. IV-B) and the GkLock scheme.
+
+The flow mirrors the paper's tool sequence step for step:
+
+1. synthesize + P&R + STA the original design (our substrates);
+2. determine feasible FF locations under the *same clock period*
+   (:func:`repro.core.insertion.available_ffs`);
+3. pick locations, choose each GK's behaviour/structure
+   (:mod:`repro.core.strategy`), splice in the GK and its KEYGEN with
+   constraint-synthesized delay elements;
+4. re-synthesize with the delay paths protected (design constraints);
+5. re-run STA and triage the reported violations: a violation whose
+   worst path runs through a deliberately delayed GK/KEYGEN path is a
+   **false** violation (the glitch timing was verified at insertion); a
+   **true** violation causes that GK to be removed and the flow to
+   retry at another feasible location.
+
+The correct key assigns each GK's 2-bit KEYGEN key to the transitional
+mode whose trigger time parks the glitch over the capture window; all
+other keys corrupt the captured bit (cleanly or metastably).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..locking.base import LockedCircuit, LockingError, LockingScheme
+from ..netlist.circuit import Circuit
+from ..pnr.placer import place
+from ..pnr.router import route
+from ..sta.clock import ClockSpec
+from ..sta.timing import TimingAnalysis, analyze
+from ..synth.optimize import optimize
+from .gk import GkStructure, insert_gk
+from .insertion import DEFAULT_GLITCH_LENGTH, GkPlan, available_ffs
+from .keygen import KEYGEN_MODES, KeygenStructure, insert_keygen
+from .strategy import GkConfig, choose_config
+from .timing_rules import TriggerWindow
+
+__all__ = ["GkRecord", "GkLock", "expose_gk_keys"]
+
+
+@dataclass
+class GkRecord:
+    """Everything about one successfully inserted GK."""
+
+    gk: GkStructure
+    keygen: KeygenStructure
+    config: GkConfig
+    plan: GkPlan
+    correct_key: Tuple[int, int]
+    trigger_correct_achieved: float
+    trigger_decoy_achieved: float
+    window_on_achieved: TriggerWindow
+
+    @property
+    def all_gate_names(self) -> Tuple[str, ...]:
+        return self.gk.gate_names + self.keygen.gate_names
+
+    @property
+    def key_nets(self) -> Tuple[str, str]:
+        return (self.keygen.k1_net, self.keygen.k2_net)
+
+    def live_x_net(self, circuit: Circuit) -> str:
+        """The GK data input as currently wired (re-synthesis may have
+        redirected the recorded net to a structurally hashed twin)."""
+        key_net = circuit.gates[self.gk.mux_gate].pins["S"]
+        arm = circuit.gates[self.gk.arm_a_gate]
+        (x_net,) = [n for n in arm.input_nets() if n != key_net]
+        return x_net
+
+
+class GkLock(LockingScheme):
+    """Glitch Key-gate logic locking (the paper's contribution).
+
+    Each GK consumes two key bits (its KEYGEN's mode select), matching
+    the paper's accounting: 4/8/16 GKs -> 8/16/32 key-inputs.
+
+    Args:
+        clock: The design's clock spec; the flow never changes the
+            period ("we adopt the same clock period", Sec. IV-B).
+        glitch_length: Target L_glitch (the paper uses 1ns).
+        run_pnr: Run placement/routing before and after insertion so
+            wire delays enter the timing picture (Table II does this;
+            unit tests skip it for speed).
+        candidate_ffs: Optional whitelist of FF names (e.g. the
+            Encrypt-Flip-Flop group of [4]).
+        margin: Planning margin absorbing delay quantization.
+        wire_drift_waiver: With ``run_pnr``, the full re-placement after
+            insertion perturbs every wire slightly (our placer is not
+            incremental).  Violations on untouched paths smaller than
+            this are classified as placement drift, not true violations.
+    """
+
+    name = "gk"
+
+    def __init__(
+        self,
+        clock: ClockSpec,
+        glitch_length: float = DEFAULT_GLITCH_LENGTH,
+        run_pnr: bool = False,
+        candidate_ffs: Optional[Sequence[str]] = None,
+        margin: float = 0.25,
+        wire_drift_waiver: float = 0.08,
+    ) -> None:
+        self.clock = clock
+        self.glitch_length = glitch_length
+        self.run_pnr = run_pnr
+        self.candidate_ffs = set(candidate_ffs) if candidate_ffs is not None else None
+        self.margin = margin
+        self.wire_drift_waiver = wire_drift_waiver
+
+    # ------------------------------------------------------------------
+
+    def lock(
+        self, circuit: Circuit, num_key_bits: int, rng: random.Random
+    ) -> LockedCircuit:
+        if num_key_bits < 2 or num_key_bits % 2:
+            raise LockingError("each GK uses 2 key bits; width must be even")
+        count = num_key_bits // 2
+        locked = circuit.clone(f"{circuit.name}__gk{num_key_bits}")
+
+        wire_delay = None
+        if self.run_pnr:
+            wire_delay = route(place(locked)).wire_delay
+        analysis = analyze(locked, self.clock, wire_delay=wire_delay)
+        # ECO baseline: endpoints already violated before any insertion
+        # (possible when routed wire delays exceed the synthesis guard
+        # band) are not the flow's doing and are excluded from triage.
+        baseline_violated = {
+            e.ff for e in analysis.setup_violations() + analysis.hold_violations()
+        }
+        plans = available_ffs(
+            locked,
+            self.clock,
+            self.glitch_length,
+            analysis=analysis,
+            margin=self.margin,
+        )
+        candidates = [name for name, plan in plans.items() if plan.feasible]
+        if self.candidate_ffs is not None:
+            candidates = [n for n in candidates if n in self.candidate_ffs]
+        if len(candidates) < count:
+            raise LockingError(
+                f"{circuit.name}: only {len(candidates)} feasible FFs for "
+                f"{count} GKs"
+            )
+        order = list(candidates)
+        rng.shuffle(order)
+
+        records: List[GkRecord] = []
+        key: Dict[str, int] = {}
+        index = 0
+        rejected: List[str] = []
+        for ff_name in order:
+            if len(records) == count:
+                break
+            record = self._try_insert(locked, plans[ff_name], rng, index)
+            if record is None:
+                rejected.append(ff_name)
+                continue
+            records.append(record)
+            k1, k2 = record.correct_key
+            key[record.keygen.k1_net] = k1
+            key[record.keygen.k2_net] = k2
+            index += 1
+        if len(records) < count:
+            raise LockingError(
+                f"{circuit.name}: verified only {len(records)}/{count} GKs "
+                f"(rejected at {len(rejected)} locations)"
+            )
+
+        protected: Set[str] = set()
+        for record in records:
+            protected.update(record.all_gate_names)
+
+        # Step 4: re-synthesis under design constraints.
+        optimize(locked, protected=protected)
+
+        # Step 5: post-insertion STA + true/false violation triage.
+        if self.run_pnr:
+            wire_delay = route(place(locked)).wire_delay
+        post = analyze(locked, self.clock, wire_delay=wire_delay)
+        false_violations, true_violations, drift_waived = self._triage(
+            post, records, baseline_violated
+        )
+
+        locked.validate()
+        return LockedCircuit(
+            circuit=locked,
+            original=circuit,
+            key=key,
+            scheme=self.name,
+            metadata={
+                "gks": records,
+                "protected_gates": sorted(protected),
+                "plans": plans,
+                "glitch_length": self.glitch_length,
+                "clock": self.clock,
+                "false_violations": false_violations,
+                "true_violations": true_violations,
+                "drift_waived_violations": drift_waived,
+                "rejected_locations": rejected,
+            },
+        )
+
+    # ------------------------------------------------------------------
+
+    def _try_insert(
+        self,
+        locked: Circuit,
+        plan: GkPlan,
+        rng: random.Random,
+        index: int,
+    ) -> Optional[GkRecord]:
+        """Insert one GK + KEYGEN; verify the achieved timing; roll back
+        on failure (the paper's repeat-the-procedure loop)."""
+        config = choose_config(rng)
+        ff = locked.gates[plan.ff]
+        k1 = locked.add_key_input(f"keyin_g{2 * index}")
+        k2 = locked.add_key_input(f"keyin_g{2 * index + 1}")
+        key_out = locked.new_net("keyout")
+
+        gk = insert_gk(
+            locked,
+            plan.ff,
+            key_out,
+            d_path_a=plan.d_path,
+            d_path_b=plan.d_path,
+            variant=config.variant,
+            pre_invert=config.pre_invert,
+        )
+        # Re-derive the Eq. (5) window from *achieved* arm delays.
+        pre_inv_delay = (
+            locked.library.cheapest("INV").delay if config.pre_invert else 0.0
+        )
+        arrival = plan.t_arrival + pre_inv_delay
+        l_min = min(gk.glitch_length_rise, gk.glitch_length_fall)
+        d_ready = max(gk.d_path_a, gk.d_path_b)
+        capture = self.clock.period + self.clock.arrival(plan.ff)
+        window = TriggerWindow(
+            earliest=max(capture + ff.cell.hold - l_min - gk.d_mux,
+                         arrival + d_ready),
+            latest=plan.ub - gk.d_mux,
+        )
+        trigger_correct = window.latest - self.margin / 2.0
+        if trigger_correct <= window.earliest:
+            self._rollback(locked, gk, None, k1, k2)
+            return None
+
+        trigger_decoy = plan.trigger_wrong
+        if config.correct_mode == "shift_a":
+            targets = (trigger_correct, trigger_decoy)
+        else:
+            targets = (trigger_decoy, trigger_correct)
+        keygen = insert_keygen(
+            locked, k1, k2, targets[0], targets[1], key_out=key_out
+        )
+        achieved_correct = keygen.trigger_of_mode(config.correct_mode)
+        achieved_decoy = keygen.trigger_of_mode(config.decoy_mode)
+        assert achieved_correct is not None and achieved_decoy is not None
+        if not window.contains(achieved_correct):
+            self._rollback(locked, gk, keygen, k1, k2)
+            return None
+
+        return GkRecord(
+            gk=gk,
+            keygen=keygen,
+            config=config,
+            plan=plan,
+            correct_key=config.correct_key,
+            trigger_correct_achieved=achieved_correct,
+            trigger_decoy_achieved=achieved_decoy,
+            window_on_achieved=window,
+        )
+
+    @staticmethod
+    def _rollback(
+        locked: Circuit,
+        gk: GkStructure,
+        keygen: Optional[KeygenStructure],
+        k1: str,
+        k2: str,
+    ) -> None:
+        locked.reconnect_pin(gk.ff, "D", gk.raw_net)
+        for name in gk.gate_names:
+            locked.remove_gate(name)
+        if keygen is not None:
+            for name in keygen.gate_names:
+                locked.remove_gate(name)
+        for net in (k1, k2):
+            locked.key_inputs.remove(net)
+            del locked._driver[net]
+
+    # ------------------------------------------------------------------
+
+    def _triage(
+        self,
+        post: TimingAnalysis,
+        records: List[GkRecord],
+        baseline_violated: Set[str] = frozenset(),
+    ) -> Tuple[List[str], List[str], List[str]]:
+        """Split violated endpoints into expected (false) and true ones.
+
+        A violation is *false* when the worst path runs through gates of
+        a recorded GK/KEYGEN structure: the delay was deliberately
+        inserted and the glitch timing was verified pin-level at
+        insertion time.  Endpoints violated in the pre-insertion (ECO)
+        baseline are skipped; sub-waiver misses on untouched paths are
+        placement drift.  Anything else is a true violation.
+        """
+        structure_gates: Set[str] = set()
+        for record in records:
+            structure_gates.update(record.all_gate_names)
+        false_violations: List[str] = []
+        true_violations: List[str] = []
+        drift_waived: List[str] = []
+        for endpoint in post.setup_violations() + post.hold_violations():
+            if endpoint.ff in baseline_violated:
+                continue
+            path = post.critical_path_to(endpoint.data_net)
+            through = set()
+            for net in path:
+                driver = post.circuit.driver_of(net)
+                if driver is not None:
+                    through.add(driver.name)
+            if through & structure_gates:
+                false_violations.append(endpoint.ff)
+            elif (
+                min(endpoint.setup_slack, endpoint.hold_slack)
+                > -self.wire_drift_waiver
+            ):
+                drift_waived.append(endpoint.ff)
+            else:
+                true_violations.append(endpoint.ff)
+        return false_violations, true_violations, drift_waived
+
+
+def expose_gk_keys(locked: LockedCircuit) -> Circuit:
+    """The attacker's preprocessing of Sec. VI.
+
+    "We removed the KEYGEN of each GK and treated its key-input as the
+    key-input of the design."  Returns a new sequential circuit where
+    every KEYGEN is gone and each GK's key wire is a primary key input
+    (one Boolean key bit per GK, as the SAT attack models it).
+    """
+    if locked.scheme != "gk" and "gks" not in locked.metadata:
+        raise ValueError("expose_gk_keys needs a GK-locked circuit")
+    stripped = locked.circuit.clone(f"{locked.circuit.name}__exposed")
+    for record in locked.metadata["gks"]:
+        for name in record.keygen.gate_names:
+            stripped.remove_gate(name)
+        for net in (record.keygen.k1_net, record.keygen.k2_net):
+            stripped.key_inputs.remove(net)
+            del stripped._driver[net]
+        stripped.add_key_input(record.keygen.key_out)
+    stripped.validate()
+    return stripped

@@ -1,0 +1,213 @@
+"""The Glitch Key-gate structure (paper Fig. 3).
+
+A GK has two inputs — the signal ``x`` to be encrypted and the key
+input — and two parallel arms feeding a MUX selected by the key:
+
+* variant **3a** (Fig. 3(a)): XNOR arm on the key=0 side, XOR arm on
+  the key=1 side.  With a *constant* key either arm is an inverter, so
+  ``y = x'``; a key **transition** makes the MUX switch to the arm that
+  still holds the pre-transition value — the *buffer* value ``x`` — for
+  the arm's path delay: a glitch that momentarily turns the GK into a
+  buffer.
+* variant **3b** (Fig. 3(b)): arms swapped; constant keys give a
+  buffer, a transition glitches to the inverter value.
+
+Each arm's path delay ``D_Path`` (gate + delay elements) is synthesized
+with :func:`repro.synth.delay_synthesis.insert_delay_chain`, exactly as
+the paper's flow realizes DA/DB with library cells under design
+constraints.
+
+Boolean view (what a SAT attack sees): for both variants the key input
+is combinationally non-influential — 3a collapses to ``y = x'`` and 3b
+to ``y = x`` for *both* key values.  The real, timing-level behaviour
+differs; that gap is the security mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..netlist.cells import Cell, CellLibrary
+from ..netlist.circuit import Circuit
+from ..synth.delay_synthesis import insert_delay_chain
+
+__all__ = ["GkStructure", "insert_gk", "build_gk_demo", "ideal_gk_library"]
+
+
+@dataclass(frozen=True)
+class GkStructure:
+    """Record of one inserted GK (everything the flow must protect)."""
+
+    ff: str  # capturing flip-flop
+    variant: str  # "3a" or "3b"
+    raw_net: str  # the net the GK was spliced into
+    x_net: str  # GK data input (== raw_net unless pre-inverted)
+    key_net: str  # key input (KEYGEN key_out, or a key wire)
+    output_net: str  # MUX output, now feeding the FF's D pin
+    arm_a_gate: str  # key=0 arm gate (XNOR for 3a, XOR for 3b)
+    arm_b_gate: str  # key=1 arm gate
+    mux_gate: str
+    pre_inverter: Optional[str]
+    gate_names: Tuple[str, ...]  # all gates incl. delay chains
+    d_path_a: float  # achieved arm delays (gate + chain), ns
+    d_path_b: float
+    d_mux: float
+
+    @property
+    def glitch_length_rise(self) -> float:
+        """Glitch length for a rising key transition (Eq. (2): B arm)."""
+        return self.d_path_b + self.d_mux
+
+    @property
+    def glitch_length_fall(self) -> float:
+        """Glitch length for a falling key transition (A arm)."""
+        return self.d_path_a + self.d_mux
+
+    @property
+    def constant_behaviour(self) -> str:
+        """What the GK is, combinationally: "inverter" (3a) or "buffer"."""
+        inverter = self.variant == "3a"
+        if self.pre_inverter is not None:
+            inverter = not inverter
+        return "inverter" if inverter else "buffer"
+
+
+def insert_gk(
+    circuit: Circuit,
+    ff_name: str,
+    key_net: str,
+    d_path_a: float,
+    d_path_b: float,
+    variant: str = "3a",
+    pre_invert: bool = False,
+) -> GkStructure:
+    """Splice a GK between FF *ff_name*'s data source and its D pin.
+
+    *d_path_a* / *d_path_b* are the target arm path delays (the
+    XNOR/XOR gate delay counts toward them; the remainder is realized
+    as a delay chain).  *key_net* must already be driven (by a KEYGEN
+    or, for unit tests, a plain input).  With *pre_invert* an inverter
+    is placed in front of ``x``, flipping the GK's constant-mode
+    behaviour (the insertion strategy uses this to keep the *sequential*
+    function correct while randomizing the structural appearance).
+    """
+    if variant not in ("3a", "3b"):
+        raise ValueError(f"unknown GK variant {variant!r}")
+    ff = circuit.gates[ff_name]
+    if not ff.is_flip_flop:
+        raise ValueError(f"{ff_name!r} is not a flip-flop")
+    raw_net = ff.pins["D"]
+    cheapest = circuit.library.cheapest
+    gates = []
+
+    x_net = raw_net
+    pre_inverter = None
+    if pre_invert:
+        x_net = circuit.new_net("gkx")
+        pre_inverter = circuit.new_gate_name("gkinv")
+        circuit.add_gate(pre_inverter, cheapest("INV").name, {"A": raw_net}, x_net)
+        gates.append(pre_inverter)
+
+    arm_a_function = "XNOR2" if variant == "3a" else "XOR2"
+    arm_b_function = "XOR2" if variant == "3a" else "XNOR2"
+
+    def build_arm(function: str, target: float, tag: str):
+        cell = cheapest(function)
+        gate_out = circuit.new_net(tag)
+        gate_name = circuit.new_gate_name(tag)
+        circuit.add_gate(gate_name, cell.name, {"A": x_net, "B": key_net}, gate_out)
+        chain = insert_delay_chain(
+            circuit, gate_out, max(0.0, target - cell.delay), prefix=tag
+        )
+        return gate_name, chain, cell.delay + chain.achieved_delay
+
+    arm_a_gate, chain_a, achieved_a = build_arm(arm_a_function, d_path_a, "gka")
+    arm_b_gate, chain_b, achieved_b = build_arm(arm_b_function, d_path_b, "gkb")
+
+    mux_cell = cheapest("MUX2")
+    output_net = circuit.new_net("gky")
+    mux_gate = circuit.new_gate_name("gkmux")
+    circuit.add_gate(
+        mux_gate,
+        mux_cell.name,
+        {"A": chain_a.output_net, "B": chain_b.output_net, "S": key_net},
+        output_net,
+    )
+    circuit.reconnect_pin(ff_name, "D", output_net)
+
+    gates += [arm_a_gate, *chain_a.gate_names, arm_b_gate, *chain_b.gate_names,
+              mux_gate]
+    return GkStructure(
+        ff=ff_name,
+        variant=variant,
+        raw_net=raw_net,
+        x_net=x_net,
+        key_net=key_net,
+        output_net=output_net,
+        arm_a_gate=arm_a_gate,
+        arm_b_gate=arm_b_gate,
+        mux_gate=mux_gate,
+        pre_inverter=pre_inverter,
+        gate_names=tuple(gates),
+        d_path_a=achieved_a,
+        d_path_b=achieved_b,
+        d_mux=mux_cell.delay,
+    )
+
+
+def ideal_gk_library(da: float, db: float) -> CellLibrary:
+    """A library with zero-delay logic and exact DA/DB delay elements.
+
+    Sec. II-A develops the GK behaviour "ignoring gate delays"; this
+    library lets the Fig. 4 / Fig. 6 reproductions match the paper's
+    idealized timing diagrams tick for tick.
+    """
+    lib = CellLibrary(f"ideal_gk_{da}_{db}")
+    two = ("A", "B")
+
+    def c(name, function, inputs, delay, area=1.0, setup=0.0, hold=0.0):
+        lib.add(Cell(name=name, function=function, inputs=inputs,
+                     output="Q" if function in ("DFF", "SDFF") else "Y",
+                     area=area, delay=delay, setup=setup, hold=hold))
+
+    c("XNOR2_I", "XNOR2", two, 0.0)
+    c("XOR2_I", "XOR2", two, 0.0)
+    c("MUX2_I", "MUX2", ("A", "B", "S"), 0.0)
+    c("MUX4_I", "MUX4", ("A", "B", "C", "D", "S0", "S1"), 0.0)
+    c("INV_I", "INV", ("A",), 0.0)
+    c("BUF_I", "BUF", ("A",), 0.0)
+    c("DELAY_A", "BUF", ("A",), da)
+    c("DELAY_B", "BUF", ("A",), db)
+    c("TIE0_I", "TIE0", (), 0.0)
+    c("TIE1_I", "TIE1", (), 0.0)
+    c("DFF_I", "DFF", ("D", "CLK"), 0.0, setup=0.0, hold=0.0)
+    return lib
+
+
+def build_gk_demo(
+    da: float = 2.0, db: float = 3.0, variant: str = "3a"
+) -> Circuit:
+    """A standalone idealized GK: inputs ``x``/``key``, output ``y``.
+
+    Reproduces the exact structure behind the paper's Fig. 4 timing
+    diagram (zero gate delays, pure DA/DB delay elements).
+    """
+    if variant not in ("3a", "3b"):
+        raise ValueError(f"unknown GK variant {variant!r}")
+    lib = ideal_gk_library(da, db)
+    circuit = Circuit(f"gk_demo_{variant}", lib)
+    x = circuit.add_input("x")
+    key = circuit.add_input("key")
+    arm_a = "XNOR2_I" if variant == "3a" else "XOR2_I"
+    arm_b = "XOR2_I" if variant == "3a" else "XNOR2_I"
+    circuit.add_gate("u_arm_a", arm_a, {"A": x, "B": key}, "arm_a")
+    circuit.add_gate("u_delay_a", "DELAY_A", {"A": "arm_a"}, "a_out")
+    circuit.add_gate("u_arm_b", arm_b, {"A": x, "B": key}, "arm_b")
+    circuit.add_gate("u_delay_b", "DELAY_B", {"A": "arm_b"}, "b_out")
+    circuit.add_gate(
+        "u_mux", "MUX2_I", {"A": "a_out", "B": "b_out", "S": key}, "y"
+    )
+    circuit.add_output("y")
+    circuit.validate()
+    return circuit

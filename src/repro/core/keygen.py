@@ -1,0 +1,153 @@
+"""The KEYGEN: per-cycle transition generator for a GK (paper Fig. 5).
+
+A GK whose intended behaviour needs a transition must receive one
+*every clock cycle*, at a designer-chosen offset.  The KEYGEN supplies
+it:
+
+* a **toggle flip-flop** (DFF with its inverted output fed back) emits
+  one transition per cycle — rising on even cycles, falling on odd;
+* a simplified **Adjustable Delay Buffer** (ADB): a 4:1 MUX whose four
+  inputs are constant 0, the toggle signal shifted by delay DA, the
+  toggle signal shifted by delay DB, and constant 1 (Fig. 6, top to
+  bottom), selected by the two key bits ``(k1, k2)``.
+
+The 2-bit key therefore chooses among {constant 0, transition at
+trigger time A, transition at trigger time B, constant 1} — the paper's
+four key-input kinds.  ``key_out`` drives the GK's key input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..netlist.circuit import Circuit
+from ..synth.delay_synthesis import insert_delay_chain
+
+__all__ = ["KeygenStructure", "insert_keygen", "KEYGEN_MODES", "mode_of_key"]
+
+#: (k1, k2) -> selected ADB input, in the paper's Fig. 6 order.
+KEYGEN_MODES: Dict[Tuple[int, int], str] = {
+    (0, 0): "const0",
+    (1, 0): "shift_a",
+    (0, 1): "shift_b",
+    (1, 1): "const1",
+}
+
+
+def mode_of_key(k1: int, k2: int) -> str:
+    return KEYGEN_MODES[(k1, k2)]
+
+
+@dataclass(frozen=True)
+class KeygenStructure:
+    """Record of one inserted KEYGEN."""
+
+    k1_net: str
+    k2_net: str
+    key_out: str  # drives the GK key input
+    toggle_ff: str
+    feedback_inv: str
+    mux_gate: str
+    tie0_gate: str
+    tie1_gate: str
+    gate_names: Tuple[str, ...]
+    #: achieved trigger offsets after a clock edge (clk->q + chain + MUX4)
+    trigger_a: float
+    trigger_b: float
+
+    def trigger_of_mode(self, mode: str) -> Optional[float]:
+        """Trigger time for a transitional mode, None for constants."""
+        if mode == "shift_a":
+            return self.trigger_a
+        if mode == "shift_b":
+            return self.trigger_b
+        return None
+
+
+def insert_keygen(
+    circuit: Circuit,
+    k1_net: str,
+    k2_net: str,
+    trigger_a: float,
+    trigger_b: float,
+    key_out: Optional[str] = None,
+) -> KeygenStructure:
+    """Build a KEYGEN inside *circuit*; returns its structure record.
+
+    *trigger_a* / *trigger_b* are the desired transition times at
+    ``key_out``, measured from a clock edge.  The ADB chains are sized
+    so the achieved triggers are >= the requested ones (delay-chain
+    quantization can only push later; the caller's window math must
+    leave margin).  *k1_net* / *k2_net* must already be key inputs of
+    the circuit.  *key_out* names the output net (a GK may already
+    reference it); by default a fresh net is used.
+    """
+    if circuit.clock is None:
+        raise ValueError("KEYGEN needs a clocked circuit")
+    cheapest = circuit.library.cheapest
+    gates = []
+
+    # Toggle FF: one transition per clock cycle.
+    q_net = circuit.new_net("kgq")
+    d_net = circuit.new_net("kgd")
+    toggle_ff = circuit.new_gate_name("kgff")
+    ff_cell = cheapest("DFF")
+    circuit.add_gate(toggle_ff, ff_cell.name, {"D": d_net, "CLK": circuit.clock}, q_net)
+    feedback_inv = circuit.new_gate_name("kginv")
+    circuit.add_gate(feedback_inv, cheapest("INV").name, {"A": q_net}, d_net)
+    gates += [toggle_ff, feedback_inv]
+
+    # ADB: two shifted copies plus the constant rails.
+    mux_cell = cheapest("MUX4")
+    base = ff_cell.delay + mux_cell.delay  # unavoidable part of the trigger
+
+    def arm(target: float, tag: str):
+        chain = insert_delay_chain(
+            circuit, q_net, max(0.0, target - base), prefix=tag
+        )
+        return chain
+
+    chain_a = arm(trigger_a, "adba")
+    chain_b = arm(trigger_b, "adbb")
+    gates += [*chain_a.gate_names, *chain_b.gate_names]
+
+    tie0_net = circuit.new_net("kgt0")
+    tie0_gate = circuit.new_gate_name("kgt0")
+    circuit.add_gate(tie0_gate, cheapest("TIE0").name, {}, tie0_net)
+    tie1_net = circuit.new_net("kgt1")
+    tie1_gate = circuit.new_gate_name("kgt1")
+    circuit.add_gate(tie1_gate, cheapest("TIE1").name, {}, tie1_net)
+    gates += [tie0_gate, tie1_gate]
+
+    if key_out is None:
+        key_out = circuit.new_net("keyout")
+    mux_gate = circuit.new_gate_name("kgmux")
+    circuit.add_gate(
+        mux_gate,
+        mux_cell.name,
+        {
+            "A": tie0_net,  # (k1,k2) = (0,0)
+            "B": chain_a.output_net,  # (1,0)
+            "C": chain_b.output_net,  # (0,1)
+            "D": tie1_net,  # (1,1)
+            "S0": k1_net,
+            "S1": k2_net,
+        },
+        key_out,
+    )
+    gates.append(mux_gate)
+
+    return KeygenStructure(
+        k1_net=k1_net,
+        k2_net=k2_net,
+        key_out=key_out,
+        toggle_ff=toggle_ff,
+        feedback_inv=feedback_inv,
+        mux_gate=mux_gate,
+        tie0_gate=tie0_gate,
+        tie1_gate=tie1_gate,
+        gate_names=tuple(gates),
+        trigger_a=base + chain_a.achieved_delay,
+        trigger_b=base + chain_b.achieved_delay,
+    )

@@ -1,0 +1,28 @@
+"""Logic-locking schemes: the GK baselines and companions."""
+
+from .base import LockedCircuit, LockingError, LockingScheme
+from .keys import enumerate_keys, flip_bits, format_key, hamming_distance, random_key
+from .xor_lock import XorLock, insert_xor_keygate, lockable_nets
+from .encrypt_ff import po_signatures, rank_groups, select_encrypt_ff_group
+from .sarlock import SarLock
+from .antisat import AntiSat
+from .tdk import TdkLock
+from .hybrid import HybridGkXor
+from .compound import CompoundLock
+from .camouflage import (
+    CAMOUFLAGE_CANDIDATES,
+    CamouflagedCircuit,
+    attacker_view,
+    camouflage,
+    decamouflage_attack,
+)
+
+__all__ = [
+    "LockedCircuit", "LockingError", "LockingScheme",
+    "enumerate_keys", "flip_bits", "format_key", "hamming_distance", "random_key",
+    "XorLock", "insert_xor_keygate", "lockable_nets",
+    "po_signatures", "rank_groups", "select_encrypt_ff_group",
+    "SarLock", "AntiSat", "TdkLock", "HybridGkXor", "CompoundLock",
+    "CAMOUFLAGE_CANDIDATES", "CamouflagedCircuit", "attacker_view",
+    "camouflage", "decamouflage_attack",
+]

@@ -1,0 +1,143 @@
+"""Anti-SAT (Xie & Srivastava [13]).
+
+The Anti-SAT block feeds two complementary functions of the same PI
+word, keyed independently::
+
+    g    = AND_i(pi_i XOR ka_i)        (on-set of size 1)
+    gbar = NAND_i(pi_i XOR kb_i)
+    y    = g AND gbar
+
+When ``ka == kb`` the two arms are exact complements and ``y`` is the
+constant 0 for every input — the block is transparent.  For ``ka !=
+kb`` there exists at least one PI word driving ``y = 1``, corrupting
+the protected output; because ``g``'s on-set has size one, each DIP
+eliminates very few keys and SAT attack needs ~2^(n/2..n) iterations.
+
+Like SARLock this *slows* the attack; the paper's GK instead removes
+the attack's footing entirely (Sec. I, Sec. V-A).
+
+Key layout: the first half of the key inputs is ``ka``, the second
+``kb``.  The correct key sets ``ka = kb`` (= a random word).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from ..netlist.circuit import Circuit
+from .base import LockedCircuit, LockingError, LockingScheme
+
+__all__ = ["AntiSat"]
+
+
+class AntiSat(LockingScheme):
+    """Append an Anti-SAT block to one primary output."""
+
+    name = "antisat"
+
+    def lock(
+        self, circuit: Circuit, num_key_bits: int, rng: random.Random
+    ) -> LockedCircuit:
+        if num_key_bits < 2 or num_key_bits % 2:
+            raise LockingError("Anti-SAT needs an even key width >= 2")
+        width = num_key_bits // 2
+        if len(circuit.inputs) < width:
+            raise LockingError(
+                f"Anti-SAT width {width} needs that many PIs; "
+                f"{circuit.name} has {len(circuit.inputs)}"
+            )
+        if not circuit.outputs:
+            raise LockingError("circuit has no primary outputs")
+        locked = circuit.clone(f"{circuit.name}__antisat{num_key_bits}")
+        cheapest = locked.library.cheapest
+
+        word = [rng.randint(0, 1) for _ in range(width)]
+        key: Dict[str, int] = {}
+        ka: List[str] = []
+        kb: List[str] = []
+        for i in range(width):
+            net = locked.add_key_input(f"keyin_a{i}")
+            key[net] = word[i]
+            ka.append(net)
+        for i in range(width):
+            net = locked.add_key_input(f"keyin_b{i}")
+            key[net] = word[i]
+            kb.append(net)
+        pis = locked.inputs[:width]
+
+        def xor_arm(keys: List[str], tag: str) -> List[str]:
+            outs = []
+            for pi, k in zip(pis, keys):
+                out = locked.new_net(tag)
+                locked.add_gate(
+                    locked.new_gate_name(tag),
+                    cheapest("XOR2").name,
+                    {"A": pi, "B": k},
+                    out,
+                )
+                outs.append(out)
+            return outs
+
+        def and_tree(nets: List[str], tag: str, invert_last: bool) -> str:
+            while len(nets) > 2:
+                paired: List[str] = []
+                for j in range(0, len(nets) - 1, 2):
+                    out = locked.new_net(tag)
+                    locked.add_gate(
+                        locked.new_gate_name(tag),
+                        cheapest("AND2").name,
+                        {"A": nets[j], "B": nets[j + 1]},
+                        out,
+                    )
+                    paired.append(out)
+                if len(nets) % 2:
+                    paired.append(nets[-1])
+                nets = paired
+            out = locked.new_net(tag)
+            function = "NAND2" if invert_last else "AND2"
+            if len(nets) == 1:
+                # Degenerate width-1 arm: NAND needs two operands.
+                function = "INV" if invert_last else "BUF"
+                locked.add_gate(
+                    locked.new_gate_name(tag),
+                    cheapest(function).name,
+                    {"A": nets[0]},
+                    out,
+                )
+                return out
+            locked.add_gate(
+                locked.new_gate_name(tag),
+                cheapest(function).name,
+                {"A": nets[0], "B": nets[1]},
+                out,
+            )
+            return out
+
+        g = and_tree(xor_arm(ka, "asg"), "asg", invert_last=False)
+        gbar = and_tree(xor_arm(kb, "asb"), "asb", invert_last=True)
+        y = locked.new_net("asy")
+        locked.add_gate(
+            locked.new_gate_name("asy"),
+            cheapest("AND2").name,
+            {"A": g, "B": gbar},
+            y,
+        )
+
+        victim = locked.outputs[0]
+        new_po = locked.new_net("aspo")
+        locked.add_gate(
+            locked.new_gate_name("aspo"),
+            cheapest("XOR2").name,
+            {"A": victim, "B": y},
+            new_po,
+        )
+        locked.outputs[0] = new_po
+        locked.validate()
+        return LockedCircuit(
+            circuit=locked,
+            original=circuit,
+            key=key,
+            scheme=self.name,
+            metadata={"victim_output": victim, "block_output": y},
+        )

@@ -1,0 +1,59 @@
+"""Encrypt-Flip-Flop FF-selection algorithm (Karmakar et al. [4]).
+
+Table I's last column reports how many of the GK-available flip-flops
+an algorithm from [4] would pick: it "aims at searching for a group of
+FFs fanouting to the same set of POs", because encrypting FFs that all
+shadow each other's observable outputs defends against scan-based
+attacks with higher probability.
+
+We reproduce that selection: group candidate FFs by the *signature* of
+primary outputs (and downstream FFs) reachable from their Q pins, and
+return the largest group.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence
+
+from ..netlist.circuit import Circuit
+
+__all__ = ["po_signatures", "select_encrypt_ff_group", "rank_groups"]
+
+
+def po_signatures(
+    circuit: Circuit, candidates: Optional[Iterable[str]] = None
+) -> Dict[str, FrozenSet[str]]:
+    """FF name -> frozenset of observable sinks reachable from its Q.
+
+    Observable sinks are primary outputs (``po:<net>``) and capturing
+    flip-flops (``ff:<gate>``), computed through combinational logic
+    only — the same notion of "fanouting to the same set of POs" as [4].
+    """
+    names = sorted(candidates) if candidates is not None else sorted(
+        ff.name for ff in circuit.flip_flops()
+    )
+    return {name: circuit.transitive_po_set(name) for name in names}
+
+
+def rank_groups(
+    circuit: Circuit, candidates: Optional[Iterable[str]] = None
+) -> List[List[str]]:
+    """Groups of FFs sharing a PO signature, largest first."""
+    groups: Dict[FrozenSet[str], List[str]] = defaultdict(list)
+    for name, signature in po_signatures(circuit, candidates).items():
+        groups[signature].append(name)
+    ranked = sorted(groups.values(), key=lambda g: (-len(g), g[0]))
+    return [sorted(g) for g in ranked]
+
+
+def select_encrypt_ff_group(
+    circuit: Circuit, candidates: Optional[Iterable[str]] = None
+) -> List[str]:
+    """The largest same-signature FF group ([4]'s selection pool).
+
+    Restricted to *candidates* when given (Table I intersects with the
+    GK-available FFs).  Returns an empty list for FF-free circuits.
+    """
+    ranked = rank_groups(circuit, candidates)
+    return ranked[0] if ranked else []

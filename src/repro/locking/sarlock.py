@@ -1,0 +1,132 @@
+"""SARLock (Yasin et al. [14]): point-function SAT-attack mitigation.
+
+SARLock flips one primary output exactly when the primary-input word
+equals the (wrong) key word, with a mask that silences the flip for the
+correct key.  Each DIP the SAT attack finds therefore eliminates just
+*one* wrong key, forcing exponentially many iterations — the behaviour
+the paper contrasts GK against (Sec. I): GK invalidates the attack
+outright instead of slowing it down.
+
+Structure (type as in the original paper)::
+
+    flip = AND_i(pi_i XNOR k_i)  AND  NOT(AND_i(k_i XNOR c_i))
+    po'  = po XOR flip
+
+where ``c`` is the hard-coded correct key.  The comparator uses the
+first ``n`` primary inputs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from ..netlist.circuit import Circuit
+from .base import LockedCircuit, LockingError, LockingScheme
+
+__all__ = ["SarLock"]
+
+
+class SarLock(LockingScheme):
+    """Append a SARLock comparator to one primary output."""
+
+    name = "sarlock"
+
+    def lock(
+        self, circuit: Circuit, num_key_bits: int, rng: random.Random
+    ) -> LockedCircuit:
+        if num_key_bits < 1:
+            raise LockingError("SARLock needs at least one key bit")
+        if len(circuit.inputs) < num_key_bits:
+            raise LockingError(
+                f"SARLock over {num_key_bits} bits needs that many PIs; "
+                f"{circuit.name} has {len(circuit.inputs)}"
+            )
+        if not circuit.outputs:
+            raise LockingError("circuit has no primary outputs")
+        locked = circuit.clone(f"{circuit.name}__sar{num_key_bits}")
+        cheapest = locked.library.cheapest
+
+        key: Dict[str, int] = {}
+        key_nets: List[str] = []
+        for i in range(num_key_bits):
+            net = locked.add_key_input(f"keyin_s{i}")
+            key[net] = rng.randint(0, 1)
+            key_nets.append(net)
+        pis = locked.inputs[:num_key_bits]
+
+        def and_tree(nets: List[str], tag: str) -> str:
+            while len(nets) > 1:
+                paired: List[str] = []
+                for j in range(0, len(nets) - 1, 2):
+                    out = locked.new_net(tag)
+                    locked.add_gate(
+                        locked.new_gate_name(tag),
+                        cheapest("AND2").name,
+                        {"A": nets[j], "B": nets[j + 1]},
+                        out,
+                    )
+                    paired.append(out)
+                if len(nets) % 2:
+                    paired.append(nets[-1])
+                nets = paired
+            return nets[0]
+
+        # Comparator: PI word == key word.
+        eq_bits: List[str] = []
+        for pi, k in zip(pis, key_nets):
+            out = locked.new_net("sareq")
+            locked.add_gate(
+                locked.new_gate_name("sareq"),
+                cheapest("XNOR2").name,
+                {"A": pi, "B": k},
+                out,
+            )
+            eq_bits.append(out)
+        match = and_tree(eq_bits, "sarand")
+
+        # Mask: key word == hard-coded correct word (then inverted).
+        mask_bits: List[str] = []
+        for k in key_nets:
+            out = locked.new_net("sarmk")
+            if key[k]:
+                cell, pins = cheapest("BUF"), {"A": k}
+            else:
+                cell, pins = cheapest("INV"), {"A": k}
+            locked.add_gate(locked.new_gate_name("sarmk"), cell.name, pins, out)
+            mask_bits.append(out)
+        is_correct = and_tree(mask_bits, "sarmka")
+        not_correct = locked.new_net("sarmkn")
+        locked.add_gate(
+            locked.new_gate_name("sarmkn"),
+            cheapest("INV").name,
+            {"A": is_correct},
+            not_correct,
+        )
+
+        flip = locked.new_net("sarflip")
+        locked.add_gate(
+            locked.new_gate_name("sarflip"),
+            cheapest("AND2").name,
+            {"A": match, "B": not_correct},
+            flip,
+        )
+
+        # Flip the first PO through an XOR.
+        victim = locked.outputs[0]
+        new_po = locked.new_net("sarpo")
+        locked.add_gate(
+            locked.new_gate_name("sarpo"),
+            cheapest("XOR2").name,
+            {"A": victim, "B": flip},
+            new_po,
+        )
+        locked.outputs[0] = new_po
+        locked.validate()
+        return LockedCircuit(
+            circuit=locked,
+            original=circuit,
+            key=key,
+            scheme=self.name,
+            metadata={"victim_output": victim, "flip_net": flip},
+        )

@@ -1,0 +1,131 @@
+"""Tunable Delay Key-gate (TDK) delay locking (Xie et al. [12]; Fig. 2).
+
+A TDK guards the data path into a flip-flop with two keyed stages:
+
+* a **functional key** ``k1`` on an XOR/XNOR gate (classic key-gate), and
+* a **delay key** ``k2`` selecting between a direct arm and a
+  delay-chain arm of a Tunable Delay Buffer (TDB).
+
+With the wrong ``k2`` the path delay moves outside the ``[LB, UB]``
+window of Eq. (1): either the added delay violates setup (Fig. 2(c)) or
+the removed delay violates hold (Fig. 2(d); this direction needs the
+path to *depend* on the TDB delay, e.g. under capture-clock skew).
+
+The paper's critique (Sec. I) — which :mod:`repro.attacks` demonstrates
+— is that TDK falls to a removal attack: strip the TDB, re-synthesize to
+fix timing, and the leftover XOR key-gate is ordinary SAT-attack food.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from ..netlist.circuit import Circuit
+from ..synth.delay_synthesis import insert_delay_chain
+from .base import LockedCircuit, LockingError, LockingScheme
+
+__all__ = ["TdkLock"]
+
+
+class TdkLock(LockingScheme):
+    """Insert TDKs at flip-flop data inputs.
+
+    Each TDK consumes two key bits, so ``num_key_bits`` must be even.
+
+    Args:
+        slow_delay: Delay of the TDB's slow arm in ns.  Sized so that
+            choosing the wrong arm moves the endpoint outside its
+            setup (or hold) window in the experiments.
+        ff_names: Optional explicit flip-flops to guard (defaults to a
+            random sample).
+        correct_slow_fraction: Fraction of TDKs whose *slow* arm is the
+            correct one (their fast arm under-delays the path —
+            the Fig. 2(d) direction).
+    """
+
+    name = "tdk"
+
+    def __init__(
+        self,
+        slow_delay: float = 1.0,
+        ff_names: Optional[Sequence[str]] = None,
+        correct_slow_fraction: float = 0.0,
+    ) -> None:
+        self.slow_delay = slow_delay
+        self._ff_names = list(ff_names) if ff_names is not None else None
+        self.correct_slow_fraction = correct_slow_fraction
+
+    def lock(
+        self, circuit: Circuit, num_key_bits: int, rng: random.Random
+    ) -> LockedCircuit:
+        if num_key_bits < 2 or num_key_bits % 2:
+            raise LockingError("TDK consumes two key bits each; width must be even")
+        count = num_key_bits // 2
+        locked = circuit.clone(f"{circuit.name}__tdk{num_key_bits}")
+        cheapest = locked.library.cheapest
+        if self._ff_names is not None:
+            chosen = list(self._ff_names)
+        else:
+            ffs = sorted(ff.name for ff in locked.flip_flops())
+            if len(ffs) < count:
+                raise LockingError(f"{len(ffs)} FFs cannot host {count} TDKs")
+            chosen = rng.sample(ffs, count)
+
+        key: Dict[str, int] = {}
+        records: List[Dict[str, object]] = []
+        for i, ff_name in enumerate(chosen):
+            ff = locked.gates[ff_name]
+            data_net = ff.pins["D"]
+
+            k1 = locked.add_key_input(f"keyin_t{2 * i}")
+            k2 = locked.add_key_input(f"keyin_t{2 * i + 1}")
+            bit1 = rng.randint(0, 1)
+            key[k1] = bit1
+
+            # Functional stage: buffer under the correct k1.
+            func_out = locked.new_net("tdkf")
+            func_gate = locked.new_gate_name("tdkf")
+            locked.add_gate(
+                func_gate,
+                cheapest("XNOR2" if bit1 else "XOR2").name,
+                {"A": data_net, "B": k1},
+                func_out,
+            )
+
+            # TDB: MUX between the direct arm and a delay-chain arm.
+            chain = insert_delay_chain(locked, func_out, self.slow_delay, prefix="tdb")
+            correct_slow = rng.random() < self.correct_slow_fraction
+            key[k2] = 1 if correct_slow else 0
+            tdb_out = locked.new_net("tdko")
+            tdb_gate = locked.new_gate_name("tdko")
+            locked.add_gate(
+                tdb_gate,
+                cheapest("MUX2").name,
+                {"A": func_out, "B": chain.output_net, "S": k2},
+                tdb_out,
+            )
+            locked.reconnect_pin(ff_name, "D", tdb_out)
+
+            records.append(
+                {
+                    "ff": ff_name,
+                    "functional_gate": func_gate,
+                    "tdb_gate": tdb_gate,
+                    "chain_gates": list(chain.gate_names),
+                    "k1": k1,
+                    "k2": k2,
+                    "correct_slow": correct_slow,
+                    "slow_delay": chain.achieved_delay,
+                }
+            )
+        locked.validate()
+        protected = [g for r in records for g in r["chain_gates"]]  # type: ignore[misc]
+        protected += [r["tdb_gate"] for r in records]  # type: ignore[misc]
+        return LockedCircuit(
+            circuit=locked,
+            original=circuit,
+            key=key,
+            scheme=self.name,
+            metadata={"tdks": records, "protected_gates": protected},
+        )

@@ -1,0 +1,185 @@
+"""Fluent construction helpers for :class:`~repro.netlist.circuit.Circuit`.
+
+The raw ``Circuit.add_gate`` API requires explicit gate and net names;
+this builder generates them, letting tests, examples, and the locking
+transforms write circuits as expressions::
+
+    b = Builder("demo")
+    a, bb = b.inputs("a", "b")
+    y = b.po(b.xor(a, bb), "y")
+    circuit = b.circuit
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from .cells import CellLibrary
+from .circuit import Circuit
+
+__all__ = ["Builder"]
+
+
+class Builder:
+    """Incrementally builds a :class:`Circuit` with auto-named gates/nets."""
+
+    def __init__(
+        self,
+        name: str,
+        library: Optional[CellLibrary] = None,
+        clock: Optional[str] = None,
+    ) -> None:
+        self.circuit = Circuit(name, library=library, clock=clock)
+
+    # -- ports ----------------------------------------------------------
+
+    def input(self, net: str) -> str:
+        return self.circuit.add_input(net)
+
+    def inputs(self, *nets: str) -> Tuple[str, ...]:
+        return tuple(self.circuit.add_input(n) for n in nets)
+
+    def key_input(self, net: str) -> str:
+        return self.circuit.add_key_input(net)
+
+    def clock(self, net: str = "clk") -> str:
+        return self.circuit.set_clock(net)
+
+    def po(self, net: str, name: Optional[str] = None) -> str:
+        """Expose *net* as a primary output.
+
+        If *name* differs from the net name, a buffer is inserted so the
+        PO carries the requested name.
+        """
+        if name is not None and name != net:
+            net = self._unary("BUF", net, out=name)
+        return self.circuit.add_output(net)
+
+    # -- gate helpers -----------------------------------------------------
+
+    def _cell(self, function: str) -> str:
+        return self.circuit.library.cheapest(function).name
+
+    def _unary(self, function: str, a: str, out: Optional[str] = None) -> str:
+        out = out or self.circuit.new_net()
+        self.circuit.add_gate(
+            self.circuit.new_gate_name(function.lower()),
+            self._cell(function),
+            {"A": a},
+            out,
+        )
+        return out
+
+    def _binary(self, function: str, a: str, b: str, out: Optional[str] = None) -> str:
+        out = out or self.circuit.new_net()
+        self.circuit.add_gate(
+            self.circuit.new_gate_name(function.lower()),
+            self._cell(function),
+            {"A": a, "B": b},
+            out,
+        )
+        return out
+
+    def buf(self, a: str, out: Optional[str] = None) -> str:
+        return self._unary("BUF", a, out)
+
+    def inv(self, a: str, out: Optional[str] = None) -> str:
+        return self._unary("INV", a, out)
+
+    def and2(self, a: str, b: str, out: Optional[str] = None) -> str:
+        return self._binary("AND2", a, b, out)
+
+    def nand2(self, a: str, b: str, out: Optional[str] = None) -> str:
+        return self._binary("NAND2", a, b, out)
+
+    def or2(self, a: str, b: str, out: Optional[str] = None) -> str:
+        return self._binary("OR2", a, b, out)
+
+    def nor2(self, a: str, b: str, out: Optional[str] = None) -> str:
+        return self._binary("NOR2", a, b, out)
+
+    def xor(self, a: str, b: str, out: Optional[str] = None) -> str:
+        return self._binary("XOR2", a, b, out)
+
+    def xnor(self, a: str, b: str, out: Optional[str] = None) -> str:
+        return self._binary("XNOR2", a, b, out)
+
+    def mux2(self, a: str, b: str, sel: str, out: Optional[str] = None) -> str:
+        """2:1 mux: out = a when sel == 0, b when sel == 1."""
+        out = out or self.circuit.new_net()
+        self.circuit.add_gate(
+            self.circuit.new_gate_name("mux2"),
+            self._cell("MUX2"),
+            {"A": a, "B": b, "S": sel},
+            out,
+        )
+        return out
+
+    def mux4(
+        self,
+        a: str,
+        b: str,
+        c: str,
+        d: str,
+        s0: str,
+        s1: str,
+        out: Optional[str] = None,
+    ) -> str:
+        """4:1 mux: select index is ``s1 s0`` (s1 is the MSB)."""
+        out = out or self.circuit.new_net()
+        self.circuit.add_gate(
+            self.circuit.new_gate_name("mux4"),
+            self._cell("MUX4"),
+            {"A": a, "B": b, "C": c, "D": d, "S0": s0, "S1": s1},
+            out,
+        )
+        return out
+
+    def const0(self, out: Optional[str] = None) -> str:
+        out = out or self.circuit.new_net()
+        self.circuit.add_gate(
+            self.circuit.new_gate_name("tie0"), self._cell("TIE0"), {}, out
+        )
+        return out
+
+    def const1(self, out: Optional[str] = None) -> str:
+        out = out or self.circuit.new_net()
+        self.circuit.add_gate(
+            self.circuit.new_gate_name("tie1"), self._cell("TIE1"), {}, out
+        )
+        return out
+
+    def lut(
+        self,
+        inputs: Sequence[str],
+        truth_table: Sequence[int],
+        out: Optional[str] = None,
+    ) -> str:
+        """A k-input LUT (k in 2..4) with the given truth table."""
+        k = len(inputs)
+        cell = {2: "LUT2_X1", 3: "LUT3_X1", 4: "LUT4_X1"}.get(k)
+        if cell is None:
+            raise ValueError(f"LUT with {k} inputs not supported (need 2..4)")
+        out = out or self.circuit.new_net()
+        pins = {f"I{i}": net for i, net in enumerate(inputs)}
+        self.circuit.add_gate(
+            self.circuit.new_gate_name("lut"),
+            cell,
+            pins,
+            out,
+            truth_table=truth_table,
+        )
+        return out
+
+    def dff(self, d: str, out: Optional[str] = None, name: Optional[str] = None) -> str:
+        """A D flip-flop clocked by the circuit clock; returns the Q net."""
+        if self.circuit.clock is None:
+            raise ValueError("define a clock with Builder.clock() before adding FFs")
+        out = out or self.circuit.new_net("q")
+        self.circuit.add_gate(
+            name or self.circuit.new_gate_name("dff"),
+            self._cell("DFF"),
+            {"D": d, "CLK": self.circuit.clock},
+            out,
+        )
+        return out

@@ -1,0 +1,121 @@
+"""Netlist transformations.
+
+The central one is :func:`extract_combinational`: the SAT attack on a
+sequential design first "extracts the combinational part ... by treating
+the inputs and outputs of FFs as pseudo primary outputs and inputs,
+respectively" (paper, Sec. VI).  The other helpers support the locking
+flows: exposing internal nets as key inputs after stripping KEYGENs, and
+inserting buffers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .circuit import Circuit, Gate, NetlistError
+
+__all__ = [
+    "CombinationalExtraction",
+    "extract_combinational",
+    "remove_gates",
+    "expose_as_key_input",
+    "fanin_depths",
+]
+
+
+@dataclass(frozen=True)
+class CombinationalExtraction:
+    """Result of :func:`extract_combinational`.
+
+    Attributes:
+        circuit: The flip-flop-free circuit.
+        pseudo_inputs: FF gate name -> the pseudo-PI net (the old Q net).
+        pseudo_outputs: FF gate name -> the pseudo-PO net (the old D net).
+    """
+
+    circuit: Circuit
+    pseudo_inputs: Dict[str, str]
+    pseudo_outputs: Dict[str, str]
+
+
+def extract_combinational(circuit: Circuit) -> CombinationalExtraction:
+    """Remove flip-flops, exposing Q nets as PIs and D nets as POs.
+
+    Scan flops lose their SI/SE connectivity (the attack model assumes
+    full scan access, so the D path is what matters).  The clock net
+    disappears.  The original circuit is not modified.
+    """
+    comb = Circuit(f"{circuit.name}__comb", circuit.library)
+    comb.inputs = list(circuit.inputs)
+    comb.key_inputs = list(circuit.key_inputs)
+    comb.outputs = list(circuit.outputs)
+    for net in comb.inputs + comb.key_inputs:
+        comb._claim_driver(net, "")
+
+    pseudo_inputs: Dict[str, str] = {}
+    pseudo_outputs: Dict[str, str] = {}
+    for ff in sorted(circuit.flip_flops(), key=lambda g: g.name):
+        pseudo_inputs[ff.name] = ff.output
+        pseudo_outputs[ff.name] = ff.pins["D"]
+        comb._claim_driver(ff.output, "")
+        comb.inputs.append(ff.output)
+        comb.outputs.append(ff.pins["D"])
+
+    for gate in circuit.gates.values():
+        if gate.is_flip_flop:
+            continue
+        comb.add_gate(
+            gate.name,
+            gate.cell.name,
+            dict(gate.pins),
+            gate.output,
+            truth_table=gate.truth_table,
+        )
+    comb.validate()
+    return CombinationalExtraction(comb, pseudo_inputs, pseudo_outputs)
+
+
+def remove_gates(circuit: Circuit, gate_names: Iterable[str]) -> List[str]:
+    """Remove gates, returning the nets left undriven (to be re-driven).
+
+    Fanout references to the removed outputs are left in place; the
+    caller must re-drive or re-expose those nets (see
+    :func:`expose_as_key_input`) before the circuit validates again.
+    """
+    undriven: List[str] = []
+    for name in gate_names:
+        gate = circuit.remove_gate(name)
+        if circuit.fanout_pins(gate.output) or gate.output in circuit.outputs:
+            undriven.append(gate.output)
+    return undriven
+
+
+def expose_as_key_input(circuit: Circuit, net: str) -> None:
+    """Re-drive an undriven internal net as a key input.
+
+    This models the attacker's preprocessing in Sec. VI: "we removed the
+    KEYGEN of each GK and treated its key-input as the key-input of the
+    design".
+    """
+    if net in circuit.nets() and circuit._driver.get(net) is not None:
+        raise NetlistError(f"net {net!r} is still driven")
+    circuit.add_key_input(net)
+
+
+def fanin_depths(circuit: Circuit) -> Dict[str, int]:
+    """Logic depth (max #gates from any source) for every net.
+
+    Sources (PIs, keys, FF outputs) have depth 0.
+    """
+    depths: Dict[str, int] = {}
+    for net in circuit.inputs + circuit.key_inputs:
+        depths[net] = 0
+    if circuit.clock is not None:
+        depths[circuit.clock] = 0
+    for ff in circuit.flip_flops():
+        depths[ff.output] = 0
+    for gate in circuit.topological_order():
+        operands = [depths.get(net, 0) for net in gate.input_nets()]
+        depths[gate.output] = 1 + max(operands, default=0)
+    return depths

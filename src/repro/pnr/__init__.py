@@ -1,0 +1,7 @@
+"""Place & route substrate (the IC Compiler stand-in)."""
+
+from .layout import Layout
+from .placer import place
+from .router import RoutingEstimate, route
+
+__all__ = ["Layout", "place", "RoutingEstimate", "route"]

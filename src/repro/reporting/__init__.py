@@ -1,0 +1,36 @@
+"""Experiment harnesses: tables and figure regeneration."""
+
+from .tables import (
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    Table1Row,
+    Table2Row,
+    format_table1,
+    format_table2,
+    table1_row,
+    table2_row,
+)
+from .corruption import (
+    CorruptionReport,
+    combinational_corruption,
+    sequential_corruption,
+)
+from .activity import ActivityReport, switching_activity
+from .summary import reproduce
+from .figures import (
+    Figure,
+    figure4_gk_waveform,
+    figure6_keygen_waveform,
+    figure7_scenarios,
+    figure9_trigger_windows,
+)
+
+__all__ = [
+    "PAPER_TABLE1", "PAPER_TABLE2", "Table1Row", "Table2Row",
+    "format_table1", "format_table2", "table1_row", "table2_row",
+    "CorruptionReport", "combinational_corruption", "sequential_corruption",
+    "ActivityReport", "switching_activity",
+    "reproduce",
+    "Figure", "figure4_gk_waveform", "figure6_keygen_waveform",
+    "figure7_scenarios", "figure9_trigger_windows",
+]

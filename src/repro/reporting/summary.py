@@ -1,0 +1,122 @@
+"""One-shot paper reproduction: everything, in one report.
+
+:func:`reproduce` runs the full evaluation — Table I, Table II, the four
+timing figures, and the attack matrix — and returns a single formatted
+report, so ``python -m repro reproduce`` (or one library call) replays
+the paper end to end.  ``fast=True`` trims the expensive SAT work to the
+smallest benchmark.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, List, Optional
+
+from ..attacks.oracle import CombinationalOracle
+from ..attacks.removal import removal_attack
+from ..attacks.sat_attack import sat_attack, verify_key_against_oracle
+from ..bench.iwls import BENCHMARKS, iwls_benchmark
+from ..locking.base import LockedCircuit
+from ..locking.sarlock import SarLock
+from ..locking.xor_lock import XorLock
+from .figures import (
+    figure4_gk_waveform,
+    figure6_keygen_waveform,
+    figure7_scenarios,
+    figure9_trigger_windows,
+)
+from .tables import format_table1, format_table2, table1_row, table2_row
+
+__all__ = ["reproduce"]
+
+
+def reproduce(
+    fast: bool = True,
+    echo: Optional[Callable[[str], None]] = None,
+    seed: int = 2019,
+) -> str:
+    """Regenerate the paper's evaluation; returns the full report text.
+
+    With *echo* (e.g. ``print``) sections stream as they finish.  *fast*
+    restricts the SAT-attack experiment to s1238 and skips the larger
+    attack sweeps (the bench suite covers those exhaustively).
+    """
+    sections: List[str] = []
+
+    def emit(text: str) -> None:
+        sections.append(text)
+        if echo is not None:
+            echo(text)
+
+    start = time.time()
+    emit("=" * 72)
+    emit("A Glitch Key-Gate for Logic Locking (SOCC 2019) — reproduction")
+    emit("=" * 72)
+
+    instances = {name: iwls_benchmark(name, seed=seed) for name in BENCHMARKS}
+
+    emit("\n## Table I — available FFs for GK encryption\n")
+    rows1 = [table1_row(name, instances[name]) for name in BENCHMARKS]
+    emit(format_table1(rows1))
+
+    emit("\n## Table II — overhead of GK encryption\n")
+    rows2 = [table2_row(name, instances[name], seed=seed) for name in BENCHMARKS]
+    emit(format_table2(rows2))
+
+    for figure in (
+        figure4_gk_waveform(),
+        figure6_keygen_waveform(),
+        figure7_scenarios(),
+        figure9_trigger_windows(),
+    ):
+        emit(f"\n## {figure.title}\n")
+        emit(figure.diagram)
+
+    emit("\n## Sec. VI — SAT attack\n")
+    from ..core.flow import GkLock, expose_gk_keys
+
+    attack_benches = ["s1238"] if fast else ["s1238", "s5378", "s9234"]
+    for name in attack_benches:
+        inst = instances[name]
+        locked = GkLock(inst.clock).lock(inst.circuit, 8, random.Random(21))
+        exposed = expose_gk_keys(locked)
+        oracle = CombinationalOracle(inst.circuit)
+        result = sat_attack(exposed, oracle)
+        accuracy = verify_key_against_oracle(
+            exposed, oracle, result.key, samples=16
+        )
+        emit(
+            f"{name}: GK-locked -> {result.iterations} DIPs, UNSAT at first "
+            f"iteration = {result.unsat_at_first_iteration}, recovered-key "
+            f"accuracy {accuracy:.2f}  (the attack is invalidated)"
+        )
+    control = XorLock().lock(instances["s1238"].circuit, 8, random.Random(22))
+    oracle = CombinationalOracle(instances["s1238"].circuit)
+    result = sat_attack(control.circuit, oracle)
+    emit(
+        f"s1238: XOR-locked control -> cracked in {result.iterations} DIPs "
+        f"(exact key: {result.key == control.key})"
+    )
+
+    emit("\n## Sec. V-C — removal attack\n")
+    rng = random.Random(5)
+    sar = SarLock().lock(instances["s1238"].circuit, 8, rng)
+    sar_result = removal_attack(sar, samples=300, rng=random.Random(6))
+    gk = GkLock(instances["s1238"].clock).lock(
+        instances["s1238"].circuit, 8, rng
+    )
+    gk_view = LockedCircuit(
+        circuit=expose_gk_keys(gk),
+        original=instances["s1238"].circuit,
+        key={},
+        scheme="gk",
+    )
+    gk_result = removal_attack(gk_view, samples=300, rng=random.Random(6))
+    emit(f"SARLock: removed={sar_result.success}   "
+         f"GK: removed={gk_result.success}  "
+         "(point functions fall, the GK does not)")
+
+    emit(f"\n[reproduced in {time.time() - start:.0f}s; see EXPERIMENTS.md "
+         "for the full paper-vs-measured record]")
+    return "\n".join(sections)

@@ -1,0 +1,231 @@
+"""Table I and Table II harnesses.
+
+These functions compute and format the paper's two tables on our
+calibrated benchmark stand-ins; the pytest-benchmark modules under
+``benchmarks/`` call them and print the rows next to the paper's
+numbers (recorded in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..bench.iwls import BenchmarkInstance, iwls_benchmark
+from ..core.flow import GkLock
+from ..core.insertion import available_ffs
+from ..locking.base import LockingError
+from ..locking.encrypt_ff import select_encrypt_ff_group
+from ..locking.hybrid import HybridGkXor
+from ..netlist.stats import overhead
+
+__all__ = [
+    "Table1Row",
+    "table1_row",
+    "format_table1",
+    "Table2Row",
+    "table2_row",
+    "format_table2",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+]
+
+#: Paper Table I: bench -> (cells, FFs, available FFs, coverage %, [4] count)
+PAPER_TABLE1: Dict[str, Tuple[int, int, int, float, int]] = {
+    "s1238": (341, 18, 16, 88.89, 4),
+    "s5378": (775, 163, 104, 63.80, 89),
+    "s9234": (613, 145, 74, 51.03, 59),
+    "s13207": (901, 330, 185, 56.06, 36),
+    "s15850": (447, 134, 58, 43.28, 51),
+    "s38417": (5397, 1564, 1037, 66.30, 920),
+    "s38584": (5304, 1168, 924, 79.11, 105),
+}
+
+#: Paper Table II: bench -> {config: (cell OH %, area OH %)}; None = "-"
+PAPER_TABLE2: Dict[str, Dict[str, Optional[Tuple[float, float]]]] = {
+    "s1238": {"gk4": (22.87, 38.51), "gk8": None, "gk16": None, "hybrid": None},
+    "s5378": {"gk4": (10.06, 9.12), "gk8": (17.29, 16.93),
+              "gk16": (33.03, 37.91), "hybrid": (21.68, 19.65)},
+    "s9234": {"gk4": (8.81, 8.54), "gk8": (19.90, 20.49),
+              "gk16": (38.34, 42.37), "hybrid": (21.53, 21.78)},
+    "s13207": {"gk4": (6.77, 5.79), "gk8": (15.09, 11.10),
+               "gk16": (29.97, 23.10), "hybrid": (13.65, 11.08)},
+    "s15850": {"gk4": (15.44, 9.30), "gk8": (28.41, 21.23),
+               "gk16": (54.59, 42.76), "hybrid": (33.11, 25.46)},
+    "s38417": {"gk4": (0.74, 1.71), "gk8": (2.17, 0.66),
+               "gk16": (4.22, 4.32), "hybrid": (2.20, 0.66)},
+    "s38584": {"gk4": (1.69, 1.80), "gk8": (2.93, 2.92),
+               "gk16": (5.64, 6.20), "hybrid": (3.20, 3.26)},
+}
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One measured row of Table I."""
+
+    bench: str
+    cells: int
+    flip_flops: int
+    available: int
+    coverage: float  # %
+    encrypt_ff_group: int  # [4]'s selection from the available FFs
+
+
+def table1_row(
+    name: str,
+    instance: Optional[BenchmarkInstance] = None,
+    glitch_length: float = 1.0,
+) -> Table1Row:
+    """Measure the Table I quantities for one benchmark."""
+    instance = instance or iwls_benchmark(name)
+    circuit, clock = instance.circuit, instance.clock
+    stats = circuit.stats()
+    plans = available_ffs(circuit, clock, glitch_length)
+    feasible = sorted(ff for ff, plan in plans.items() if plan.feasible)
+    group = select_encrypt_ff_group(circuit, feasible)
+    coverage = 100.0 * len(feasible) / max(1, stats.num_flip_flops)
+    return Table1Row(
+        bench=name,
+        cells=stats.num_cells,
+        flip_flops=stats.num_flip_flops,
+        available=len(feasible),
+        coverage=coverage,
+        encrypt_ff_group=len(group),
+    )
+
+
+def format_table1(rows: Sequence[Table1Row], with_paper: bool = True) -> str:
+    header = (
+        f"{'Bench.':<9}{'Cell':>6}{'FF':>6}{'Ava.FF':>8}{'Cov.(%)':>9}"
+        f"{'Ava.FF[4]':>11}"
+    )
+    if with_paper:
+        header += f"{'paper Cov.(%)':>15}"
+    lines = [header]
+    total_cov = 0.0
+    for row in rows:
+        line = (
+            f"{row.bench:<9}{row.cells:>6}{row.flip_flops:>6}"
+            f"{row.available:>8}{row.coverage:>9.2f}{row.encrypt_ff_group:>11}"
+        )
+        if with_paper and row.bench in PAPER_TABLE1:
+            line += f"{PAPER_TABLE1[row.bench][3]:>15.2f}"
+        lines.append(line)
+        total_cov += row.coverage
+    if rows:
+        avg = total_cov / len(rows)
+        line = f"{'Avg.':<9}{'':>6}{'':>6}{'':>8}{avg:>9.2f}"
+        if with_paper:
+            paper_avg = sum(v[3] for v in PAPER_TABLE1.values()) / len(PAPER_TABLE1)
+            line += f"{'':>11}{paper_avg:>15.2f}"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """Overheads of one benchmark across the paper's configurations.
+
+    Entries are (cell OH %, area OH %) or None where the configuration
+    does not fit (the paper prints "-" for s1238 beyond 4 GKs).
+    """
+
+    bench: str
+    gk4: Optional[Tuple[float, float]]
+    gk8: Optional[Tuple[float, float]]
+    gk16: Optional[Tuple[float, float]]
+    hybrid: Optional[Tuple[float, float]]  # 8 GKs + 16 XORs
+
+
+def table2_row(
+    name: str,
+    instance: Optional[BenchmarkInstance] = None,
+    seed: int = 2019,
+    run_pnr: bool = False,
+) -> Table2Row:
+    """Lock one benchmark in all four Table II configurations."""
+    instance = instance or iwls_benchmark(name)
+    circuit, clock = instance.circuit, instance.clock
+
+    def gk_overhead(num_bits: int) -> Optional[Tuple[float, float]]:
+        try:
+            locked = GkLock(clock, run_pnr=run_pnr).lock(
+                circuit, num_bits, random.Random(seed + num_bits)
+            )
+        except LockingError:
+            return None
+        oh = overhead(circuit, locked.circuit)
+        return (oh.cell_percent, oh.area_percent)
+
+    def hybrid_overhead() -> Optional[Tuple[float, float]]:
+        try:
+            locked = HybridGkXor(clock, run_pnr=run_pnr).lock(
+                circuit, 32, random.Random(seed + 99)
+            )
+        except LockingError:
+            return None
+        oh = overhead(circuit, locked.circuit)
+        return (oh.cell_percent, oh.area_percent)
+
+    return Table2Row(
+        bench=name,
+        gk4=gk_overhead(8),
+        gk8=gk_overhead(16),
+        gk16=gk_overhead(32),
+        hybrid=hybrid_overhead(),
+    )
+
+
+def format_table2(rows: Sequence[Table2Row], with_paper: bool = True) -> str:
+    configs = [
+        ("gk4", "4 GKs / 8 keys"),
+        ("gk8", "8 GKs / 16 keys"),
+        ("gk16", "16 GKs / 32 keys"),
+        ("hybrid", "8 GKs + 16 XORs"),
+    ]
+    lines = [
+        f"{'Bench.':<9}"
+        + "".join(f"{label:>22}" for _key, label in configs)
+    ]
+    lines.append(
+        f"{'':<9}" + "".join(f"{'cell% / area%':>22}" for _ in configs)
+    )
+    sums = {key: [0.0, 0.0, 0] for key, _ in configs}
+    for row in rows:
+        cells = [f"{row.bench:<9}"]
+        for key, _label in configs:
+            value = getattr(row, key)
+            if value is None:
+                cells.append(f"{'-':>22}")
+            else:
+                cells.append(f"{value[0]:>10.2f} /{value[1]:>9.2f}")
+                sums[key][0] += value[0]
+                sums[key][1] += value[1]
+                sums[key][2] += 1
+        lines.append("".join(cells))
+    avg_cells = [f"{'Avg.':<9}"]
+    for key, _label in configs:
+        total_cell, total_area, count = sums[key]
+        if count:
+            avg_cells.append(
+                f"{total_cell / count:>10.2f} /{total_area / count:>9.2f}"
+            )
+        else:
+            avg_cells.append(f"{'-':>22}")
+    lines.append("".join(avg_cells))
+    if with_paper:
+        paper_avg = {key: [0.0, 0.0, 0] for key, _ in configs}
+        for bench_values in PAPER_TABLE2.values():
+            for key, _ in configs:
+                value = bench_values[key]
+                if value is not None:
+                    paper_avg[key][0] += value[0]
+                    paper_avg[key][1] += value[1]
+                    paper_avg[key][2] += 1
+        row = [f"{'paper':<9}"]
+        for key, _ in configs:
+            c, a, n = paper_avg[key]
+            row.append(f"{c / n:>10.2f} /{a / n:>9.2f}")
+        lines.append("".join(row))
+    return "\n".join(lines)

@@ -1,0 +1,21 @@
+"""Simulation: three-valued logic, cycle-accurate, and event-driven timing."""
+
+from .logic import X, LogicValue, eval_function
+from .cyclesim import CycleSimulator, evaluate_combinational
+from .eventsim import EventSimulator, FFSample, SimulationResult, TimingViolation
+from .waveform import Pulse, Waveform, render_waveforms
+
+__all__ = [
+    "X",
+    "LogicValue",
+    "eval_function",
+    "CycleSimulator",
+    "evaluate_combinational",
+    "EventSimulator",
+    "FFSample",
+    "SimulationResult",
+    "TimingViolation",
+    "Pulse",
+    "Waveform",
+    "render_waveforms",
+]

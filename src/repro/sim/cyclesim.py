@@ -1,0 +1,84 @@
+"""Cycle-accurate (zero-delay) functional simulation.
+
+This simulator evaluates the combinational network once per clock cycle
+and then updates every flip-flop simultaneously — the standard RTL-level
+semantics.  It is deliberately blind to real delays and therefore to
+glitches; the contrast between this view and the event-driven timing
+view (:mod:`repro.sim.eventsim`) is exactly the gap the paper's Glitch
+Key-gate hides in.
+
+Used by: functional equivalence checks, the attack oracles, and the
+locking schemes' sanity tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from ..netlist.circuit import Circuit, NetlistError
+from .logic import LogicValue, eval_function
+
+__all__ = ["evaluate_combinational", "CycleSimulator"]
+
+
+def evaluate_combinational(
+    circuit: Circuit,
+    assignment: Mapping[str, LogicValue],
+    state: Optional[Mapping[str, LogicValue]] = None,
+) -> Dict[str, LogicValue]:
+    """Evaluate every net of the combinational network.
+
+    *assignment* maps every PI and key input to a value; *state* maps
+    flip-flop gate names to their current Q values (defaults to X).
+    Returns a dict of net -> value covering all evaluated nets.
+    """
+    values: Dict[str, LogicValue] = {}
+    for net in circuit.inputs + circuit.key_inputs:
+        if net not in assignment:
+            raise NetlistError(f"no value supplied for input {net!r}")
+        values[net] = assignment[net]
+    for extra, value in assignment.items():
+        values[extra] = value
+    state = state or {}
+    for ff in circuit.flip_flops():
+        values[ff.output] = state.get(ff.name, None)
+    for gate in circuit.topological_order():
+        operands = [values[net] for net in gate.input_nets()]
+        values[gate.output] = eval_function(
+            gate.function, operands, gate.truth_table
+        )
+    return values
+
+
+class CycleSimulator:
+    """Steps a sequential circuit one clock cycle at a time."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        initial_state: Optional[Mapping[str, LogicValue]] = None,
+        reset_value: LogicValue = 0,
+    ) -> None:
+        self.circuit = circuit
+        self._ffs = circuit.flip_flops()
+        self.state: Dict[str, LogicValue] = {
+            ff.name: reset_value for ff in self._ffs
+        }
+        if initial_state:
+            unknown = set(initial_state) - set(self.state)
+            if unknown:
+                raise NetlistError(f"initial state for unknown FFs {sorted(unknown)}")
+            self.state.update(initial_state)
+
+    def step(self, inputs: Mapping[str, LogicValue]) -> Dict[str, LogicValue]:
+        """Apply *inputs*, return PO values, then clock all flip-flops."""
+        values = evaluate_combinational(self.circuit, inputs, self.state)
+        outputs = {net: values[net] for net in self.circuit.outputs}
+        self.state = {ff.name: values[ff.pins["D"]] for ff in self._ffs}
+        return outputs
+
+    def run(
+        self, input_sequence: Iterable[Mapping[str, LogicValue]]
+    ) -> List[Dict[str, LogicValue]]:
+        """Run one :meth:`step` per element of *input_sequence*."""
+        return [self.step(inputs) for inputs in input_sequence]

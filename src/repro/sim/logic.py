@@ -1,0 +1,149 @@
+"""Three-valued (0 / 1 / X) gate evaluation.
+
+Logic values are plain Python objects: ``0``, ``1``, and ``None`` for
+the unknown value X.  Using native ints keeps the simulators simple and
+lets results flow straight into the SAT encoder, which is strictly
+Boolean.
+
+The semantics are the usual pessimistic ternary extension: a controlling
+value decides the output even with X on the other pin (``AND(0, X) = 0``,
+``OR(1, X) = 1``), XOR of anything with X is X, and a MUX with an X
+select is X unless both selected candidates agree on a known value.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+__all__ = ["X", "LogicValue", "and3", "or3", "not3", "xor3", "mux3", "eval_function"]
+
+#: The unknown logic value.
+X = None
+
+LogicValue = Optional[int]  # 0, 1, or None (X)
+
+
+def _check(value: LogicValue) -> LogicValue:
+    if value not in (0, 1, None):
+        raise ValueError(f"not a logic value: {value!r}")
+    return value
+
+
+def not3(a: LogicValue) -> LogicValue:
+    _check(a)
+    return None if a is None else 1 - a
+
+
+def and3(a: LogicValue, b: LogicValue) -> LogicValue:
+    _check(a)
+    _check(b)
+    if a == 0 or b == 0:
+        return 0
+    if a is None or b is None:
+        return None
+    return 1
+
+
+def or3(a: LogicValue, b: LogicValue) -> LogicValue:
+    _check(a)
+    _check(b)
+    if a == 1 or b == 1:
+        return 1
+    if a is None or b is None:
+        return None
+    return 0
+
+
+def xor3(a: LogicValue, b: LogicValue) -> LogicValue:
+    _check(a)
+    _check(b)
+    if a is None or b is None:
+        return None
+    return a ^ b
+
+
+def mux3(a: LogicValue, b: LogicValue, sel: LogicValue) -> LogicValue:
+    """2:1 mux: *a* when sel == 0, *b* when sel == 1."""
+    _check(a)
+    _check(b)
+    _check(sel)
+    if sel == 0:
+        return a
+    if sel == 1:
+        return b
+    # X select: known only if both candidates agree.
+    if a is not None and a == b:
+        return a
+    return None
+
+
+def eval_function(
+    function: str,
+    inputs: Sequence[LogicValue],
+    truth_table: Optional[Tuple[int, ...]] = None,
+) -> LogicValue:
+    """Evaluate a combinational cell function on ternary *inputs*.
+
+    *inputs* follow the cell's declared pin order (select pins last for
+    MUXes, ``I0..Ik`` low-to-high for LUTs).
+    """
+    if function == "BUF":
+        (a,) = inputs
+        return _check(a)
+    if function == "INV":
+        (a,) = inputs
+        return not3(a)
+    if function == "AND2":
+        a, b = inputs
+        return and3(a, b)
+    if function == "NAND2":
+        a, b = inputs
+        return not3(and3(a, b))
+    if function == "OR2":
+        a, b = inputs
+        return or3(a, b)
+    if function == "NOR2":
+        a, b = inputs
+        return not3(or3(a, b))
+    if function == "XOR2":
+        a, b = inputs
+        return xor3(a, b)
+    if function == "XNOR2":
+        a, b = inputs
+        return not3(xor3(a, b))
+    if function == "MUX2":
+        a, b, s = inputs
+        return mux3(a, b, s)
+    if function == "MUX4":
+        a, b, c, d, s0, s1 = inputs
+        low = mux3(a, b, s0)
+        high = mux3(c, d, s0)
+        return mux3(low, high, s1)
+    if function == "TIE0":
+        return 0
+    if function == "TIE1":
+        return 1
+    if function == "LUT":
+        if truth_table is None:
+            raise ValueError("LUT evaluation needs a truth table")
+        if any(v is None for v in inputs):
+            # Known only if every reachable table entry agrees.
+            candidates = set()
+            free = [i for i, v in enumerate(inputs) if v is None]
+            for mask in range(1 << len(free)):
+                index = 0
+                for i, v in enumerate(inputs):
+                    if v is None:
+                        bit = (mask >> free.index(i)) & 1
+                    else:
+                        bit = v
+                    index |= bit << i
+                candidates.add(truth_table[index])
+                if len(candidates) > 1:
+                    return None
+            return candidates.pop()
+        index = 0
+        for i, v in enumerate(inputs):
+            index |= _check(v) << i  # type: ignore[operator]
+        return truth_table[index]
+    raise ValueError(f"unknown combinational function {function!r}")

@@ -1,0 +1,21 @@
+"""Static timing analysis (the PrimeTime stand-in)."""
+
+from .clock import ClockSpec, synthetic_clock_tree_skew
+from .timing import EndpointTiming, TimingAnalysis, analyze
+from .paths import PathPoint, critical_ffs, trace_path, worst_endpoints
+from .report import path_report, slack_report, summary_line
+
+__all__ = [
+    "ClockSpec",
+    "synthetic_clock_tree_skew",
+    "EndpointTiming",
+    "TimingAnalysis",
+    "analyze",
+    "PathPoint",
+    "critical_ffs",
+    "trace_path",
+    "worst_endpoints",
+    "path_report",
+    "slack_report",
+    "summary_line",
+]

@@ -1,0 +1,64 @@
+"""Clock specification for static timing analysis.
+
+Eq. (1) of the paper allows distinct clock arrival times ``T_i`` and
+``T_j`` at the launching and capturing flip-flops (clock skew).  A
+:class:`ClockSpec` carries the clock period plus an optional per-FF skew
+map; the design flows keep "the same clock period for the synthesis and
+P&R of encrypted circuits" (Sec. IV-B), which is why every experiment
+reuses the original circuit's spec unchanged.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping
+
+__all__ = ["ClockSpec", "synthetic_clock_tree_skew"]
+
+
+@dataclass(frozen=True)
+class ClockSpec:
+    """A single clock domain.
+
+    Attributes:
+        period: Clock period T_clk in ns.
+        skew: FF gate name -> clock arrival offset T_i in ns (absent
+            FFs have zero skew).
+        uncertainty: Extra margin subtracted from every setup window
+            (models jitter; 0 by default).
+    """
+
+    period: float
+    skew: Mapping[str, float] = field(default_factory=dict)
+    uncertainty: float = 0.0
+
+    def arrival(self, ff_name: str) -> float:
+        return self.skew.get(ff_name, 0.0)
+
+    def skew_bounds(self) -> "tuple[float, float]":
+        """(min, max) clock arrival offset across all FFs."""
+        if not self.skew:
+            return (0.0, 0.0)
+        values = list(self.skew.values())
+        return (min(min(values), 0.0), max(max(values), 0.0))
+
+    def with_period(self, period: float) -> "ClockSpec":
+        return ClockSpec(period=period, skew=dict(self.skew), uncertainty=self.uncertainty)
+
+
+def synthetic_clock_tree_skew(
+    ff_names: Iterable[str], max_skew: float, seed: str = ""
+) -> Dict[str, float]:
+    """Deterministic pseudo-random skews in [0, max_skew] per FF.
+
+    Models the residual insertion-delay differences of a balanced clock
+    tree after CTS.  Hash-based so results are stable across runs and
+    independent of iteration order.
+    """
+    skews: Dict[str, float] = {}
+    for name in ff_names:
+        digest = hashlib.sha256(f"{seed}:{name}".encode()).digest()
+        fraction = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        skews[name] = round(fraction * max_skew, 4)
+    return skews

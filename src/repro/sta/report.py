@@ -1,0 +1,63 @@
+"""PrimeTime-style text reports.
+
+Human-readable renderings of a :class:`~repro.sta.timing.TimingAnalysis`
+used by the examples and bench output: an endpoint slack summary and a
+per-pin path report (the artifact the paper's flow reads when triaging
+"true" vs. "false" violations after GK insertion).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .paths import trace_path
+from .timing import TimingAnalysis
+
+__all__ = ["slack_report", "path_report", "summary_line"]
+
+
+def summary_line(analysis: TimingAnalysis) -> str:
+    setup = analysis.setup_violations()
+    hold = analysis.hold_violations()
+    return (
+        f"clock {analysis.clock.period:.3f}ns | "
+        f"{len(analysis.endpoints)} endpoints | "
+        f"WNS {analysis.worst_setup_slack():+.3f}ns | "
+        f"{len(setup)} setup / {len(hold)} hold violations"
+    )
+
+
+def slack_report(analysis: TimingAnalysis, limit: Optional[int] = 20) -> str:
+    """Endpoint table sorted by setup slack (worst first)."""
+    rows: List[str] = [
+        summary_line(analysis),
+        f"{'endpoint':<24}{'arrival':>10}{'required':>10}{'setup':>9}{'hold':>9}",
+    ]
+    ranked = sorted(
+        analysis.endpoints.values(), key=lambda e: (e.setup_slack, e.ff)
+    )
+    if limit is not None:
+        ranked = ranked[:limit]
+    for e in ranked:
+        flag = " VIOLATED" if e.violated else ""
+        rows.append(
+            f"{e.ff:<24}{e.arrival_max:>10.3f}{e.required_setup:>10.3f}"
+            f"{e.setup_slack:>+9.3f}{e.hold_slack:>+9.3f}{flag}"
+        )
+    return "\n".join(rows)
+
+
+def path_report(analysis: TimingAnalysis, endpoint_ff: str) -> str:
+    """Pin-by-pin arrival listing of the worst path into *endpoint_ff*."""
+    endpoint = analysis.endpoints[endpoint_ff]
+    rows = [
+        f"path to {endpoint_ff} (D = {endpoint.data_net})",
+        f"{'point':<32}{'through':<20}{'arrival':>10}",
+    ]
+    for point in trace_path(analysis, endpoint_ff):
+        rows.append(f"{point.net:<32}{point.through:<20}{point.arrival:>10.3f}")
+    rows.append(
+        f"{'required (setup)':<52}{endpoint.required_setup:>10.3f}"
+    )
+    rows.append(f"{'slack':<52}{endpoint.setup_slack:>+10.3f}")
+    return "\n".join(rows)

@@ -1,0 +1,173 @@
+"""Static timing analysis (the PrimeTime stand-in).
+
+Single-pass block-based STA over the combinational network:
+
+* **max arrival** per net (late mode) -> setup slack per flip-flop,
+* **min arrival** per net (early mode) -> hold slack per flip-flop,
+* per-endpoint path-delay bounds ``LB_ij`` / ``UB_ij`` of the paper's
+  Eq. (1), used by the GK insertion rules (Eqs. (3)-(6)).
+
+Arrival times are measured from the launching clock edge at t = 0: a
+flip-flop *i* launches its Q at ``T_i + clk->q``; a primary input is
+assumed valid at ``input_arrival``.  Wire delays (annotated by the P&R
+substrate) are added at each driving pin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..netlist.circuit import Circuit, Gate, NetlistError
+from .clock import ClockSpec
+
+__all__ = ["EndpointTiming", "TimingAnalysis", "analyze"]
+
+
+@dataclass(frozen=True)
+class EndpointTiming:
+    """Setup/hold view of one capturing flip-flop."""
+
+    ff: str
+    data_net: str
+    arrival_max: float
+    arrival_min: float
+    required_setup: float  # latest allowed arrival (UB side)
+    required_hold: float  # earliest allowed arrival (LB side)
+
+    @property
+    def setup_slack(self) -> float:
+        return self.required_setup - self.arrival_max
+
+    @property
+    def hold_slack(self) -> float:
+        return self.arrival_min - self.required_hold
+
+    @property
+    def violated(self) -> bool:
+        return self.setup_slack < 0 or self.hold_slack < 0
+
+
+@dataclass
+class TimingAnalysis:
+    """Complete result of one :func:`analyze` run."""
+
+    circuit: Circuit
+    clock: ClockSpec
+    arrival_max: Dict[str, float]
+    arrival_min: Dict[str, float]
+    endpoints: Dict[str, EndpointTiming]
+    #: net -> input net that set its max arrival (for path tracing)
+    critical_pred: Dict[str, Optional[str]]
+
+    def setup_violations(self) -> List[EndpointTiming]:
+        return [e for e in self.endpoints.values() if e.setup_slack < 0]
+
+    def hold_violations(self) -> List[EndpointTiming]:
+        return [e for e in self.endpoints.values() if e.hold_slack < 0]
+
+    def worst_setup_slack(self) -> float:
+        if not self.endpoints:
+            return float("inf")
+        return min(e.setup_slack for e in self.endpoints.values())
+
+    def endpoint_bounds(self, ff_name: str) -> Tuple[float, float]:
+        """(LB_ij, UB_ij) of Eq. (1) for capturing FF *j*.
+
+        With per-FF skews the launching FF's ``T_i`` is not unique, so
+        the bounds are conservative: the largest launcher skew tightens
+        UB, the smallest tightens LB.  With zero skew (the default
+        everywhere in the paper's experiments) this is exact:
+        ``LB = T_hold`` and ``UB = T_clk - T_set``.
+        """
+        endpoint = self.endpoints.get(ff_name)
+        if endpoint is None:
+            raise NetlistError(f"{ff_name!r} is not a capturing flip-flop")
+        ff = self.circuit.gates[ff_name]
+        t_j = self.clock.arrival(ff_name)
+        min_skew, max_skew = self.clock.skew_bounds()
+        lb = ff.cell.hold + t_j - min_skew
+        ub = (
+            self.clock.period
+            + t_j
+            - max_skew
+            - ff.cell.setup
+            - self.clock.uncertainty
+        )
+        return lb, ub
+
+    def critical_path_to(self, net: str) -> List[str]:
+        """Nets along the max-arrival path ending at *net* (source first)."""
+        path = [net]
+        while True:
+            pred = self.critical_pred.get(path[-1])
+            if pred is None:
+                break
+            path.append(pred)
+        path.reverse()
+        return path
+
+
+def analyze(
+    circuit: Circuit,
+    clock: ClockSpec,
+    wire_delay: Optional[Mapping[str, float]] = None,
+    input_arrival: float = 0.0,
+) -> TimingAnalysis:
+    """Run late/early STA on *circuit* under *clock*.
+
+    *wire_delay* maps a net to the interconnect delay of its driving
+    pin (from :mod:`repro.pnr`); unannotated nets have zero wire delay.
+    """
+    wires = wire_delay or {}
+    arrival_max: Dict[str, float] = {}
+    arrival_min: Dict[str, float] = {}
+    critical_pred: Dict[str, Optional[str]] = {}
+
+    for net in circuit.inputs + circuit.key_inputs:
+        arrival_max[net] = arrival_min[net] = input_arrival + wires.get(net, 0.0)
+        critical_pred[net] = None
+    if circuit.clock is not None:
+        arrival_max[circuit.clock] = arrival_min[circuit.clock] = 0.0
+        critical_pred[circuit.clock] = None
+    for ff in circuit.flip_flops():
+        launch = clock.arrival(ff.name) + ff.cell.delay + wires.get(ff.output, 0.0)
+        arrival_max[ff.output] = arrival_min[ff.output] = launch
+        critical_pred[ff.output] = None
+
+    for gate in circuit.topological_order():
+        stage = gate.cell.delay + wires.get(gate.output, 0.0)
+        operands = gate.input_nets()
+        if operands:
+            data = [n for n in operands if n != circuit.clock]
+            worst = max(data, key=lambda n: arrival_max[n])
+            arrival_max[gate.output] = arrival_max[worst] + stage
+            arrival_min[gate.output] = min(arrival_min[n] for n in data) + stage
+            critical_pred[gate.output] = worst
+        else:  # tie cells
+            arrival_max[gate.output] = arrival_min[gate.output] = stage
+            critical_pred[gate.output] = None
+
+    endpoints: Dict[str, EndpointTiming] = {}
+    for ff in circuit.flip_flops():
+        data_net = ff.pins["D"]
+        t_j = clock.arrival(ff.name)
+        endpoints[ff.name] = EndpointTiming(
+            ff=ff.name,
+            data_net=data_net,
+            arrival_max=arrival_max[data_net],
+            arrival_min=arrival_min[data_net],
+            required_setup=clock.period
+            + t_j
+            - ff.cell.setup
+            - clock.uncertainty,
+            required_hold=t_j + ff.cell.hold,
+        )
+    return TimingAnalysis(
+        circuit=circuit,
+        clock=clock,
+        arrival_max=arrival_max,
+        arrival_min=arrival_min,
+        endpoints=endpoints,
+        critical_pred=critical_pred,
+    )

@@ -1,0 +1,27 @@
+"""Synthesis substrate (the Design Compiler stand-in)."""
+
+from .optimize import (
+    hash_structural,
+    optimize,
+    propagate_constants,
+    simplify_inverters,
+    sweep_dead_gates,
+)
+from .techmap import map_to_library, upsize_critical_cells
+from .delay_synthesis import DelayChain, compose_delay, insert_delay_chain
+from .resynth import SynthesisResult, resynthesize
+
+__all__ = [
+    "optimize",
+    "propagate_constants",
+    "simplify_inverters",
+    "hash_structural",
+    "sweep_dead_gates",
+    "map_to_library",
+    "upsize_critical_cells",
+    "DelayChain",
+    "compose_delay",
+    "insert_delay_chain",
+    "SynthesisResult",
+    "resynthesize",
+]

@@ -1,0 +1,102 @@
+"""Tests for the enhanced removal attack (Sec. V-D) and the withholding
+defense (Fig. 10)."""
+
+import random
+
+import pytest
+
+from repro.attacks import (
+    CombinationalOracle,
+    enhanced_removal_attack,
+    locate_gk_structures,
+)
+from repro.core import GkLock, expose_gk_keys, withhold_gk
+
+
+@pytest.fixture(scope="module")
+def plain_setup():
+    from repro.bench import iwls_benchmark
+
+    inst = iwls_benchmark("s1238")
+    locked = GkLock(inst.clock).lock(inst.circuit, 8, random.Random(42))
+    exposed = expose_gk_keys(locked)
+    return inst, locked, exposed
+
+
+@pytest.fixture(scope="module")
+def withheld_setup():
+    from repro.bench import iwls_benchmark
+
+    inst = iwls_benchmark("s1238")
+    locked = GkLock(inst.clock, margin=0.35).lock(
+        inst.circuit, 8, random.Random(43)
+    )
+    for record in locked.metadata["gks"]:
+        withhold_gk(locked.circuit, record, inst.clock.period)
+    exposed = expose_gk_keys(locked)
+    return inst, locked, exposed
+
+
+class TestLocator:
+    def test_all_gks_located(self, plain_setup):
+        _inst, locked, exposed = plain_setup
+        located, unresolvable = locate_gk_structures(exposed)
+        assert len(located) == len(locked.metadata["gks"])
+        assert not unresolvable
+        found_muxes = {gk.mux_gate for gk in located}
+        true_muxes = {r.gk.mux_gate for r in locked.metadata["gks"]}
+        assert found_muxes == true_muxes
+
+    def test_located_key_nets_correct(self, plain_setup):
+        _inst, locked, exposed = plain_setup
+        located, _ = locate_gk_structures(exposed)
+        true_keys = {r.keygen.key_out for r in locked.metadata["gks"]}
+        assert {gk.key_net for gk in located} == true_keys
+
+    def test_no_false_positives_on_original(self, plain_setup):
+        inst, _locked, _exposed = plain_setup
+        located, unresolvable = locate_gk_structures(inst.circuit)
+        assert not located
+        assert not unresolvable
+
+    def test_withheld_arms_unresolvable(self, withheld_setup):
+        _inst, locked, exposed = withheld_setup
+        located, unresolvable = locate_gk_structures(exposed)
+        assert not located
+        assert len(unresolvable) == len(locked.metadata["gks"])
+
+
+class TestAttack:
+    def test_plain_gk_decrypted(self, plain_setup):
+        """Sec. V-D: 'this attacking method is effective to decrypt
+        circuits when the security structures are located'."""
+        inst, locked, exposed = plain_setup
+        oracle = CombinationalOracle(inst.circuit)
+        result = enhanced_removal_attack(exposed, oracle)
+        assert result.success
+        assert result.key_accuracy == 1.0
+        assert result.sat_result is not None
+        # each GK resolved to a concrete buffer/inverter behaviour
+        assert len(result.recovered_behaviour) == len(locked.metadata["gks"])
+
+    def test_recovered_behaviour_matches_truth(self, plain_setup):
+        """The SAT-resolved hypothesis equals each GK's real sequential
+        behaviour at its MUX output: buffer for a bare 3a GK (glitch
+        carries x), inverter when a pre-inverter feeds the GK."""
+        inst, locked, exposed = plain_setup
+        oracle = CombinationalOracle(inst.circuit)
+        result = enhanced_removal_attack(exposed, oracle)
+        for record in locked.metadata["gks"]:
+            expected = "inverter" if record.gk.pre_inverter else "buffer"
+            assert result.recovered_behaviour[record.gk.mux_gate] == expected
+
+    def test_withholding_blocks_attack(self, withheld_setup):
+        """The paper's defense: LUT arms cannot be proven complementary,
+        so no replacement model can be built."""
+        inst, _locked, exposed = withheld_setup
+        oracle = CombinationalOracle(inst.circuit)
+        result = enhanced_removal_attack(exposed, oracle)
+        assert not result.success
+        assert not result.located
+        assert result.sat_result is None
+        assert result.unresolvable_muxes

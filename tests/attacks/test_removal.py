@@ -1,0 +1,71 @@
+"""Tests for the removal attack (Sec. V-C) on every scheme."""
+
+import random
+
+import pytest
+
+from repro.attacks import removal_attack, signal_probabilities
+from repro.attacks.oracle import CombinationalOracle
+from repro.core import GkLock, expose_gk_keys
+from repro.locking import AntiSat, SarLock, XorLock
+from repro.locking.base import LockedCircuit
+
+
+class TestSignalProbabilities:
+    def test_probabilities_in_range(self, toy_combinational, rng):
+        probs, sensitive = signal_probabilities(toy_combinational, 64, rng)
+        assert all(0.0 <= p <= 1.0 for p in probs.values())
+        # no key inputs -> nothing can be key-sensitive
+        assert not any(sensitive.values())
+
+    def test_key_sensitivity_detected(self, toy_combinational, rng):
+        locked = XorLock().lock(toy_combinational, 1, rng)
+        probs, sensitive = signal_probabilities(locked.circuit, 64, rng)
+        key_gate = locked.metadata["key_gates"][0]["gate"]
+        out = locked.circuit.gates[key_gate].output
+        assert sensitive[out]
+        assert not sensitive["a"]
+
+
+class TestRemovalOnPointFunctions:
+    def test_sarlock_cracked(self, s1238, rng):
+        locked = SarLock().lock(s1238.circuit, 8, rng)
+        result = removal_attack(locked, samples=300, rng=rng)
+        assert result.success
+        assert result.restored_accuracy == 1.0
+        assert result.gates_swept > 0
+
+    def test_antisat_cracked(self, s1238, rng):
+        locked = AntiSat().lock(s1238.circuit, 8, rng)
+        result = removal_attack(locked, samples=300, rng=rng)
+        assert result.success
+        assert result.restored_accuracy == 1.0
+
+    def test_flip_net_is_what_gets_removed(self, s1238, rng):
+        locked = SarLock().lock(s1238.circuit, 8, rng)
+        result = removal_attack(locked, samples=300, rng=rng)
+        assert locked.metadata["flip_net"] in result.removed_nets
+
+
+class TestRemovalResisted:
+    def test_xor_locking_resists(self, s1238, rng):
+        """Key-gate outputs have ~50% signal probability: nothing to
+        locate, and oracle validation rejects any accidental candidate."""
+        locked = XorLock().lock(s1238.circuit, 8, rng)
+        result = removal_attack(locked, samples=300, rng=rng)
+        assert not result.success
+        assert not result.removed_nets
+
+    def test_gk_resists(self, s1238, rng):
+        """Sec. V-C: the GK presents no probability skew, and bypassing
+        it would still require the buffer/inverter guess."""
+        locked = GkLock(s1238.clock).lock(s1238.circuit, 8, random.Random(2))
+        exposed = LockedCircuit(
+            circuit=expose_gk_keys(locked),
+            original=s1238.circuit,
+            key={},
+            scheme="gk-exposed",
+        )
+        result = removal_attack(exposed, samples=300, rng=rng)
+        assert not result.success
+        assert not result.removed_nets

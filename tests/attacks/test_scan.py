@@ -1,0 +1,105 @@
+"""Tests for scan-chain insertion and the scan-based attack (Sec. VI)."""
+
+import random
+
+import pytest
+
+from repro.attacks import insert_scan_chain, scan_attack
+from repro.core import GkLock, expose_gk_keys
+from repro.locking import HybridGkXor
+from repro.sim import CycleSimulator, EventSimulator
+
+
+class TestScanChainInsertion:
+    def test_ffs_converted(self, toy_sequential):
+        chain = insert_scan_chain(toy_sequential)
+        for ff in chain.circuit.flip_flops():
+            assert ff.function == "SDFF"
+        assert chain.order == ("ff0", "ff1")
+        chain.circuit.validate()
+
+    def test_functional_mode_unchanged(self, toy_sequential):
+        """With scan_en = 0 the scanned design behaves identically."""
+        chain = insert_scan_chain(toy_sequential)
+        seq = [{"a": k % 2, "b": (k // 2) % 2} for k in range(8)]
+        ref = CycleSimulator(toy_sequential)
+        # cycle-sim has no SE awareness; use the event simulator
+        sim = EventSimulator(chain.circuit)
+        sim.initialize_ffs(0)
+        sim.add_clock(8.0, len(seq) + 1)
+        sim.set_initial(chain.scan_enable, 0)
+        sim.set_initial(chain.scan_in, 0)
+        for net in toy_sequential.inputs:
+            sim.drive_sequence(
+                net, [s[net] for s in seq], 8.0, offset=0.05,
+                initial=seq[0][net],
+            )
+        result = sim.run(8.0 * (len(seq) + 1))
+        # compare captures from edge 1 on (see harness warm-up note)
+        states = {}
+        for sample in result.samples:
+            states.setdefault(int(round(sample.time / 8.0)), {})[
+                sample.ff
+            ] = sample.value
+        ref_states = []
+        ref.state = {ff: states[1].get(ff, 0) for ff in ref.state}
+        for k in range(1, len(seq)):
+            ref.step(seq[k])
+            ref_states.append(dict(ref.state))
+            for ff in ref.state:
+                assert states[k + 1][ff] == ref.state[ff], (k, ff)
+
+    def test_shift_mode_moves_bits(self, toy_sequential):
+        """scan_en = 1 turns the FFs into a shift register."""
+        chain = insert_scan_chain(toy_sequential)
+        sim = EventSimulator(chain.circuit)
+        sim.initialize_ffs(0)
+        sim.add_clock(8.0, 4)
+        sim.set_initial(chain.scan_enable, 1)
+        sim.drive_sequence(chain.scan_in, [1, 0, 1], 8.0, offset=0.5, initial=1)
+        for net in toy_sequential.inputs:
+            sim.set_initial(net, 0)
+        result = sim.run(32.0)
+        first_ff = chain.order[0]
+        captures = [
+            s.value for s in result.samples if s.ff == first_ff
+        ]
+        # the scan-in stream appears at the first FF, one edge late
+        assert captures[1] == 1 and captures[2] == 0
+
+    def test_scan_out_is_po(self, toy_sequential):
+        chain = insert_scan_chain(toy_sequential)
+        assert chain.scan_out in chain.circuit.outputs
+
+    def test_ffless_circuit_rejected(self, toy_combinational):
+        with pytest.raises(ValueError, match="no flip-flops"):
+            insert_scan_chain(toy_combinational)
+
+
+class TestScanAttack:
+    def test_gk_only_fully_resolved(self, s1238):
+        """Sec. VI: a GK 'working solely to encrypt the input of FF ...
+        can provide only limited security' under scan access."""
+        locked = GkLock(s1238.clock).lock(s1238.circuit, 8, random.Random(42))
+        exposed = expose_gk_keys(locked)
+        gk_ffs = {r.gk.ff: r.keygen.key_out for r in locked.metadata["gks"]}
+        result = scan_attack(
+            locked, exposed, s1238.clock.period, gk_ffs, trials=3, cycles=6
+        )
+        assert result.success
+        assert set(result.inverted_vs_model) == set(gk_ffs)
+        # every GK's real behaviour complements its combinational look
+        assert all(result.inverted_vs_model.values())
+
+    def test_hybrid_confounds_measurement(self, s1238):
+        """The paper's countermeasure: XOR key-gates on the GK paths."""
+        locked = HybridGkXor(s1238.clock).lock(
+            s1238.circuit, 8, random.Random(11)
+        )
+        exposed = expose_gk_keys(locked)
+        gk_ffs = {r.gk.ff: r.keygen.key_out for r in locked.metadata["gks"]}
+        result = scan_attack(
+            locked, exposed, s1238.clock.period, gk_ffs, trials=3, cycles=6
+        )
+        assert not result.success
+        assert result.ambiguous

@@ -1,0 +1,105 @@
+"""Tests for the synthetic benchmark generator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bench import GeneratorSpec, random_sequential_circuit
+from repro.sim import CycleSimulator
+
+
+def spec(**overrides):
+    base = dict(
+        name="g",
+        num_inputs=6,
+        num_outputs=4,
+        num_flip_flops=8,
+        num_combinational=60,
+        seed=3,
+    )
+    base.update(overrides)
+    return GeneratorSpec(**base)
+
+
+class TestGeneration:
+    def test_exact_cell_counts(self):
+        c = random_sequential_circuit(spec())
+        stats = c.stats()
+        assert stats.num_flip_flops == 8
+        assert stats.num_combinational == 60
+        assert stats.num_cells == 68
+
+    def test_validates(self):
+        c = random_sequential_circuit(spec())
+        c.validate()
+
+    def test_deterministic(self):
+        a = random_sequential_circuit(spec())
+        b = random_sequential_circuit(spec())
+        assert sorted(a.gates) == sorted(b.gates)
+        assert a.outputs == b.outputs
+        for name in a.gates:
+            assert a.gates[name].pins == b.gates[name].pins
+
+    def test_seed_changes_structure(self):
+        a = random_sequential_circuit(spec(seed=1))
+        b = random_sequential_circuit(spec(seed=2))
+        assert any(
+            a.gates[n].pins != b.gates[n].pins for n in a.gates if n in b.gates
+        )
+
+    def test_no_dead_logic(self):
+        from repro.synth import sweep_dead_gates
+
+        c = random_sequential_circuit(spec())
+        assert sweep_dead_gates(c.clone()) == 0
+
+    def test_simulatable(self):
+        c = random_sequential_circuit(spec())
+        sim = CycleSimulator(c)
+        outs = sim.run([{f"pi{i}": i % 2 for i in range(6)}] * 4)
+        assert len(outs) == 4
+        assert all(v in (0, 1) for o in outs for v in o.values())
+
+    def test_requested_outputs_present(self):
+        c = random_sequential_circuit(spec())
+        assert len(c.outputs) >= 4
+
+    def test_depth_bias_deepens_ff_cones(self):
+        from repro.sta import ClockSpec, analyze
+
+        shallow = random_sequential_circuit(spec(ff_depth_bias=0.0, seed=9))
+        deep = random_sequential_circuit(spec(ff_depth_bias=8.0, seed=9))
+        period = 1000.0
+        arr_s = analyze(shallow, ClockSpec(period))
+        arr_d = analyze(deep, ClockSpec(period))
+        mean_s = sum(e.arrival_max for e in arr_s.endpoints.values()) / 8
+        mean_d = sum(e.arrival_max for e in arr_d.endpoints.values()) / 8
+        assert mean_d > mean_s
+
+    def test_rejects_degenerate_spec(self):
+        with pytest.raises(ValueError):
+            random_sequential_circuit(spec(num_inputs=0))
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    num_inputs=st.integers(2, 10),
+    num_ffs=st.integers(0, 12),
+    num_comb=st.integers(5, 80),
+    seed=st.integers(0, 99),
+)
+def test_property_generated_circuits_valid(num_inputs, num_ffs, num_comb, seed):
+    c = random_sequential_circuit(
+        GeneratorSpec(
+            name="h",
+            num_inputs=num_inputs,
+            num_outputs=2,
+            num_flip_flops=num_ffs,
+            num_combinational=num_comb,
+            seed=seed,
+        )
+    )
+    c.validate()
+    stats = c.stats()
+    assert stats.num_flip_flops == num_ffs
+    assert stats.num_combinational == num_comb

@@ -1,0 +1,54 @@
+"""Tests for the IWLS2005 benchmark stand-ins."""
+
+import pytest
+
+from repro.bench import BENCHMARKS, benchmark_names, iwls_benchmark
+from repro.reporting.tables import PAPER_TABLE1
+
+
+class TestProfiles:
+    def test_all_seven_benchmarks(self):
+        assert len(BENCHMARKS) == 7
+        assert "s1238" in BENCHMARKS and "s38584" in BENCHMARKS
+        assert benchmark_names() == list(BENCHMARKS)
+
+    @pytest.mark.parametrize("name", ["s1238", "s5378", "s9234", "s15850"])
+    def test_counts_match_paper_table1(self, name):
+        inst = iwls_benchmark(name)
+        stats = inst.circuit.stats()
+        paper_cells, paper_ffs = PAPER_TABLE1[name][0], PAPER_TABLE1[name][1]
+        assert stats.num_cells == paper_cells
+        assert stats.num_flip_flops == paper_ffs
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            iwls_benchmark("s999")
+
+    def test_deterministic(self):
+        a = iwls_benchmark("s1238")
+        b = iwls_benchmark("s1238")
+        assert a.clock.period == b.clock.period
+        assert sorted(a.circuit.gates) == sorted(b.circuit.gates)
+
+    def test_clock_leaves_positive_slack(self, s1238):
+        from repro.sta import analyze
+
+        ta = analyze(s1238.circuit, s1238.clock)
+        assert not ta.setup_violations()
+        assert ta.worst_setup_slack() > 0
+
+    def test_clock_margin_over_critical(self, s1238):
+        assert s1238.clock.period > s1238.critical_delay
+
+    def test_seed_parameter_changes_netlist(self):
+        a = iwls_benchmark("s1238", seed=1)
+        b = iwls_benchmark("s1238", seed=2)
+        differs = any(
+            a.circuit.gates[n].pins != b.circuit.gates[n].pins
+            for n in a.circuit.gates
+            if n in b.circuit.gates
+        )
+        assert differs
+
+    def test_validates(self, s5378):
+        s5378.circuit.validate()

@@ -1,0 +1,67 @@
+"""Shared fixtures for the test suite."""
+
+import os
+import random
+import sys
+
+import pytest
+
+# Fallback when the package is not installed (e.g. a fresh checkout).
+_SRC = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+if os.path.isdir(_SRC) and _SRC not in sys.path:
+    sys.path.insert(0, os.path.abspath(_SRC))
+
+from repro.bench import iwls_benchmark  # noqa: E402
+from repro.netlist import Builder  # noqa: E402
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture(scope="session")
+def s1238():
+    """The smallest IWLS benchmark stand-in (session-cached)."""
+    return iwls_benchmark("s1238")
+
+
+@pytest.fixture(scope="session")
+def s5378():
+    return iwls_benchmark("s5378")
+
+
+def build_toy_sequential(name="toy"):
+    """A 2-FF toy machine: q0' = a XOR q1, q1' = NAND(b, q0); y = q0 OR q1."""
+    b = Builder(name)
+    b.clock("clk")
+    a, bb = b.inputs("a", "b")
+    q0 = b.circuit.new_net("q0")
+    q1 = b.circuit.new_net("q1")
+    d0 = b.xor(a, q1)
+    d1 = b.nand2(bb, q0)
+    b.dff(d0, out=q0, name="ff0")
+    b.dff(d1, out=q1, name="ff1")
+    b.po(b.or2(q0, q1), "y")
+    b.circuit.validate()
+    return b.circuit
+
+
+def build_toy_combinational(name="comb"):
+    """y = (a AND b) XOR c; z = NOT a."""
+    b = Builder(name)
+    a, bb, c = b.inputs("a", "b", "c")
+    b.po(b.xor(b.and2(a, bb), c), "y")
+    b.po(b.inv(a), "z")
+    b.circuit.validate()
+    return b.circuit
+
+
+@pytest.fixture
+def toy_sequential():
+    return build_toy_sequential()
+
+
+@pytest.fixture
+def toy_combinational():
+    return build_toy_combinational()

@@ -1,0 +1,75 @@
+"""White-box tests for GkLock internals: rollback and candidate lists."""
+
+import random
+
+import pytest
+
+from repro.core import GkLock, available_ffs
+from repro.core.flow import GkLock as _GkLock
+from repro.locking import LockingError, select_encrypt_ff_group
+
+
+class TestRollback:
+    def test_rollback_restores_netlist_exactly(self, s1238):
+        """_try_insert followed by _rollback must leave no trace — the
+        paper's flow 'goes back to the feasible location selection
+        stage' after a true violation."""
+        circuit = s1238.circuit.clone()
+        scheme = GkLock(s1238.clock)
+        plans = available_ffs(circuit, s1238.clock)
+        plan = next(p for p in plans.values() if p.feasible)
+        before_gates = set(circuit.gates)
+        before_keys = list(circuit.key_inputs)
+        before_d = circuit.gates[plan.ff].pins["D"]
+
+        record = scheme._try_insert(circuit, plan, random.Random(1), 0)
+        assert record is not None
+        assert set(circuit.gates) != before_gates
+
+        scheme._rollback(
+            circuit,
+            record.gk,
+            record.keygen,
+            record.keygen.k1_net,
+            record.keygen.k2_net,
+        )
+        assert set(circuit.gates) == before_gates
+        assert circuit.key_inputs == before_keys
+        assert circuit.gates[plan.ff].pins["D"] == before_d
+        circuit.validate()
+
+    def test_impossible_window_rejected_cleanly(self, s1238):
+        """A plan whose UB sits below any realizable trigger must make
+        _try_insert roll back and return None."""
+        import dataclasses
+
+        circuit = s1238.circuit.clone()
+        scheme = GkLock(s1238.clock)
+        plans = available_ffs(circuit, s1238.clock)
+        plan = next(p for p in plans.values() if p.feasible)
+        doomed = dataclasses.replace(plan, ub=0.3)  # below clk->q + muxes
+        before_gates = set(circuit.gates)
+        record = scheme._try_insert(circuit, doomed, random.Random(2), 0)
+        assert record is None
+        assert set(circuit.gates) == before_gates
+        circuit.validate()
+
+
+class TestCandidateRestriction:
+    def test_candidate_ffs_whitelist_respected(self, s1238):
+        plans = available_ffs(s1238.circuit, s1238.clock)
+        feasible = [ff for ff, p in plans.items() if p.feasible]
+        group = select_encrypt_ff_group(s1238.circuit, feasible)
+        whitelist = group or feasible[:1]
+        locked = GkLock(s1238.clock, candidate_ffs=whitelist).lock(
+            s1238.circuit, 2, random.Random(3)
+        )
+        assert all(
+            r.gk.ff in set(whitelist) for r in locked.metadata["gks"]
+        )
+
+    def test_empty_whitelist_fails(self, s1238, rng):
+        with pytest.raises(LockingError, match="feasible"):
+            GkLock(s1238.clock, candidate_ffs=[]).lock(
+                s1238.circuit, 2, rng
+            )

@@ -1,0 +1,154 @@
+"""Tests for the Glitch Key-gate structure (paper Sec. II, Fig. 3-4)."""
+
+import itertools
+
+import pytest
+
+from repro.core import build_gk_demo, ideal_gk_library, insert_gk
+from repro.netlist import Builder
+from repro.sim import EventSimulator, evaluate_combinational
+
+
+class TestFig4Waveform:
+    """The paper's Fig. 4: x=1, DA=2ns, DB=3ns, rise @3ns, fall @11ns."""
+
+    def setup_method(self):
+        self.circuit = build_gk_demo(2.0, 3.0, "3a")
+        sim = EventSimulator(self.circuit)
+        sim.set_initial("x", 1)
+        sim.drive("key", [(3.0, 1), (11.0, 0)], initial=0)
+        self.result = sim.run(16.0)
+
+    def test_constant_key_output_is_inverted(self):
+        y = self.result.waveforms["y"]
+        assert y.value_at(1.0) == 0  # x' = 0 while key = 0
+        assert y.value_at(8.0) == 0  # x' = 0 while key = 1
+
+    def test_rising_glitch_length_is_db(self):
+        pulses = self.result.waveforms["y"].pulses(1, 0.0, 8.0)
+        assert len(pulses) == 1
+        assert pulses[0].start == pytest.approx(3.0)
+        assert pulses[0].length == pytest.approx(3.0)  # DB
+
+    def test_falling_glitch_length_is_da(self):
+        pulses = self.result.waveforms["y"].pulses(1, 8.0, 16.0)
+        assert len(pulses) == 1
+        assert pulses[0].start == pytest.approx(11.0)
+        assert pulses[0].length == pytest.approx(2.0)  # DA
+
+    def test_glitch_carries_buffer_value(self):
+        y = self.result.waveforms["y"]
+        assert y.value_at(4.0) == 1  # == x during the glitch
+
+
+class TestVariant3b:
+    def test_constant_key_is_buffer(self):
+        c = build_gk_demo(2.0, 3.0, "3b")
+        sim = EventSimulator(c)
+        sim.set_initial("x", 1)
+        sim.drive("key", [(3.0, 1)], initial=0)
+        result = sim.run(10.0)
+        y = result.waveforms["y"]
+        assert y.value_at(1.0) == 1  # buffer before the transition
+        assert y.value_at(9.0) == 1  # buffer after
+        # the glitch is the *inverter* value
+        pulses = y.pulses(0, 0.0, 10.0)
+        assert pulses and pulses[0].start == pytest.approx(3.0)
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError, match="variant"):
+            build_gk_demo(1.0, 2.0, "3c")
+
+
+class TestBooleanNonInfluence:
+    """Sec. V-A: the GK's key input is combinationally invisible."""
+
+    @pytest.mark.parametrize("variant", ["3a", "3b"])
+    def test_static_evaluation_ignores_key(self, variant):
+        c = build_gk_demo(2.0, 3.0, variant)
+        for x, key in itertools.product((0, 1), repeat=2):
+            values = evaluate_combinational(c, {"x": x, "key": key})
+            expected = (1 - x) if variant == "3a" else x
+            assert values["y"] == expected
+
+    def test_no_dip_exists_on_unit_gk(self):
+        """Directly: no input makes two key values disagree."""
+        c = build_gk_demo(2.0, 3.0, "3a")
+        for x in (0, 1):
+            a = evaluate_combinational(c, {"x": x, "key": 0})["y"]
+            b = evaluate_combinational(c, {"x": x, "key": 1})["y"]
+            assert a == b
+
+
+class TestInsertGk:
+    def host(self):
+        b = Builder("host")
+        b.clock("clk")
+        a = b.input("a")
+        n = b.inv(a)
+        b.dff(n, name="ff")
+        b.po(b.circuit.gates["ff"].output, "y")
+        key = b.input("keywire")  # plain wire for structural tests
+        return b.circuit, key
+
+    def test_structure_created(self):
+        c, key = self.host()
+        gk = insert_gk(c, "ff", key, 0.9, 0.9, "3a")
+        c.validate()
+        assert c.gates["ff"].pins["D"] == gk.output_net
+        assert c.gates[gk.mux_gate].function == "MUX2"
+        assert c.gates[gk.arm_a_gate].function == "XNOR2"
+        assert c.gates[gk.arm_b_gate].function == "XOR2"
+        assert gk.d_path_a >= 0.9 and gk.d_path_b >= 0.9
+        assert gk.pre_inverter is None
+
+    def test_3b_swaps_arms(self):
+        c, key = self.host()
+        gk = insert_gk(c, "ff", key, 0.9, 0.9, "3b")
+        assert c.gates[gk.arm_a_gate].function == "XOR2"
+        assert c.gates[gk.arm_b_gate].function == "XNOR2"
+
+    def test_pre_inverter(self):
+        c, key = self.host()
+        gk = insert_gk(c, "ff", key, 0.9, 0.9, "3b", pre_invert=True)
+        c.validate()
+        assert gk.pre_inverter is not None
+        assert c.gates[gk.pre_inverter].function == "INV"
+        assert gk.constant_behaviour == "inverter"  # buffer of x' == x'
+
+    def test_constant_behaviour_labels(self):
+        c, key = self.host()
+        gk = insert_gk(c, "ff", key, 0.9, 0.9, "3a")
+        assert gk.constant_behaviour == "inverter"
+
+    def test_glitch_lengths_from_achieved_paths(self):
+        c, key = self.host()
+        gk = insert_gk(c, "ff", key, 0.9, 0.9, "3a")
+        assert gk.glitch_length_rise == pytest.approx(gk.d_path_b + gk.d_mux)
+        assert gk.glitch_length_fall == pytest.approx(gk.d_path_a + gk.d_mux)
+
+    def test_non_ff_target_rejected(self):
+        c, key = self.host()
+        inv = [g for g in c.gates.values() if g.function == "INV"][0]
+        with pytest.raises(ValueError, match="not a flip-flop"):
+            insert_gk(c, inv.name, key, 0.9, 0.9)
+
+    def test_bad_variant_rejected(self):
+        c, key = self.host()
+        with pytest.raises(ValueError, match="variant"):
+            insert_gk(c, "ff", key, 0.9, 0.9, "3z")
+
+    def test_gate_names_complete(self):
+        c, key = self.host()
+        before = set(c.gates)
+        gk = insert_gk(c, "ff", key, 0.9, 0.9, "3a", pre_invert=True)
+        added = set(c.gates) - before
+        assert added == set(gk.gate_names)
+
+
+class TestIdealLibrary:
+    def test_exact_delays(self):
+        lib = ideal_gk_library(1.5, 2.5)
+        assert lib["DELAY_A"].delay == 1.5
+        assert lib["DELAY_B"].delay == 2.5
+        assert lib["XOR2_I"].delay == 0.0

@@ -1,0 +1,78 @@
+"""Tests for feasible-location analysis (Table I machinery)."""
+
+import pytest
+
+from repro.core import DEFAULT_GLITCH_LENGTH, available_ffs, plan_gk_insertion
+from repro.sta import ClockSpec, analyze
+
+
+class TestAvailableFfs:
+    def test_plans_cover_every_ff(self, s1238):
+        plans = available_ffs(s1238.circuit, s1238.clock)
+        assert set(plans) == {g.name for g in s1238.circuit.flip_flops()}
+
+    def test_feasible_implies_enough_slack(self, s1238):
+        """Eq. (3): a feasible site must fit arrival + L_glitch under UB."""
+        ta = analyze(s1238.circuit, s1238.clock)
+        plans = available_ffs(s1238.circuit, s1238.clock, analysis=ta)
+        for ff, plan in plans.items():
+            if plan.feasible:
+                assert plan.t_arrival + plan.l_glitch < plan.ub
+                assert not plan.window_on.empty
+                assert plan.window_on.contains(plan.trigger_correct)
+
+    def test_infeasible_has_reason(self, s1238):
+        plans = available_ffs(s1238.circuit, s1238.clock)
+        for plan in plans.values():
+            if not plan.feasible:
+                assert plan.reason
+
+    def test_longer_glitch_reduces_availability(self, s1238):
+        short = available_ffs(s1238.circuit, s1238.clock, glitch_length=0.6)
+        long = available_ffs(s1238.circuit, s1238.clock, glitch_length=1.6)
+        n_short = sum(p.feasible for p in short.values())
+        n_long = sum(p.feasible for p in long.values())
+        assert n_long <= n_short
+
+    def test_glitch_below_setup_hold_rejected_everywhere(self, s1238):
+        ff = s1238.circuit.flip_flops()[0]
+        minimum = ff.cell.setup + ff.cell.hold
+        plans = available_ffs(
+            s1238.circuit, s1238.clock, glitch_length=minimum * 0.5
+        )
+        assert not any(p.feasible for p in plans.values())
+        assert all("setup+hold" in p.reason for p in plans.values())
+
+    def test_slower_clock_increases_availability(self, s1238):
+        tight = available_ffs(s1238.circuit, s1238.clock)
+        relaxed = available_ffs(
+            s1238.circuit, ClockSpec(period=s1238.clock.period * 2)
+        )
+        assert sum(p.feasible for p in relaxed.values()) >= sum(
+            p.feasible for p in tight.values()
+        )
+
+
+class TestPlanDetails:
+    def test_decoy_trigger_in_off_window_when_possible(self, s1238):
+        plans = available_ffs(s1238.circuit, s1238.clock)
+        for plan in plans.values():
+            if plan.feasible and not plan.wrong_arm_violates:
+                assert plan.window_off.contains(plan.trigger_wrong)
+
+    def test_triggers_distinct(self, s1238):
+        plans = available_ffs(s1238.circuit, s1238.clock)
+        for plan in plans.values():
+            if plan.feasible:
+                assert plan.trigger_correct != plan.trigger_wrong
+
+    def test_default_glitch_length_is_papers(self):
+        assert DEFAULT_GLITCH_LENGTH == 1.0
+
+    def test_plan_single_ff(self, s1238):
+        ta = analyze(s1238.circuit, s1238.clock)
+        ff = sorted(g.name for g in s1238.circuit.flip_flops())[0]
+        plan = plan_gk_insertion(s1238.circuit, ta, ff)
+        assert plan.ff == ff
+        assert plan.lb < plan.ub
+        assert plan.d_mux > 0

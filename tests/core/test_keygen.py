@@ -1,0 +1,113 @@
+"""Tests for the KEYGEN transition generator (paper Fig. 5-6)."""
+
+import pytest
+
+from repro.core import KEYGEN_MODES, insert_keygen, mode_of_key
+from repro.netlist import Circuit, default_library
+from repro.sim import EventSimulator
+
+
+def host():
+    c = Circuit("kg", default_library())
+    c.set_clock("clk")
+    k1 = c.add_key_input("k1")
+    k2 = c.add_key_input("k2")
+    return c, k1, k2
+
+
+def simulate(circuit, structure, k1, k2, period=4.0, cycles=4):
+    sim = EventSimulator(circuit)
+    sim.initialize_ffs(0)
+    sim.set_initial(structure.k1_net, k1)
+    sim.set_initial(structure.k2_net, k2)
+    sim.add_clock(period, cycles)
+    return sim.run(period * cycles)
+
+
+class TestModes:
+    def test_mode_table_matches_fig6(self):
+        assert KEYGEN_MODES == {
+            (0, 0): "const0",
+            (1, 0): "shift_a",
+            (0, 1): "shift_b",
+            (1, 1): "const1",
+        }
+        assert mode_of_key(1, 0) == "shift_a"
+
+    def test_const0_mode(self):
+        c, k1, k2 = host()
+        s = insert_keygen(c, k1, k2, 1.0, 2.0)
+        c.add_output(s.key_out)
+        result = simulate(c, s, 0, 0)
+        assert result.waveforms[s.key_out].changes == []
+        assert result.waveforms[s.key_out].final_value() == 0
+
+    def test_const1_mode(self):
+        c, k1, k2 = host()
+        s = insert_keygen(c, k1, k2, 1.0, 2.0)
+        c.add_output(s.key_out)
+        result = simulate(c, s, 1, 1)
+        wf = result.waveforms[s.key_out]
+        assert wf.final_value() == 1
+        # settles to 1 once the tie propagates; no per-cycle toggling
+        assert len(wf.changes) <= 1
+
+    @pytest.mark.parametrize("k1,k2,attr", [(1, 0, "trigger_a"), (0, 1, "trigger_b")])
+    def test_transition_modes_fire_each_cycle(self, k1, k2, attr):
+        c, kn1, kn2 = host()
+        s = insert_keygen(c, kn1, kn2, 1.0, 2.0)
+        c.add_output(s.key_out)
+        period, cycles = 4.0, 4
+        result = simulate(c, s, k1, k2, period, cycles)
+        trigger = getattr(s, attr)
+        changes = result.waveforms[s.key_out].changes
+        # one transition per cycle, alternating direction
+        expected_times = [k * period + trigger for k in range(cycles)]
+        got_times = [t for t, _v in changes]
+        assert got_times == pytest.approx(expected_times, abs=1e-6)
+        directions = [v for _t, v in changes]
+        assert directions == [1, 0, 1, 0]
+
+
+class TestTriggers:
+    def test_achieved_triggers_meet_targets(self):
+        c, k1, k2 = host()
+        s = insert_keygen(c, k1, k2, 1.3, 2.1)
+        assert s.trigger_a >= 1.3
+        assert s.trigger_b >= 2.1
+        # quantization overshoot bounded by the smallest library buffer
+        assert s.trigger_a < 1.3 + 0.06
+        assert s.trigger_b < 2.1 + 0.06
+
+    def test_trigger_of_mode(self):
+        c, k1, k2 = host()
+        s = insert_keygen(c, k1, k2, 1.0, 2.0)
+        assert s.trigger_of_mode("shift_a") == s.trigger_a
+        assert s.trigger_of_mode("shift_b") == s.trigger_b
+        assert s.trigger_of_mode("const0") is None
+
+    def test_minimum_trigger_is_clkq_plus_mux(self):
+        c, k1, k2 = host()
+        s = insert_keygen(c, k1, k2, 0.0, 0.0)
+        lib = c.library
+        base = lib.cheapest("DFF").delay + lib.cheapest("MUX4").delay
+        assert s.trigger_a >= base
+
+    def test_explicit_key_out_name(self):
+        c, k1, k2 = host()
+        name = c.new_net("myout")
+        s = insert_keygen(c, k1, k2, 1.0, 2.0, key_out=name)
+        assert s.key_out == name
+
+    def test_clockless_circuit_rejected(self):
+        c = Circuit("noclk", default_library())
+        k1 = c.add_key_input("k1")
+        k2 = c.add_key_input("k2")
+        with pytest.raises(ValueError, match="clock"):
+            insert_keygen(c, k1, k2, 1.0, 2.0)
+
+    def test_gate_names_complete(self):
+        c, k1, k2 = host()
+        before = set(c.gates)
+        s = insert_keygen(c, k1, k2, 1.0, 2.0)
+        assert set(c.gates) - before == set(s.gate_names)

@@ -1,0 +1,130 @@
+"""Tests for GK behaviour strategy and the withholding defense."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    GkLock,
+    KEYGEN_MODES,
+    WithholdingError,
+    choose_config,
+    expected_capture,
+    withhold_gk,
+)
+from repro.sim.harness import compare_with_original, random_input_sequence
+
+
+class TestStrategy:
+    def test_configs_preserve_function_structurally(self, rng):
+        """Both sampled flavours pair variant and pre-inversion so the
+        glitch level carries the original data."""
+        seen = set()
+        for _ in range(50):
+            config = choose_config(rng)
+            seen.add((config.variant, config.pre_invert))
+            assert (config.variant, config.pre_invert) in {
+                ("3a", False),
+                ("3b", True),
+            }
+            assert config.correct_mode in ("shift_a", "shift_b")
+        assert len(seen) == 2  # both flavours get sampled
+
+    def test_correct_key_matches_mode(self, rng):
+        for _ in range(10):
+            config = choose_config(rng)
+            assert KEYGEN_MODES[config.correct_key] == config.correct_mode
+
+    def test_decoy_is_other_arm(self, rng):
+        config = choose_config(rng)
+        assert {config.correct_mode, config.decoy_mode} == {
+            "shift_a", "shift_b",
+        }
+
+    def test_expected_capture_classification(self, s1238, rng):
+        from repro.core import available_ffs
+
+        plans = available_ffs(s1238.circuit, s1238.clock)
+        plan = next(p for p in plans.values() if p.feasible)
+        config = choose_config(rng)
+        assert expected_capture(config, plan, config.correct_key) == "data"
+        assert expected_capture(config, plan, (0, 0)) == "inverted"
+        assert expected_capture(config, plan, (1, 1)) == "inverted"
+        decoy_bits = [
+            b for b, m in KEYGEN_MODES.items() if m == config.decoy_mode
+        ][0]
+        assert expected_capture(config, plan, decoy_bits) in (
+            "inverted",
+            "metastable",
+        )
+
+
+class TestWithholding:
+    @pytest.fixture()
+    def locked(self, s1238):
+        return GkLock(s1238.clock, margin=0.35).lock(
+            s1238.circuit, 8, random.Random(43)
+        )
+
+    def test_arms_become_luts(self, s1238, locked):
+        record = locked.metadata["gks"][0]
+        wr = withhold_gk(locked.circuit, record, s1238.clock.period)
+        for lut_name in wr.lut_gates:
+            assert locked.circuit.gates[lut_name].function == "LUT"
+        assert record.gk.arm_a_gate not in locked.circuit.gates
+        assert record.gk.arm_b_gate not in locked.circuit.gates
+
+    def test_chip_still_works_after_withholding(self, s1238, locked):
+        for record in locked.metadata["gks"]:
+            withhold_gk(locked.circuit, record, s1238.clock.period)
+        seq = random_input_sequence(s1238.circuit, 10, random.Random(3))
+        result = compare_with_original(
+            s1238.circuit,
+            locked.circuit,
+            s1238.clock.period,
+            seq,
+            locked.key,
+        )
+        assert result.equivalent
+        assert result.violations == 0
+
+    def test_wrong_key_still_corrupts_after_withholding(self, s1238, locked):
+        for record in locked.metadata["gks"]:
+            withhold_gk(locked.circuit, record, s1238.clock.period)
+        wrong = locked.random_wrong_key(random.Random(6))
+        seq = random_input_sequence(s1238.circuit, 10, random.Random(5))
+        result = compare_with_original(
+            s1238.circuit, locked.circuit, s1238.clock.period, seq, wrong
+        )
+        assert not result.equivalent
+
+    def test_pre_inverter_absorbed(self, s1238, locked):
+        with_inv = [
+            r for r in locked.metadata["gks"] if r.gk.pre_inverter is not None
+        ]
+        if not with_inv:
+            pytest.skip("no pre-inverter GK in this draw")
+        record = with_inv[0]
+        wr = withhold_gk(locked.circuit, record, s1238.clock.period)
+        assert record.gk.pre_inverter in wr.absorbed_gates
+        assert record.gk.pre_inverter not in locked.circuit.gates
+
+    def test_tight_window_rejected(self, s1238, locked):
+        """A GK whose Eq. (5) window cannot absorb the LUT-vs-XOR delay
+        difference must be refused (and left untouched)."""
+        import dataclasses
+
+        record = locked.metadata["gks"][0]
+        # Shrink the recorded UB until the achieved trigger no longer
+        # fits once the LUT delay is added.
+        squeezed = dataclasses.replace(
+            record,
+            plan=dataclasses.replace(
+                record.plan,
+                ub=record.trigger_correct_achieved + record.gk.d_mux - 0.01,
+            ),
+        )
+        with pytest.raises(WithholdingError, match="window"):
+            withhold_gk(locked.circuit, squeezed, s1238.clock.period)
+        # netlist untouched: arms still XOR/XNOR gates
+        assert record.gk.arm_a_gate in locked.circuit.gates

@@ -1,0 +1,140 @@
+"""Tests for Eqs. (1)-(6) (paper Sec. IV-A)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    TriggerWindow,
+    glitch_length,
+    insertion_valid_off_level,
+    insertion_valid_on_level,
+    minimum_glitch_length,
+    path_delay_bounds,
+    trigger_window_off_level,
+    trigger_window_on_level,
+)
+
+
+class TestEq1Bounds:
+    def test_zero_skew(self):
+        lb, ub = path_delay_bounds(t_clk=8.0, t_setup=1.0, t_hold=1.0)
+        assert lb == 1.0 and ub == 7.0
+
+    def test_skew_shifts_both(self):
+        lb, ub = path_delay_bounds(8.0, 1.0, 1.0, t_i=0.5, t_j=1.0)
+        assert lb == pytest.approx(1.5)
+        assert ub == pytest.approx(7.5)
+
+    def test_paper_example(self):
+        """Sec. IV-A: LB=5, UB=10, valid delay 7 -> 7 in [5, 10]."""
+        lb, ub = 5.0, 10.0
+        assert lb <= 7.0 <= ub
+
+
+class TestEq2GlitchLength:
+    def test_sum(self):
+        assert glitch_length(0.89, 0.11) == pytest.approx(1.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            glitch_length(-1.0, 0.1)
+
+    def test_minimum_for_capture(self):
+        assert minimum_glitch_length(1.0, 1.0) == 2.0
+
+
+class TestEq3Eq4Validity:
+    def test_on_level_inside(self):
+        assert insertion_valid_on_level(
+            t_arrival=2.0, d_ready=0.9, d_react=0.1, lb=1.0, ub=7.0
+        )
+
+    def test_on_level_too_late(self):
+        assert not insertion_valid_on_level(
+            t_arrival=6.5, d_ready=0.9, d_react=0.1, lb=1.0, ub=7.0
+        )
+
+    def test_off_level_uses_max_path(self):
+        assert insertion_valid_off_level(
+            t_arrival=2.0, max_d_path=1.5, d_mux=0.1, lb=1.0, ub=7.0
+        )
+        assert not insertion_valid_off_level(
+            t_arrival=6.0, max_d_path=1.5, d_mux=0.1, lb=1.0, ub=7.0
+        )
+
+
+class TestFig9Windows:
+    """The paper's worked example: Tclk=8, setup=hold=1, L=3, T_j=8."""
+
+    def test_on_level_window(self):
+        window = trigger_window_on_level(
+            t_j=8.0, t_hold=1.0, l_glitch=3.0, d_react=0.0,
+            ub=7.0, t_arrival=0.0, d_ready=3.0,
+        )
+        # glitch (a): before UB - D_react = 7; glitch (b): after
+        # T_j + hold - L - D_react = 6
+        assert window.earliest == pytest.approx(6.0)
+        assert window.latest == pytest.approx(7.0)
+        assert not window.empty
+
+    def test_off_level_window(self):
+        window = trigger_window_off_level(
+            lb=1.0, ub=7.0, l_glitch=3.0, d_react=0.0
+        )
+        # glitch (d): after LB - D_react = 1; glitch (c): before
+        # UB - L - D_react = 4
+        assert window.earliest == pytest.approx(1.0)
+        assert window.latest == pytest.approx(4.0)
+
+    def test_data_readiness_tightens_on_level(self):
+        window = trigger_window_on_level(
+            t_j=8.0, t_hold=1.0, l_glitch=3.0, d_react=0.0,
+            ub=7.0, t_arrival=4.0, d_ready=3.0,
+        )
+        assert window.earliest == pytest.approx(7.0)  # arrival-bound now
+        assert window.empty
+
+    def test_d_react_shifts_both_edges(self):
+        window = trigger_window_on_level(
+            t_j=8.0, t_hold=1.0, l_glitch=3.0, d_react=0.5,
+            ub=7.0, t_arrival=0.0, d_ready=3.0,
+        )
+        assert window.earliest == pytest.approx(5.5)
+        assert window.latest == pytest.approx(6.5)
+
+
+class TestTriggerWindow:
+    def test_contains_and_midpoint(self):
+        w = TriggerWindow(1.0, 3.0)
+        assert w.contains(2.0)
+        assert not w.contains(1.0)  # open interval
+        assert w.midpoint() == 2.0
+        assert w.width == 2.0
+
+    def test_empty_window(self):
+        w = TriggerWindow(3.0, 1.0)
+        assert w.empty
+        assert w.width == 0.0
+        with pytest.raises(ValueError):
+            w.midpoint()
+
+
+@given(
+    t_clk=st.floats(2.0, 20.0),
+    t_setup=st.floats(0.1, 1.0),
+    t_hold=st.floats(0.1, 1.0),
+    l_glitch=st.floats(0.5, 4.0),
+    d_react=st.floats(0.0, 0.5),
+)
+def test_property_windows_disjoint(t_clk, t_setup, t_hold, l_glitch, d_react):
+    """The on-level window (glitch covers the capture window) and the
+    off-level window (glitch clear of it) can never overlap."""
+    lb, ub = path_delay_bounds(t_clk, t_setup, t_hold)
+    on = trigger_window_on_level(
+        t_j=t_clk, t_hold=t_hold, l_glitch=l_glitch, d_react=d_react,
+        ub=ub, t_arrival=0.0, d_ready=l_glitch - d_react,
+    )
+    off = trigger_window_off_level(lb, ub, l_glitch, d_react)
+    if on.empty or off.empty:
+        return
+    assert off.latest <= on.earliest + 1e-9

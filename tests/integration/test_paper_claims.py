@@ -1,0 +1,177 @@
+"""End-to-end integration tests: the paper's claims, in one place.
+
+Each test replays a named claim from the paper against the full stack
+(benchmark generation -> design flow -> locking -> simulation ->
+attack), rather than exercising one module.
+"""
+
+import random
+
+import pytest
+
+from repro.attacks import (
+    CombinationalOracle,
+    enhanced_removal_attack,
+    removal_attack,
+    sat_attack,
+    scan_attack,
+    verify_key_against_oracle,
+)
+from repro.bench import iwls_benchmark
+from repro.core import GkLock, expose_gk_keys, withhold_gk
+from repro.locking import HybridGkXor, SarLock, XorLock
+from repro.locking.base import LockedCircuit
+from repro.netlist import overhead
+from repro.sim.harness import compare_with_original, random_input_sequence
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return iwls_benchmark("s1238")
+
+
+@pytest.fixture(scope="module")
+def gk_locked(bench):
+    return GkLock(bench.clock).lock(bench.circuit, 8, random.Random(42))
+
+
+class TestClaimLicensing:
+    """A GK-locked chip is exactly the original product iff the licensed
+    key (KEYGEN modes) is programmed."""
+
+    def test_correct_key_equals_original(self, bench, gk_locked):
+        seq = random_input_sequence(bench.circuit, 14, random.Random(1))
+        result = compare_with_original(
+            bench.circuit, gk_locked.circuit, bench.clock.period, seq,
+            gk_locked.key,
+        )
+        assert result.equivalent and result.violations == 0
+
+    def test_all_wrong_single_gk_keys_corrupt(self, bench, gk_locked):
+        seq = random_input_sequence(bench.circuit, 8, random.Random(2))
+        record = gk_locked.metadata["gks"][0]
+        for bits in ((0, 0), (0, 1), (1, 0), (1, 1)):
+            key = dict(gk_locked.key)
+            key[record.keygen.k1_net], key[record.keygen.k2_net] = bits
+            result = compare_with_original(
+                bench.circuit, gk_locked.circuit, bench.clock.period, seq, key
+            )
+            if bits == record.correct_key:
+                assert result.equivalent
+            else:
+                assert not result.equivalent
+
+
+class TestClaimSatAttackInvalidated:
+    """Sec. VI: SAT attack stops at the first DIP iteration, UNSAT."""
+
+    def test_gk_unsat_first_iteration(self, bench, gk_locked):
+        exposed = expose_gk_keys(gk_locked)
+        oracle = CombinationalOracle(bench.circuit)
+        result = sat_attack(exposed, oracle)
+        assert result.unsat_at_first_iteration
+        assert verify_key_against_oracle(
+            exposed, oracle, result.key, samples=32
+        ) < 0.5
+
+    def test_xor_baseline_is_cracked(self, bench):
+        locked = XorLock().lock(bench.circuit, 8, random.Random(3))
+        oracle = CombinationalOracle(bench.circuit)
+        result = sat_attack(locked.circuit, oracle)
+        assert result.completed and result.iterations > 0
+        assert verify_key_against_oracle(
+            locked.circuit, oracle, result.key, samples=32
+        ) == 1.0
+
+
+class TestClaimRemovalResistance:
+    """Sec. V-C: removal cracks SARLock but not GK."""
+
+    def test_sarlock_removed_gk_not(self, bench, gk_locked):
+        rng = random.Random(4)
+        sar = SarLock().lock(bench.circuit, 8, rng)
+        assert removal_attack(sar, samples=300, rng=rng).success
+        exposed = LockedCircuit(
+            circuit=expose_gk_keys(gk_locked),
+            original=bench.circuit,
+            key={},
+            scheme="gk-exposed",
+        )
+        assert not removal_attack(exposed, samples=300, rng=rng).success
+
+
+class TestClaimEnhancedRemovalAndWithholding:
+    """Sec. V-D: located GKs fall to remodel+SAT; withholding blocks it."""
+
+    def test_plain_falls_withheld_stands(self, bench):
+        plain = GkLock(bench.clock).lock(bench.circuit, 8, random.Random(42))
+        oracle = CombinationalOracle(bench.circuit)
+        assert enhanced_removal_attack(expose_gk_keys(plain), oracle).success
+
+        shielded = GkLock(bench.clock, margin=0.35).lock(
+            bench.circuit, 8, random.Random(43)
+        )
+        for record in shielded.metadata["gks"]:
+            withhold_gk(shielded.circuit, record, bench.clock.period)
+        result = enhanced_removal_attack(expose_gk_keys(shielded), oracle)
+        assert not result.success
+        # and the shielded chip still works
+        seq = random_input_sequence(bench.circuit, 8, random.Random(5))
+        assert compare_with_original(
+            bench.circuit, shielded.circuit, bench.clock.period, seq,
+            shielded.key,
+        ).equivalent
+
+
+class TestClaimHybridDefendsScan:
+    """Sec. VI: GK-only yields to scan tests; GK+XOR does not, at lower
+    area than all-GK."""
+
+    def test_scan_and_area(self, bench, gk_locked):
+        gk_ffs = {
+            r.gk.ff: r.keygen.key_out for r in gk_locked.metadata["gks"]
+        }
+        gk_scan = scan_attack(
+            gk_locked, expose_gk_keys(gk_locked), bench.clock.period, gk_ffs,
+            trials=3, cycles=6,
+        )
+        assert gk_scan.success
+
+        hybrid = HybridGkXor(bench.clock).lock(
+            bench.circuit, 8, random.Random(11)
+        )
+        h_ffs = {r.gk.ff: r.keygen.key_out for r in hybrid.metadata["gks"]}
+        h_scan = scan_attack(
+            hybrid, expose_gk_keys(hybrid), bench.clock.period, h_ffs,
+            trials=3, cycles=6,
+        )
+        assert not h_scan.success
+        assert overhead(bench.circuit, hybrid.circuit).area_added < overhead(
+            bench.circuit, gk_locked.circuit
+        ).area_added
+
+
+class TestClaimOverheadShape:
+    """Table II: overhead grows with GK count; big designs pay least."""
+
+    def test_monotone_in_gk_count(self, bench):
+        rng_seed = 100
+        oh = {}
+        for bits in (2, 4, 8):
+            locked = GkLock(bench.clock).lock(
+                bench.circuit, bits, random.Random(rng_seed + bits)
+            )
+            oh[bits] = overhead(bench.circuit, locked.circuit).cell_percent
+        assert oh[2] < oh[4] < oh[8]
+
+    def test_bigger_design_smaller_relative_overhead(self, bench, s5378):
+        small = GkLock(bench.clock).lock(
+            bench.circuit, 8, random.Random(7)
+        )
+        large = GkLock(s5378.clock).lock(
+            s5378.circuit, 8, random.Random(7)
+        )
+        assert (
+            overhead(s5378.circuit, large.circuit).cell_percent
+            < overhead(bench.circuit, small.circuit).cell_percent
+        )

@@ -1,0 +1,108 @@
+"""Tests for camouflaging and SAT-based de-camouflaging."""
+
+import random
+
+import pytest
+
+from repro.locking.camouflage import (
+    CAMOUFLAGE_CANDIDATES,
+    attacker_view,
+    camouflage,
+    decamouflage_attack,
+)
+from repro.netlist import Builder, check_equivalence
+from repro.sim import evaluate_combinational
+
+
+def host():
+    b = Builder("camo")
+    a, bb, c, d = b.inputs("a", "b", "c", "d")
+    n1 = b.nand2(a, bb)
+    n2 = b.nor2(c, d)
+    n3 = b.xor(n1, n2)
+    n4 = b.xnor(n3, a)
+    b.po(b.nand2(n4, d), "y1")
+    b.po(b.nor2(n3, c), "y2")
+    return b.circuit
+
+
+class TestCamouflage:
+    def test_function_preserved(self):
+        circuit = host()
+        camo = camouflage(circuit, 3, random.Random(1))
+        assert check_equivalence(circuit, camo.circuit).equivalent
+
+    def test_cells_become_luts(self):
+        circuit = host()
+        camo = camouflage(circuit, 2, random.Random(2))
+        for record in camo.gates:
+            gate = camo.circuit.gates[record.gate_name]
+            assert gate.function == "LUT"
+            assert record.true_function in CAMOUFLAGE_CANDIDATES
+
+    def test_ambiguity_bits(self):
+        circuit = host()
+        camo = camouflage(circuit, 3, random.Random(3))
+        assert camo.ambiguity_bits == pytest.approx(6.0)  # 3 cells x 2 bits
+
+    def test_too_many_rejected(self):
+        with pytest.raises(ValueError, match="available"):
+            camouflage(host(), 50, random.Random(4))
+
+    def test_attacker_view_hides_tables(self):
+        circuit = host()
+        camo = camouflage(circuit, 3, random.Random(5))
+        view = attacker_view(camo)
+        # at least one camouflaged cell evaluates differently in the
+        # attacker's (placeholder-table) view
+        import itertools
+
+        differs = False
+        for bits in itertools.product((0, 1), repeat=4):
+            pattern = dict(zip(circuit.inputs, bits))
+            real = evaluate_combinational(camo.circuit, pattern)
+            seen = evaluate_combinational(view, pattern)
+            if any(real[po] != seen[po] for po in circuit.outputs):
+                differs = True
+                break
+        assert differs
+
+
+class TestDecamouflage:
+    def test_sat_resolves_cells(self):
+        """The literature's result: structural ambiguity falls to the
+        SAT attack — the recovered programming is functionally exact."""
+        circuit = host()
+        camo = camouflage(circuit, 3, random.Random(6))
+        result = decamouflage_attack(camo)
+        assert result.completed
+        assert len(result.resolved) == 3
+        # rebuild the netlist with the resolved functions: must be
+        # functionally identical to the original
+        rebuilt = attacker_view(camo)
+        for record in camo.gates:
+            gate = rebuilt.gates[record.gate_name]
+            operands = gate.input_nets()
+            output = gate.output
+            rebuilt.remove_gate(record.gate_name)
+            rebuilt.add_gate(
+                record.gate_name + "_r",
+                rebuilt.library.cheapest(result.resolved[record.gate_name]).name,
+                {"A": operands[0], "B": operands[1]},
+                output,
+            )
+        assert check_equivalence(circuit, rebuilt).equivalent
+
+    def test_most_cells_exactly_recovered(self):
+        circuit = host()
+        camo = camouflage(circuit, 3, random.Random(7))
+        result = decamouflage_attack(camo)
+        # exact per-cell recovery is typical (ties are rare in a dense
+        # candidate set); functional success is guaranteed either way
+        assert result.correct >= 2
+
+    def test_benchmark_scale(self, s1238):
+        camo = camouflage(s1238.circuit, 4, random.Random(8))
+        result = decamouflage_attack(camo)
+        assert result.completed
+        assert len(result.resolved) == 4

@@ -1,0 +1,69 @@
+"""Tests for the Encrypt-Flip-Flop selection algorithm [4]."""
+
+import pytest
+
+from repro.locking import po_signatures, rank_groups, select_encrypt_ff_group
+from repro.netlist import Builder
+
+
+def shared_sink_machine():
+    """ff0 and ff1 both reach only PO y; ff2 reaches PO z."""
+    b = Builder("groups")
+    b.clock("clk")
+    a = b.input("a")
+    q0 = b.dff(a, name="ff0")
+    q1 = b.dff(a, name="ff1")
+    q2 = b.dff(a, name="ff2")
+    b.po(b.or2(q0, q1), "y")
+    b.po(b.buf(q2), "z")
+    return b.circuit
+
+
+class TestSignatures:
+    def test_signatures_computed_per_ff(self):
+        c = shared_sink_machine()
+        sigs = po_signatures(c)
+        assert set(sigs) == {"ff0", "ff1", "ff2"}
+        assert sigs["ff0"] == sigs["ff1"]
+        assert sigs["ff0"] != sigs["ff2"]
+
+    def test_signature_contents(self):
+        c = shared_sink_machine()
+        sigs = po_signatures(c)
+        assert any(s.startswith("po:") for s in sigs["ff2"])
+
+    def test_candidate_restriction(self):
+        c = shared_sink_machine()
+        sigs = po_signatures(c, candidates=["ff0"])
+        assert set(sigs) == {"ff0"}
+
+
+class TestGrouping:
+    def test_largest_group_selected(self):
+        c = shared_sink_machine()
+        group = select_encrypt_ff_group(c)
+        assert group == ["ff0", "ff1"]
+
+    def test_rank_groups_order(self):
+        c = shared_sink_machine()
+        groups = rank_groups(c)
+        assert groups[0] == ["ff0", "ff1"]
+        assert groups[1] == ["ff2"]
+
+    def test_restricted_candidates(self):
+        c = shared_sink_machine()
+        assert select_encrypt_ff_group(c, candidates=["ff1", "ff2"]) in (
+            ["ff1"],
+            ["ff2"],
+        )
+
+    def test_empty_circuit(self, toy_combinational):
+        assert select_encrypt_ff_group(toy_combinational) == []
+
+    def test_group_within_benchmark_available(self, s1238):
+        from repro.core import available_ffs
+
+        plans = available_ffs(s1238.circuit, s1238.clock)
+        feasible = [ff for ff, p in plans.items() if p.feasible]
+        group = select_encrypt_ff_group(s1238.circuit, feasible)
+        assert set(group) <= set(feasible)

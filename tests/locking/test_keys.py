@@ -1,0 +1,73 @@
+"""Tests for key-vector utilities and the LockedCircuit container."""
+
+import random
+
+import pytest
+
+from repro.locking import (
+    XorLock,
+    enumerate_keys,
+    flip_bits,
+    format_key,
+    hamming_distance,
+    random_key,
+)
+
+
+class TestKeyUtilities:
+    def test_random_key_covers_nets(self, rng):
+        key = random_key(["k0", "k1", "k2"], rng)
+        assert set(key) == {"k0", "k1", "k2"}
+        assert all(v in (0, 1) for v in key.values())
+
+    def test_hamming_distance(self):
+        a = {"k0": 0, "k1": 1}
+        b = {"k0": 1, "k1": 1}
+        assert hamming_distance(a, b) == 1
+        assert hamming_distance(a, a) == 0
+
+    def test_hamming_mismatched_nets_rejected(self):
+        with pytest.raises(ValueError):
+            hamming_distance({"k0": 0}, {"k1": 0})
+
+    def test_flip_bits(self):
+        key = {"k0": 0, "k1": 1}
+        flipped = flip_bits(key, ["k1"])
+        assert flipped == {"k0": 0, "k1": 0}
+        assert key["k1"] == 1  # original untouched
+
+    def test_enumerate_keys_complete(self):
+        keys = list(enumerate_keys(["a", "b"]))
+        assert len(keys) == 4
+        assert {format_key(k, ["a", "b"]) for k in keys} == {
+            "00", "10", "01", "11",
+        }
+
+    def test_enumerate_refuses_huge(self):
+        with pytest.raises(ValueError):
+            list(enumerate_keys([f"k{i}" for i in range(25)]))
+
+
+class TestLockedCircuit:
+    def test_key_vector_order(self, toy_combinational, rng):
+        locked = XorLock().lock(toy_combinational, 3, rng)
+        vector = locked.key_vector()
+        assert vector == [locked.key[n] for n in locked.circuit.key_inputs]
+        assert locked.key_size == 3
+
+    def test_assignment_roundtrip(self, toy_combinational, rng):
+        locked = XorLock().lock(toy_combinational, 2, rng)
+        bits = locked.key_vector()
+        assert locked.assignment_for(bits) == locked.key
+
+    def test_assignment_wrong_width_rejected(self, toy_combinational, rng):
+        locked = XorLock().lock(toy_combinational, 2, rng)
+        with pytest.raises(ValueError):
+            locked.assignment_for([0])
+
+    def test_random_wrong_key_differs(self, toy_combinational, rng):
+        locked = XorLock().lock(toy_combinational, 3, rng)
+        for _ in range(10):
+            wrong = locked.random_wrong_key(rng)
+            assert wrong != locked.key
+            assert set(wrong) == set(locked.key)

@@ -1,0 +1,109 @@
+"""Tests for the SARLock and Anti-SAT point-function schemes."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.locking import AntiSat, LockingError, SarLock
+from repro.sim import evaluate_combinational
+
+
+def outputs(circuit, pattern, key):
+    assignment = dict(pattern)
+    assignment.update(key)
+    values = evaluate_combinational(circuit, assignment)
+    return tuple(values[net] for net in circuit.outputs)
+
+
+def reference_outputs(circuit, pattern):
+    values = evaluate_combinational(circuit, pattern)
+    return tuple(values[net] for net in circuit.outputs)
+
+
+class TestSarLock:
+    def test_correct_key_transparent(self, toy_combinational, rng):
+        locked = SarLock().lock(toy_combinational, 3, rng)
+        for bits in itertools.product((0, 1), repeat=3):
+            pattern = dict(zip(toy_combinational.inputs, bits))
+            assert outputs(locked.circuit, pattern, locked.key) == \
+                reference_outputs(toy_combinational, pattern)
+
+    def test_wrong_key_flips_exactly_one_pattern(self, toy_combinational, rng):
+        """The SARLock property: each wrong key corrupts exactly the
+        input word equal to that key."""
+        locked = SarLock().lock(toy_combinational, 3, rng)
+        from repro.locking import enumerate_keys
+
+        for key in enumerate_keys(locked.circuit.key_inputs):
+            if key == locked.key:
+                continue
+            corrupted = []
+            for bits in itertools.product((0, 1), repeat=3):
+                pattern = dict(zip(toy_combinational.inputs, bits))
+                if outputs(locked.circuit, pattern, key) != reference_outputs(
+                    toy_combinational, pattern
+                ):
+                    corrupted.append(bits)
+            assert len(corrupted) == 1
+            # the corrupted pattern IS the wrong key word
+            key_bits = tuple(
+                key[f"keyin_s{i}"] for i in range(3)
+            )
+            assert corrupted[0] == key_bits
+
+    def test_needs_enough_pis(self, rng):
+        from repro.netlist import Builder
+
+        b = Builder("tiny")
+        a = b.input("a")
+        b.po(b.inv(a), "y")
+        with pytest.raises(LockingError, match="PIs"):
+            SarLock().lock(b.circuit, 4, rng)
+
+    def test_zero_keys_rejected(self, toy_combinational, rng):
+        with pytest.raises(LockingError):
+            SarLock().lock(toy_combinational, 0, rng)
+
+
+class TestAntiSat:
+    def test_correct_key_transparent(self, toy_combinational, rng):
+        locked = AntiSat().lock(toy_combinational, 4, rng)
+        for bits in itertools.product((0, 1), repeat=3):
+            pattern = dict(zip(toy_combinational.inputs, bits))
+            assert outputs(locked.circuit, pattern, locked.key) == \
+                reference_outputs(toy_combinational, pattern)
+
+    def test_any_equal_halves_transparent(self, toy_combinational, rng):
+        """Anti-SAT is transparent whenever ka == kb (a key class)."""
+        locked = AntiSat().lock(toy_combinational, 4, rng)
+        for word in itertools.product((0, 1), repeat=2):
+            key = {}
+            for i in range(2):
+                key[f"keyin_a{i}"] = word[i]
+                key[f"keyin_b{i}"] = word[i]
+            for bits in itertools.product((0, 1), repeat=3):
+                pattern = dict(zip(toy_combinational.inputs, bits))
+                assert outputs(locked.circuit, pattern, key) == \
+                    reference_outputs(toy_combinational, pattern)
+
+    def test_unequal_halves_corrupt_something(self, toy_combinational, rng):
+        locked = AntiSat().lock(toy_combinational, 4, rng)
+        key = dict(locked.key)
+        key["keyin_a0"] = 1 - key["keyin_a0"]  # ka != kb now
+        corrupted = 0
+        for bits in itertools.product((0, 1), repeat=3):
+            pattern = dict(zip(toy_combinational.inputs, bits))
+            if outputs(locked.circuit, pattern, key) != reference_outputs(
+                toy_combinational, pattern
+            ):
+                corrupted += 1
+        assert corrupted >= 1
+
+    def test_odd_width_rejected(self, toy_combinational, rng):
+        with pytest.raises(LockingError, match="even"):
+            AntiSat().lock(toy_combinational, 5, rng)
+
+    def test_width_exceeding_pis_rejected(self, toy_combinational, rng):
+        with pytest.raises(LockingError, match="PIs"):
+            AntiSat().lock(toy_combinational, 12, rng)

@@ -1,0 +1,121 @@
+"""Tests for the Tunable Delay Key-gate scheme (paper Fig. 2)."""
+
+import random
+
+import pytest
+
+from repro.locking import LockingError, TdkLock
+from repro.netlist import Builder
+from repro.sim.harness import compare_with_original, random_input_sequence
+from repro.sta import ClockSpec, analyze
+
+
+def pipeline():
+    """A small design with room for the slow TDB arm."""
+    b = Builder("tdkpipe")
+    b.clock("clk")
+    a, bb = b.inputs("a", "b")
+    q0 = b.circuit.new_net("q0")
+    d0 = b.xor(a, bb)
+    b.dff(d0, out=q0, name="ff0")
+    d1 = b.and2(q0, a)
+    b.dff(d1, name="ff1")
+    b.po(q0, "y")
+    return b.circuit
+
+
+CLOCK = ClockSpec(period=3.0)
+
+
+class TestStructure:
+    def test_two_key_bits_per_tdk(self, rng):
+        c = pipeline()
+        locked = TdkLock(slow_delay=1.0).lock(c, 4, rng)
+        assert locked.key_size == 4
+        assert len(locked.metadata["tdks"]) == 2
+
+    def test_odd_width_rejected(self, rng):
+        with pytest.raises(LockingError, match="even"):
+            TdkLock().lock(pipeline(), 3, rng)
+
+    def test_too_many_tdks_rejected(self, rng):
+        with pytest.raises(LockingError, match="FFs"):
+            TdkLock().lock(pipeline(), 10, rng)
+
+    def test_protected_gates_recorded(self, rng):
+        locked = TdkLock().lock(pipeline(), 2, rng)
+        protected = locked.metadata["protected_gates"]
+        assert protected
+        assert all(g in locked.circuit.gates for g in protected)
+
+
+class TestTimingBehaviour:
+    def test_correct_key_meets_timing_and_function(self, rng):
+        c = pipeline()
+        locked = TdkLock(slow_delay=1.0, ff_names=["ff0"]).lock(c, 2, rng)
+        seq = random_input_sequence(c, 10, random.Random(1))
+        result = compare_with_original(
+            c, locked.circuit, CLOCK.period, seq, locked.key
+        )
+        assert result.equivalent
+        assert result.violations == 0
+
+    def test_wrong_delay_key_violates_setup(self, rng):
+        """Fig. 2(c): selecting the slow arm pushes past UB."""
+        c = pipeline()
+        locked = TdkLock(slow_delay=2.8, ff_names=["ff0"]).lock(c, 2, rng)
+        record = locked.metadata["tdks"][0]
+        assert not record["correct_slow"]
+        wrong = dict(locked.key)
+        wrong[record["k2"]] = 1  # select the slow arm
+        seq = random_input_sequence(c, 10, random.Random(2))
+        result = compare_with_original(
+            c, locked.circuit, CLOCK.period, seq, wrong
+        )
+        assert result.violations > 0 or result.mismatch_count > 0
+
+    def test_wrong_functional_key_corrupts(self, rng):
+        c = pipeline()
+        locked = TdkLock(slow_delay=1.0, ff_names=["ff0"]).lock(c, 2, rng)
+        record = locked.metadata["tdks"][0]
+        wrong = dict(locked.key)
+        wrong[record["k1"]] = 1 - wrong[record["k1"]]
+        seq = random_input_sequence(c, 10, random.Random(3))
+        result = compare_with_original(
+            c, locked.circuit, CLOCK.period, seq, wrong
+        )
+        assert not result.equivalent
+
+    def test_sta_sees_slow_arm_only_when_selected(self, rng):
+        """STA models the MUX worst-case: the slow arm is always on the
+        max path, which is exactly why the paper calls TDK removable —
+        the timing report exposes the TDB."""
+        c = pipeline()
+        locked = TdkLock(slow_delay=2.8, ff_names=["ff0"]).lock(c, 2, rng)
+        ta = analyze(locked.circuit, CLOCK)
+        assert ta.endpoints["ff0"].setup_slack < 0  # static view violates
+
+
+class TestDelayKeyInvisibleToBoolean:
+    def test_delay_key_combinationally_non_influential(self, rng):
+        """The TDB select changes only timing: both MUX arms carry the
+        same Boolean function, so cycle-accurate outputs are identical
+        for both k2 values (the SAT attack can never learn k2)."""
+        import itertools
+
+        from repro.sim import evaluate_combinational
+
+        c = pipeline()
+        locked = TdkLock(slow_delay=1.0, ff_names=["ff0"]).lock(c, 2, rng)
+        record = locked.metadata["tdks"][0]
+        for bits in itertools.product((0, 1), repeat=3):
+            a, bb, k1 = bits
+            base = {"a": a, "b": bb, record["k1"]: k1}
+            v0 = evaluate_combinational(
+                locked.circuit, {**base, record["k2"]: 0}
+            )
+            v1 = evaluate_combinational(
+                locked.circuit, {**base, record["k2"]: 1}
+            )
+            d_net = locked.circuit.gates["ff0"].pins["D"]
+            assert v0[d_net] == v1[d_net]

@@ -1,0 +1,95 @@
+"""Tests for XOR/XNOR random logic locking."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.locking import LockingError, XorLock, lockable_nets
+from repro.locking.xor_lock import insert_xor_keygate
+from repro.sim import evaluate_combinational
+
+
+def truth_table(circuit, key=None):
+    key = key or {}
+    rows = []
+    for bits in itertools.product((0, 1), repeat=len(circuit.inputs)):
+        assignment = dict(zip(circuit.inputs, bits))
+        assignment.update(key)
+        values = evaluate_combinational(circuit, assignment)
+        rows.append(tuple(values[net] for net in circuit.outputs))
+    return rows
+
+
+class TestXorLock:
+    def test_correct_key_preserves_function(self, toy_combinational, rng):
+        locked = XorLock().lock(toy_combinational, 2, rng)
+        assert truth_table(locked.circuit, locked.key) == truth_table(
+            toy_combinational
+        )
+
+    def test_every_wrong_key_changes_function(self, toy_combinational, rng):
+        locked = XorLock().lock(toy_combinational, 2, rng)
+        reference = truth_table(toy_combinational)
+        from repro.locking import enumerate_keys
+
+        wrong_count = 0
+        for key in enumerate_keys(locked.circuit.key_inputs):
+            if key == locked.key:
+                continue
+            wrong_count += 1
+            assert truth_table(locked.circuit, key) != reference
+        assert wrong_count == 3
+
+    def test_key_gate_count(self, toy_combinational, rng):
+        locked = XorLock().lock(toy_combinational, 2, rng)
+        assert locked.key_size == 2
+        stats = locked.circuit.stats()
+        assert stats.num_cells == toy_combinational.stats().num_cells + 2
+        assert len(locked.metadata["key_gates"]) == 2
+
+    def test_original_untouched(self, toy_combinational, rng):
+        before = toy_combinational.stats()
+        XorLock().lock(toy_combinational, 2, rng)
+        assert toy_combinational.stats() == before
+
+    def test_gate_type_matches_bit(self, toy_combinational, rng):
+        locked = XorLock().lock(toy_combinational, 2, rng)
+        for record in locked.metadata["key_gates"]:
+            gate = locked.circuit.gates[record["gate"]]
+            bit = locked.key[record["key"]]
+            assert gate.function == ("XNOR2" if bit else "XOR2")
+
+    def test_too_many_keys_rejected(self, toy_combinational, rng):
+        with pytest.raises(LockingError, match="lockable"):
+            XorLock().lock(toy_combinational, 50, rng)
+
+    def test_explicit_sites(self, toy_combinational, rng):
+        sites = lockable_nets(toy_combinational)[:1]
+        locked = XorLock(sites=sites).lock(toy_combinational, 1, rng)
+        assert locked.metadata["key_gates"][0]["net"] == sites[0]
+
+    def test_explicit_sites_width_mismatch(self, toy_combinational, rng):
+        with pytest.raises(LockingError, match="sites"):
+            XorLock(sites=["a"]).lock(toy_combinational, 2, rng)
+
+    def test_sequential_circuit_lockable(self, toy_sequential, rng):
+        locked = XorLock().lock(toy_sequential, 2, rng)
+        locked.circuit.validate()
+        assert locked.key_size == 2
+
+    def test_lockable_nets_excludes_pos_and_ties(self, toy_combinational):
+        nets = lockable_nets(toy_combinational)
+        assert not set(nets) & set(toy_combinational.outputs)
+
+
+class TestInsertXorKeygate:
+    def test_buffer_with_correct_bit(self, toy_combinational):
+        c = toy_combinational.clone()
+        k = c.add_key_input("kx")
+        net = lockable_nets(c)[0]
+        insert_xor_keygate(c, net, k, 1)
+        c.validate()
+        ref = truth_table(toy_combinational)
+        assert truth_table(c, {"kx": 1}) == ref
+        assert truth_table(c, {"kx": 0}) != ref

@@ -1,0 +1,109 @@
+"""Unit tests for the fluent circuit builder."""
+
+import itertools
+
+import pytest
+
+from repro.netlist import Builder, NetlistError
+from repro.sim import evaluate_combinational
+
+
+def eval_pattern(circuit, **inputs):
+    values = evaluate_combinational(circuit, inputs)
+    return {net: values[net] for net in circuit.outputs}
+
+
+class TestGateHelpers:
+    @pytest.mark.parametrize(
+        "method,function",
+        [
+            ("and2", lambda a, b: a & b),
+            ("nand2", lambda a, b: 1 - (a & b)),
+            ("or2", lambda a, b: a | b),
+            ("nor2", lambda a, b: 1 - (a | b)),
+            ("xor", lambda a, b: a ^ b),
+            ("xnor", lambda a, b: 1 - (a ^ b)),
+        ],
+    )
+    def test_binary_gates(self, method, function):
+        b = Builder("t")
+        a, bb = b.inputs("a", "b")
+        out = getattr(b, method)(a, bb)
+        b.circuit.add_output(out)
+        for va, vb in itertools.product((0, 1), repeat=2):
+            got = eval_pattern(b.circuit, a=va, b=vb)[out]
+            assert got == function(va, vb), (method, va, vb)
+
+    def test_inv_and_buf(self):
+        b = Builder("t")
+        a = b.input("a")
+        i = b.inv(a)
+        u = b.buf(a)
+        b.circuit.add_output(i)
+        b.circuit.add_output(u)
+        got = eval_pattern(b.circuit, a=1)
+        assert got[i] == 0 and got[u] == 1
+
+    def test_mux2(self):
+        b = Builder("t")
+        a, bb, s = b.inputs("a", "b", "s")
+        out = b.mux2(a, bb, s)
+        b.circuit.add_output(out)
+        assert eval_pattern(b.circuit, a=1, b=0, s=0)[out] == 1
+        assert eval_pattern(b.circuit, a=1, b=0, s=1)[out] == 0
+
+    def test_mux4_select_order(self):
+        b = Builder("t")
+        nets = b.inputs("i0", "i1", "i2", "i3", "s0", "s1")
+        out = b.mux4(*nets)
+        b.circuit.add_output(out)
+        for index in range(4):
+            pattern = {f"i{k}": int(k == index) for k in range(4)}
+            pattern["s0"] = index & 1
+            pattern["s1"] = (index >> 1) & 1
+            assert eval_pattern(b.circuit, **pattern)[out] == 1, index
+
+    def test_constants(self):
+        b = Builder("t")
+        b.input("a")
+        zero = b.const0()
+        one = b.const1()
+        b.circuit.add_output(zero)
+        b.circuit.add_output(one)
+        got = eval_pattern(b.circuit, a=0)
+        assert got[zero] == 0 and got[one] == 1
+
+    def test_lut(self):
+        b = Builder("t")
+        a, bb = b.inputs("a", "b")
+        out = b.lut([a, bb], [0, 1, 1, 0])  # XOR truth table
+        b.circuit.add_output(out)
+        for va, vb in itertools.product((0, 1), repeat=2):
+            assert eval_pattern(b.circuit, a=va, b=vb)[out] == va ^ vb
+
+    def test_lut_bad_arity(self):
+        b = Builder("t")
+        a = b.input("a")
+        with pytest.raises(ValueError, match="2..4"):
+            b.lut([a], [0, 1])
+
+    def test_dff_requires_clock(self):
+        b = Builder("t")
+        a = b.input("a")
+        with pytest.raises(ValueError, match="clock"):
+            b.dff(a)
+
+    def test_po_renames_via_buffer(self):
+        b = Builder("t")
+        a = b.input("a")
+        n = b.inv(a)
+        b.po(n, "result")
+        assert "result" in b.circuit.outputs
+        assert b.circuit.driver_of("result").function == "BUF"
+
+    def test_po_without_rename_is_direct(self):
+        b = Builder("t")
+        a = b.input("a")
+        n = b.inv(a)
+        b.po(n)
+        assert n in b.circuit.outputs

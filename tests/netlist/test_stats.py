@@ -1,0 +1,40 @@
+"""Tests for overhead accounting."""
+
+import pytest
+
+from repro.netlist import Builder, cell_histogram, overhead
+
+
+def test_overhead_computation(toy_combinational):
+    locked = toy_combinational.clone()
+    k = locked.add_key_input("k0")
+    out = locked.new_net()
+    locked.rewire_sinks("y", out)
+    locked.add_gate("kg", "XOR2_X1", {"A": "y", "B": k}, out)
+    oh = overhead(toy_combinational, locked)
+    assert oh.cells_added == 1
+    assert oh.area_added == pytest.approx(8.6)
+    base = toy_combinational.stats()
+    assert oh.cell_percent == pytest.approx(100.0 / base.num_cells)
+    assert oh.area_percent == pytest.approx(100.0 * 8.6 / base.area)
+
+
+def test_overhead_zero_for_identical(toy_combinational):
+    oh = overhead(toy_combinational, toy_combinational.clone())
+    assert oh.cells_added == 0
+    assert oh.cell_percent == 0.0
+    assert "+0 cells" in str(oh)
+
+
+def test_overhead_empty_original_rejected():
+    b = Builder("empty")
+    b.input("a")
+    with pytest.raises(ValueError, match="empty"):
+        overhead(b.circuit, b.circuit)
+
+
+def test_cell_histogram(toy_combinational):
+    hist = cell_histogram(toy_combinational)
+    assert hist["AND2_X1"] == 1
+    assert hist["XOR2_X1"] == 1
+    assert sum(hist.values()) == toy_combinational.stats().num_cells

@@ -1,0 +1,105 @@
+"""Tests for netlist transformations."""
+
+import itertools
+
+import pytest
+
+from repro.netlist import (
+    Builder,
+    NetlistError,
+    expose_as_key_input,
+    extract_combinational,
+    fanin_depths,
+    remove_gates,
+)
+from repro.sim import CycleSimulator, evaluate_combinational
+
+
+class TestExtractCombinational:
+    def test_structure(self, toy_sequential):
+        ext = extract_combinational(toy_sequential)
+        comb = ext.circuit
+        assert not comb.flip_flops()
+        assert comb.clock is None
+        # two pseudo PIs (q nets) and two pseudo POs (d nets)
+        assert len(comb.inputs) == len(toy_sequential.inputs) + 2
+        assert len(comb.outputs) == len(toy_sequential.outputs) + 2
+        assert set(ext.pseudo_inputs) == {"ff0", "ff1"}
+        assert set(ext.pseudo_outputs) == {"ff0", "ff1"}
+
+    def test_semantics_match_one_step(self, toy_sequential):
+        """One comb evaluation == one cycle of the sequential machine."""
+        ext = extract_combinational(toy_sequential)
+        for bits in itertools.product((0, 1), repeat=4):
+            a, bb, s0, s1 = bits
+            sim = CycleSimulator(
+                toy_sequential, initial_state={"ff0": s0, "ff1": s1}
+            )
+            outs = sim.step({"a": a, "b": bb})
+            assignment = {
+                "a": a,
+                "b": bb,
+                ext.pseudo_inputs["ff0"]: s0,
+                ext.pseudo_inputs["ff1"]: s1,
+            }
+            values = evaluate_combinational(ext.circuit, assignment)
+            assert values[ext.pseudo_outputs["ff0"]] == sim.state["ff0"]
+            assert values[ext.pseudo_outputs["ff1"]] == sim.state["ff1"]
+            for po in toy_sequential.outputs:
+                assert values[po] == outs[po]
+
+    def test_original_untouched(self, toy_sequential):
+        before = toy_sequential.stats()
+        extract_combinational(toy_sequential)
+        assert toy_sequential.stats() == before
+
+    def test_key_inputs_preserved(self):
+        b = Builder("k")
+        b.clock("clk")
+        a = b.input("a")
+        k = b.key_input("key0")
+        q = b.dff(b.xor(a, k))
+        b.po(q, "y")
+        ext = extract_combinational(b.circuit)
+        assert ext.circuit.key_inputs == ["key0"]
+
+
+class TestRemoveAndExpose:
+    def test_remove_gates_reports_undriven(self, toy_combinational):
+        c = toy_combinational.clone()
+        and_gate = [g for g in c.gates.values() if g.function == "AND2"][0]
+        undriven = remove_gates(c, [and_gate.name])
+        assert undriven == [and_gate.output]
+
+    def test_expose_as_key_input(self, toy_combinational):
+        c = toy_combinational.clone()
+        and_gate = [g for g in c.gates.values() if g.function == "AND2"][0]
+        net = and_gate.output
+        remove_gates(c, [and_gate.name])
+        expose_as_key_input(c, net)
+        assert net in c.key_inputs
+        c.validate()
+
+    def test_expose_driven_net_rejected(self, toy_combinational):
+        c = toy_combinational.clone()
+        with pytest.raises(NetlistError, match="still driven"):
+            expose_as_key_input(c, "a")
+
+
+class TestDepths:
+    def test_fanin_depths(self, toy_combinational):
+        depths = fanin_depths(toy_combinational)
+        assert depths["a"] == 0
+        and_gate = [
+            g for g in toy_combinational.gates.values() if g.function == "AND2"
+        ][0]
+        xor_gate = [
+            g for g in toy_combinational.gates.values() if g.function == "XOR2"
+        ][0]
+        assert depths[and_gate.output] == 1
+        assert depths[xor_gate.output] == 2
+
+    def test_ff_outputs_are_sources(self, toy_sequential):
+        depths = fanin_depths(toy_sequential)
+        for ff in toy_sequential.flip_flops():
+            assert depths[ff.output] == 0

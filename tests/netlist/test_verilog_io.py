@@ -1,0 +1,94 @@
+"""Tests for the structural Verilog writer/reader."""
+
+import io
+import itertools
+
+import pytest
+
+from repro.netlist import (
+    Builder,
+    NetlistError,
+    parse_verilog,
+    write_verilog,
+)
+from repro.sim import evaluate_combinational
+
+
+def roundtrip(circuit):
+    buf = io.StringIO()
+    write_verilog(circuit, buf)
+    return buf.getvalue(), parse_verilog(buf.getvalue())
+
+
+class TestRoundTrip:
+    def test_combinational(self, toy_combinational):
+        text, c2 = roundtrip(toy_combinational)
+        assert "module" in text and "endmodule" in text
+        for bits in itertools.product((0, 1), repeat=3):
+            pattern = dict(zip("abc", bits))
+            va = evaluate_combinational(toy_combinational, pattern)
+            vb = evaluate_combinational(c2, pattern)
+            for po_a, po_b in zip(toy_combinational.outputs, c2.outputs):
+                assert va[po_a] == vb[po_b]
+
+    def test_sequential_ports(self, toy_sequential):
+        _text, c2 = roundtrip(toy_sequential)
+        assert c2.clock == toy_sequential.clock
+        assert len(c2.flip_flops()) == 2
+        assert c2.inputs == toy_sequential.inputs
+
+    def test_key_inputs_annotated(self):
+        b = Builder("k")
+        a = b.input("a")
+        k = b.key_input("keybit")
+        b.po(b.xor(a, k), "y")
+        text, c2 = roundtrip(b.circuit)
+        assert "// key input" in text
+        assert c2.key_inputs == ["keybit"]
+
+    def test_illegal_names_escaped(self):
+        b = Builder("esc")
+        a = b.input("data[3]")  # brackets are not plain Verilog names
+        n = b.inv(a, out="1out")  # leading digit needs escaping too
+        b.circuit.add_output(n)
+        text, c2 = roundtrip(b.circuit)
+        assert "\\data[3] " in text and "\\1out " in text
+        assert c2.inputs == ["data[3]"]
+        assert c2.outputs == ["1out"]
+
+    def test_lut_truth_table_preserved(self):
+        b = Builder("lut")
+        a, bb = b.inputs("a", "b")
+        out = b.lut([a, bb], [1, 0, 0, 1])
+        b.circuit.add_output(out)
+        text, c2 = roundtrip(b.circuit)
+        assert "lut=1001" in text
+        lut = [g for g in c2.gates.values() if g.function == "LUT"][0]
+        assert lut.truth_table == (1, 0, 0, 1)
+
+    def test_stats_preserved(self, toy_sequential):
+        _text, c2 = roundtrip(toy_sequential)
+        assert c2.stats() == toy_sequential.stats()
+
+
+class TestErrors:
+    def test_no_module(self):
+        with pytest.raises(NetlistError, match="no module"):
+            parse_verilog("wire x;")
+
+    def test_missing_endmodule(self):
+        with pytest.raises(NetlistError, match="endmodule"):
+            parse_verilog("module m (a); input a;")
+
+    def test_unknown_cell(self):
+        text = (
+            "module m (a, y);\n input a;\n output y;\n"
+            " MYSTERY_X9 u1 (.A(a), .Y(y));\nendmodule\n"
+        )
+        with pytest.raises(NetlistError, match="unknown cell"):
+            parse_verilog(text)
+
+    def test_unparseable_statement(self):
+        text = "module m (a);\n input a;\n assign x = a;\nendmodule\n"
+        with pytest.raises(NetlistError, match="cannot parse"):
+            parse_verilog(text)

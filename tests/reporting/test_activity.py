@@ -1,0 +1,62 @@
+"""Tests for the switching-activity estimator."""
+
+import random
+
+import pytest
+
+from repro.netlist import Builder
+from repro.reporting.activity import switching_activity
+
+
+def toggler():
+    """One FF toggling every cycle through an inverter."""
+    b = Builder("tgl")
+    b.clock("clk")
+    b.input("en")  # unused input so the harness has something to drive
+    q = b.circuit.new_net("q")
+    d = b.inv(q)
+    b.dff(d, out=q, name="t")
+    b.po(q, "out")
+    return b.circuit
+
+
+class TestSwitchingActivity:
+    def test_toggler_counts(self):
+        c = toggler()
+        seq = [{"en": 0}] * 6
+        report = switching_activity(c, 5.0, seq, settle_cycles=1)
+        assert report.cycles == 5
+        # q toggles once per cycle; the inverter output too; the PO
+        # (same net as q here) counted once
+        assert report.transitions_per_cycle >= 2.0
+        assert report.weighted >= report.transitions
+
+    def test_constant_circuit_is_quiet(self):
+        b = Builder("quiet")
+        a = b.input("a")
+        b.po(b.inv(a), "y")
+        b.clock("clk")
+        q = b.dff(a, name="hold")
+        b.po(q, "z")
+        seq = [{"a": 1}] * 5
+        report = switching_activity(b.circuit, 5.0, seq, settle_cycles=2)
+        assert report.transitions == 0
+
+    def test_busiest_ranking(self):
+        c = toggler()
+        report = switching_activity(c, 5.0, [{"en": 0}] * 6)
+        busiest = report.busiest(2)
+        assert len(busiest) == 2
+        assert busiest[0][1] >= busiest[1][1]
+
+    def test_clock_excluded(self):
+        c = toggler()
+        report = switching_activity(c, 5.0, [{"en": 0}] * 4)
+        assert "clk" not in report.per_net
+
+    def test_zero_cycles_guard(self):
+        from repro.reporting.activity import ActivityReport
+
+        empty = ActivityReport("x", 0, 0, 0.0, {})
+        assert empty.transitions_per_cycle == 0.0
+        assert empty.weighted_per_cycle == 0.0

@@ -1,0 +1,66 @@
+"""Tests for the wrong-key corruption metrics."""
+
+import random
+
+import pytest
+
+from repro.locking import SarLock, XorLock
+from repro.reporting.corruption import (
+    combinational_corruption,
+    sequential_corruption,
+)
+
+
+class TestCombinationalCorruption:
+    def test_xor_corrupts_many_bits(self, toy_combinational, rng):
+        locked = XorLock().lock(toy_combinational, 2, rng)
+        report = combinational_corruption(
+            locked, wrong_keys=4, patterns_per_key=16, rng=random.Random(1)
+        )
+        assert report.rate > 0.05
+        assert report.observations == 4 * 16 * 2  # keys x patterns x POs
+        assert report.scheme == "xor"
+        assert "%" in str(report)
+
+    def test_sarlock_corrupts_almost_nothing(self, s1238):
+        locked = SarLock().lock(s1238.circuit, 8, random.Random(2))
+        report = combinational_corruption(
+            locked, wrong_keys=4, patterns_per_key=16, rng=random.Random(3)
+        )
+        assert report.rate < 0.02
+
+    def test_rate_zero_when_no_observations(self):
+        from repro.reporting.corruption import CorruptionReport
+
+        empty = CorruptionReport("x", 0, 0, 0)
+        assert empty.rate == 0.0
+
+
+class TestSequentialCorruption:
+    def test_gk_corrupts_at_timing_level(self, s1238):
+        from repro.core import GkLock
+
+        locked = GkLock(s1238.clock).lock(s1238.circuit, 4, random.Random(4))
+        report = sequential_corruption(
+            locked, s1238.clock.period, wrong_keys=2, cycles=6,
+            rng=random.Random(5),
+        )
+        assert report.rate > 0.01
+        assert report.corrupted > 0
+
+    def test_correct_key_would_show_zero(self, s1238):
+        """Sanity: the metric measures wrong keys only; with the locked
+        design equivalent under its correct key, a 1-key sample where
+        the 'wrong' key is forced correct reports zero corruption."""
+        from repro.core import GkLock
+        from repro.sim.harness import (
+            compare_with_original,
+            random_input_sequence,
+        )
+
+        locked = GkLock(s1238.clock).lock(s1238.circuit, 4, random.Random(6))
+        seq = random_input_sequence(s1238.circuit, 6, random.Random(7))
+        result = compare_with_original(
+            s1238.circuit, locked.circuit, s1238.clock.period, seq, locked.key
+        )
+        assert result.mismatch_count == 0

@@ -1,0 +1,88 @@
+"""Tests for figure regeneration (paper Figs. 4, 6, 7, 9)."""
+
+import pytest
+
+from repro.reporting import (
+    figure4_gk_waveform,
+    figure6_keygen_waveform,
+    figure7_scenarios,
+    figure9_trigger_windows,
+)
+
+
+class TestFigure4:
+    def test_glitch_positions_match_paper(self):
+        fig = figure4_gk_waveform()  # DA=2, DB=3, rise@3, fall@11
+        glitches = fig.data["glitches"]
+        assert glitches == [
+            (3.0, 6.0, 3.0),  # rising transition: length DB
+            (11.0, 13.0, 2.0),  # falling transition: length DA
+        ]
+
+    def test_diagram_contains_all_signals(self):
+        fig = figure4_gk_waveform()
+        for net in ("x", "key", "a_out", "b_out", "y"):
+            assert net in fig.diagram
+
+    def test_custom_delays(self):
+        fig = figure4_gk_waveform(da=1.0, db=4.0)
+        glitches = fig.data["glitches"]
+        assert glitches[0][2] == pytest.approx(4.0)
+        assert glitches[1][2] == pytest.approx(1.0)
+
+
+class TestFigure6:
+    def test_four_modes(self):
+        fig = figure6_keygen_waveform(da=3.0, db=6.0, period=16.0, cycles=3)
+        assert fig.data["key_out_00"] == []  # constant 0
+        assert fig.data["key_out_11"] == [] or fig.data["key_out_11"][0][1] == 1
+        shifts_a = fig.data["key_out_10"]
+        shifts_b = fig.data["key_out_01"]
+        assert shifts_a[0][0] == pytest.approx(3.0)  # first rise at DA
+        assert shifts_b[0][0] == pytest.approx(6.0)  # first rise at DB
+        # one transition per cycle
+        assert len(shifts_a) == 3
+        assert [v for _t, v in shifts_a] == [1, 0, 1]
+
+
+class TestFigure7:
+    def test_all_scenarios_violation_free(self):
+        fig = figure7_scenarios()
+        for label, outcome in fig.data.items():
+            assert outcome["violations"] == 0, label
+
+    def test_on_level_captures_buffer_value(self):
+        fig = figure7_scenarios()
+        assert fig.data["(a) on glitch level"]["captured"] == 1  # x
+
+    def test_off_level_captures_inverter_value(self):
+        fig = figure7_scenarios()
+        assert fig.data["(b) glitch before window"]["captured"] == 0  # x'
+        assert fig.data["(c) glitch after window"]["captured"] == 0
+
+    def test_constant_key_glitchless(self):
+        fig = figure7_scenarios()
+        assert fig.data["(d) constant key"]["captured"] == 0
+
+
+class TestFigure9:
+    def test_analytic_windows_match_paper_example(self):
+        fig = figure9_trigger_windows()
+        assert fig.data["on_window"] == (pytest.approx(6.0), pytest.approx(7.0))
+        assert fig.data["off_window"] == (pytest.approx(1.0), pytest.approx(4.0))
+
+    def test_sweep_confirms_windows_empirically(self):
+        """Simulated captures agree with the analytic Eq. (5)/(6)
+        boundaries: on-level window -> captures x; off-level -> x';
+        in between -> violation/metastable."""
+        fig = figure9_trigger_windows()
+        on_lo, on_hi = fig.data["on_window"]
+        off_lo, off_hi = fig.data["off_window"]
+        eps = 1e-9
+        for trigger, captured, violations in fig.data["sweep"]:
+            if on_lo + eps < trigger <= on_hi:
+                assert captured == 1 and violations == 0, trigger
+            elif off_lo <= trigger <= off_hi:
+                assert captured == 0 and violations == 0, trigger
+            elif off_hi + 0.25 < trigger < on_lo - 0.25:
+                assert violations > 0, trigger

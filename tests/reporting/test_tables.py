@@ -1,0 +1,71 @@
+"""Tests for the Table I / Table II harnesses."""
+
+import pytest
+
+from repro.reporting import (
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    format_table1,
+    format_table2,
+    table1_row,
+    table2_row,
+)
+
+
+class TestTable1:
+    def test_row_matches_direct_analysis(self, s1238):
+        from repro.core import available_ffs
+
+        row = table1_row("s1238", instance=s1238)
+        plans = available_ffs(s1238.circuit, s1238.clock)
+        feasible = sum(p.feasible for p in plans.values())
+        assert row.available == feasible
+        assert row.cells == PAPER_TABLE1["s1238"][0]
+        assert row.flip_flops == PAPER_TABLE1["s1238"][1]
+        assert row.coverage == pytest.approx(100.0 * feasible / 18)
+
+    def test_encrypt_ff_group_subset_of_available(self, s1238):
+        row = table1_row("s1238", instance=s1238)
+        assert 0 <= row.encrypt_ff_group <= row.available
+
+    def test_format_includes_average_and_paper(self, s1238):
+        text = format_table1([table1_row("s1238", instance=s1238)])
+        assert "Avg." in text
+        assert "paper" in text
+        assert "s1238" in text
+
+    def test_format_without_paper(self, s1238):
+        text = format_table1(
+            [table1_row("s1238", instance=s1238)], with_paper=False
+        )
+        assert "paper" not in text
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def row(self, s1238):
+        return table2_row("s1238", instance=s1238)
+
+    def test_small_bench_matches_paper_shape(self, row):
+        # 4 GKs fit; 16 GKs do not (the paper prints "-")
+        assert row.gk4 is not None
+        assert row.gk16 is None
+
+    def test_overheads_grow_with_gk_count(self, row):
+        if row.gk8 is not None:
+            assert row.gk8[0] > row.gk4[0]
+            assert row.gk8[1] > row.gk4[1]
+
+    def test_overheads_positive(self, row):
+        cell_oh, area_oh = row.gk4
+        assert cell_oh > 0 and area_oh > 0
+
+    def test_format(self, row):
+        text = format_table2([row])
+        assert "s1238" in text and "Avg." in text and "paper" in text
+        assert "-" in text  # the infeasible 16-GK cell
+
+    def test_paper_reference_data_complete(self):
+        assert set(PAPER_TABLE2) == set(PAPER_TABLE1)
+        for values in PAPER_TABLE2.values():
+            assert set(values) == {"gk4", "gk8", "gk16", "hybrid"}

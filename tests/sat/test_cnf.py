@@ -1,0 +1,114 @@
+"""Tests for the CNF container and DIMACS I/O."""
+
+import io
+import itertools
+
+import pytest
+
+from repro.sat import CNF
+
+
+def satisfies(clauses, assignment):
+    return all(
+        any(assignment[abs(l)] == (l > 0) for l in clause) for clause in clauses
+    )
+
+
+def models(cnf):
+    """All satisfying assignments (for small formulas)."""
+    out = []
+    for bits in itertools.product([False, True], repeat=cnf.num_vars):
+        assignment = {v + 1: bits[v] for v in range(cnf.num_vars)}
+        if satisfies(cnf.clauses, assignment):
+            out.append(assignment)
+    return out
+
+
+class TestBasics:
+    def test_new_vars(self):
+        cnf = CNF()
+        assert cnf.new_vars(3) == [1, 2, 3]
+        assert cnf.num_vars == 3
+
+    def test_add_clause_tracks_vars(self):
+        cnf = CNF()
+        cnf.add_clause([5, -2])
+        assert cnf.num_vars == 5
+        assert len(cnf) == 1
+
+    def test_zero_literal_rejected(self):
+        with pytest.raises(ValueError, match="not a literal"):
+            CNF().add_clause([1, 0])
+
+    def test_extend_and_iter(self):
+        cnf = CNF()
+        cnf.extend([[1], [2, -1]])
+        assert list(cnf) == [(1,), (2, -1)]
+
+
+class TestDimacs:
+    def test_roundtrip(self):
+        cnf = CNF()
+        cnf.extend([[1, -2], [2, 3], [-1, -3]])
+        buf = io.StringIO()
+        cnf.write_dimacs(buf)
+        text = buf.getvalue()
+        assert text.startswith("p cnf 3 3")
+        again = CNF.read_dimacs(io.StringIO(text))
+        assert again.clauses == cnf.clauses
+        assert again.num_vars == 3
+
+    def test_read_with_comments(self):
+        text = "c comment\np cnf 2 1\n1 -2 0\n"
+        cnf = CNF.read_dimacs(io.StringIO(text))
+        assert cnf.clauses == [(1, -2)]
+
+    def test_read_multiline_clause(self):
+        text = "p cnf 3 1\n1 2\n3 0\n"
+        cnf = CNF.read_dimacs(io.StringIO(text))
+        assert cnf.clauses == [(1, 2, 3)]
+
+    def test_bad_header(self):
+        with pytest.raises(ValueError, match="bad DIMACS header"):
+            CNF.read_dimacs(io.StringIO("p sat 3 1\n1 0\n"))
+
+
+class TestEncodings:
+    def test_add_equal(self):
+        cnf = CNF(2)
+        cnf.add_equal(1, 2)
+        assert all(m[1] == m[2] for m in models(cnf))
+        assert len(models(cnf)) == 2
+
+    def test_add_xor(self):
+        cnf = CNF(3)
+        cnf.add_xor(1, 2, 3)
+        for m in models(cnf):
+            assert m[1] == (m[2] != m[3])
+        assert len(models(cnf)) == 4
+
+    def test_add_and(self):
+        cnf = CNF(3)
+        cnf.add_and(1, [2, 3])
+        for m in models(cnf):
+            assert m[1] == (m[2] and m[3])
+        assert len(models(cnf)) == 4
+
+    def test_add_or(self):
+        cnf = CNF(3)
+        cnf.add_or(1, [2, 3])
+        for m in models(cnf):
+            assert m[1] == (m[2] or m[3])
+
+    def test_add_mux(self):
+        cnf = CNF(4)
+        cnf.add_mux(1, 2, 3, 4)  # out, a, b, sel
+        for m in models(cnf):
+            assert m[1] == (m[3] if m[4] else m[2])
+        assert len(models(cnf)) == 8
+
+    def test_negated_out_in_and(self):
+        cnf = CNF(3)
+        cnf.add_and(-1, [2, 3])  # NAND
+        for m in models(cnf):
+            assert m[1] == (not (m[2] and m[3]))

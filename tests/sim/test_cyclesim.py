@@ -1,0 +1,83 @@
+"""Tests for the cycle-accurate simulator."""
+
+import pytest
+
+from repro.netlist import Builder, NetlistError
+from repro.sim import CycleSimulator, evaluate_combinational
+
+
+def build_counter():
+    """A 2-bit counter with enable: (b1 b0) increments when en."""
+    b = Builder("counter")
+    b.clock("clk")
+    en = b.input("en")
+    q0 = b.circuit.new_net("q0")
+    q1 = b.circuit.new_net("q1")
+    d0 = b.xor(q0, en)
+    carry = b.and2(q0, en)
+    d1 = b.xor(q1, carry)
+    b.dff(d0, out=q0, name="bit0")
+    b.dff(d1, out=q1, name="bit1")
+    b.po(q0, "o0")
+    b.po(q1, "o1")
+    return b.circuit
+
+
+class TestEvaluateCombinational:
+    def test_missing_input_rejected(self, toy_combinational):
+        with pytest.raises(NetlistError, match="no value supplied"):
+            evaluate_combinational(toy_combinational, {"a": 0, "b": 1})
+
+    def test_state_defaults_to_x(self, toy_sequential):
+        values = evaluate_combinational(toy_sequential, {"a": 0, "b": 0})
+        for ff in toy_sequential.flip_flops():
+            assert values[ff.output] is None
+
+    def test_extra_assignments_allowed(self, toy_combinational):
+        values = evaluate_combinational(
+            toy_combinational, {"a": 1, "b": 1, "c": 0}
+        )
+        assert values["y"] == 1
+
+
+class TestCycleSimulator:
+    def test_counter_counts(self):
+        c = build_counter()
+        sim = CycleSimulator(c)
+        seen = []
+        for _ in range(5):
+            sim.step({"en": 1})
+            seen.append((sim.state["bit1"], sim.state["bit0"]))
+        assert seen == [(0, 1), (1, 0), (1, 1), (0, 0), (0, 1)]
+
+    def test_counter_holds_without_enable(self):
+        c = build_counter()
+        sim = CycleSimulator(c, initial_state={"bit0": 1, "bit1": 0})
+        sim.step({"en": 0})
+        assert (sim.state["bit1"], sim.state["bit0"]) == (0, 1)
+
+    def test_outputs_reflect_pre_edge_state(self):
+        c = build_counter()
+        sim = CycleSimulator(c)
+        outs = sim.step({"en": 1})
+        # outputs computed from the state *before* the clock edge
+        assert outs["o0"] == 0 and outs["o1"] == 0
+
+    def test_run_returns_one_output_per_cycle(self):
+        c = build_counter()
+        sim = CycleSimulator(c)
+        outs = sim.run([{"en": 1}] * 4)
+        assert len(outs) == 4
+        assert [o["o0"] for o in outs] == [0, 1, 0, 1]
+
+    def test_initial_state_unknown_ff_rejected(self):
+        c = build_counter()
+        with pytest.raises(NetlistError, match="unknown FFs"):
+            CycleSimulator(c, initial_state={"nope": 0})
+
+    def test_reset_value_x(self):
+        c = build_counter()
+        sim = CycleSimulator(c, reset_value=None)
+        sim.step({"en": 0})
+        # q0 XOR 0 of X stays X
+        assert sim.state["bit0"] is None

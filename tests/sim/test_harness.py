@@ -1,0 +1,71 @@
+"""Tests for the sequential timing harness."""
+
+import random
+
+import pytest
+
+from repro.sim.harness import (
+    compare_with_original,
+    random_input_sequence,
+    simulate_sequential,
+)
+from repro.sta import ClockSpec
+
+
+class TestSimulateSequential:
+    def test_states_track_cycles(self, toy_sequential):
+        seq = [{"a": 1, "b": 0}] * 4
+        trace = simulate_sequential(toy_sequential, 5.0, seq)
+        assert len(trace.states) == 5  # initial + one per edge
+        assert len(trace.outputs) == 4
+
+    def test_key_required_when_circuit_has_keys(self, toy_sequential):
+        c = toy_sequential.clone()
+        k = c.add_key_input("k0")
+        gate = next(iter(c.gates.values()))
+        with pytest.raises(ValueError, match="pass `key`"):
+            simulate_sequential(c, 5.0, [{"a": 0, "b": 0}])
+
+    def test_no_violations_with_relaxed_clock(self, toy_sequential):
+        seq = random_input_sequence(toy_sequential, 6, random.Random(1))
+        trace = simulate_sequential(toy_sequential, 8.0, seq)
+        assert not trace.violations
+
+
+class TestCompareWithOriginal:
+    def test_identity_is_equivalent(self, toy_sequential):
+        seq = random_input_sequence(toy_sequential, 8, random.Random(2))
+        result = compare_with_original(
+            toy_sequential, toy_sequential.clone(), 8.0, seq, key={}
+        )
+        assert result.equivalent
+        assert result.cycles == 7  # one warm-up cycle consumed
+
+    def test_inverted_copy_detected(self, toy_sequential):
+        broken = toy_sequential.clone("broken")
+        # invert an FF's D input
+        ff = broken.gates["ff0"]
+        old = ff.pins["D"]
+        inv = broken.new_net("flip")
+        broken.add_gate("saboteur", "INV_X1", {"A": old}, inv)
+        broken.reconnect_pin("ff0", "D", inv)
+        seq = random_input_sequence(toy_sequential, 8, random.Random(3))
+        result = compare_with_original(toy_sequential, broken, 8.0, seq, key={})
+        assert not result.equivalent
+        assert result.ff_mismatches
+
+    def test_needs_non_warmup_cycle(self, toy_sequential):
+        with pytest.raises(ValueError, match="non-warmup"):
+            compare_with_original(
+                toy_sequential,
+                toy_sequential.clone(),
+                8.0,
+                [{"a": 0, "b": 0}],
+                key={},
+            )
+
+    def test_random_sequence_shape(self, toy_sequential):
+        seq = random_input_sequence(toy_sequential, 5, random.Random(4))
+        assert len(seq) == 5
+        assert all(set(step) == {"a", "b"} for step in seq)
+        assert all(v in (0, 1) for step in seq for v in step.values())

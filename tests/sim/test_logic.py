@@ -1,0 +1,131 @@
+"""Tests for three-valued logic evaluation."""
+
+import itertools
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.logic import X, and3, eval_function, mux3, not3, or3, xor3
+
+TERNARY = st.sampled_from([0, 1, None])
+
+
+class TestPrimitives:
+    def test_not3(self):
+        assert not3(0) == 1 and not3(1) == 0 and not3(X) is X
+
+    def test_and3_controlling_zero(self):
+        assert and3(0, X) == 0 and and3(X, 0) == 0
+
+    def test_or3_controlling_one(self):
+        assert or3(1, X) == 1 and or3(X, 1) == 1
+
+    def test_xor3_with_x(self):
+        assert xor3(X, 0) is X and xor3(1, X) is X
+
+    def test_mux3_known_select(self):
+        assert mux3(0, 1, 0) == 0 and mux3(0, 1, 1) == 1
+        assert mux3(X, 1, 1) == 1
+
+    def test_mux3_x_select_agreeing_inputs(self):
+        assert mux3(1, 1, X) == 1
+        assert mux3(0, 0, X) == 0
+        assert mux3(0, 1, X) is X
+        assert mux3(X, X, X) is X
+
+    def test_invalid_value_rejected(self):
+        with pytest.raises(ValueError, match="not a logic value"):
+            not3(2)
+
+
+class TestEvalFunction:
+    BINARY = {
+        "AND2": lambda a, b: a & b,
+        "NAND2": lambda a, b: 1 - (a & b),
+        "OR2": lambda a, b: a | b,
+        "NOR2": lambda a, b: 1 - (a | b),
+        "XOR2": lambda a, b: a ^ b,
+        "XNOR2": lambda a, b: 1 - (a ^ b),
+    }
+
+    @pytest.mark.parametrize("function", sorted(BINARY))
+    def test_binary_boolean_cases(self, function):
+        reference = self.BINARY[function]
+        for a, b in itertools.product((0, 1), repeat=2):
+            assert eval_function(function, [a, b]) == reference(a, b)
+
+    def test_ties(self):
+        assert eval_function("TIE0", []) == 0
+        assert eval_function("TIE1", []) == 1
+
+    def test_mux4(self):
+        for index in range(4):
+            inputs = [int(k == index) for k in range(4)]
+            inputs += [index & 1, (index >> 1) & 1]
+            assert eval_function("MUX4", inputs) == 1
+
+    def test_lut_exact(self):
+        table = (0, 1, 1, 1)  # OR
+        for a, b in itertools.product((0, 1), repeat=2):
+            assert eval_function("LUT", [a, b], table) == (a | b)
+
+    def test_lut_with_x_agreeing(self):
+        # constant-1 LUT is 1 even with unknown inputs
+        assert eval_function("LUT", [X, X], (1, 1, 1, 1)) == 1
+
+    def test_lut_with_x_disagreeing(self):
+        assert eval_function("LUT", [X, 0], (0, 1, 1, 0)) is X
+
+    def test_lut_without_table_rejected(self):
+        with pytest.raises(ValueError, match="truth table"):
+            eval_function("LUT", [0, 1])
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            eval_function("MAJ3", [0, 1, 1])
+
+
+class TestXMonotonicity:
+    """X must behave as 'either 0 or 1': if an output is known despite X
+    inputs, every completion of the Xs must produce that same output."""
+
+    @given(
+        function=st.sampled_from(
+            ["AND2", "NAND2", "OR2", "NOR2", "XOR2", "XNOR2"]
+        ),
+        a=TERNARY,
+        b=TERNARY,
+    )
+    def test_binary_completions(self, function, a, b):
+        result = eval_function(function, [a, b])
+        if result is None:
+            return
+        for ca in (0, 1) if a is None else (a,):
+            for cb in (0, 1) if b is None else (b,):
+                assert eval_function(function, [ca, cb]) == result
+
+    @given(a=TERNARY, b=TERNARY, s=TERNARY)
+    def test_mux_completions(self, a, b, s):
+        result = eval_function("MUX2", [a, b, s])
+        if result is None:
+            return
+        for ca in (0, 1) if a is None else (a,):
+            for cb in (0, 1) if b is None else (b,):
+                for cs in (0, 1) if s is None else (s,):
+                    assert eval_function("MUX2", [ca, cb, cs]) == result
+
+    @given(
+        bits=st.lists(TERNARY, min_size=3, max_size=3),
+        table=st.lists(st.integers(0, 1), min_size=8, max_size=8),
+    )
+    def test_lut_completions(self, bits, table):
+        table = tuple(table)
+        result = eval_function("LUT", bits, table)
+        if result is None:
+            return
+        free = [i for i, v in enumerate(bits) if v is None]
+        for mask in range(1 << len(free)):
+            complete = list(bits)
+            for j, i in enumerate(free):
+                complete[i] = (mask >> j) & 1
+            assert eval_function("LUT", complete, table) == result

@@ -1,0 +1,73 @@
+"""Tests for the process-variation model."""
+
+import random
+
+import pytest
+
+from repro.sim.variation import apply_delay_variation
+
+
+class TestApplyDelayVariation:
+    def test_zero_sigma_is_identity_delays(self, toy_sequential):
+        varied = apply_delay_variation(
+            toy_sequential, 0.0, random.Random(1)
+        )
+        for name, gate in varied.gates.items():
+            assert gate.cell.delay == pytest.approx(
+                toy_sequential.gates[name].cell.delay
+            )
+
+    def test_delays_change_with_sigma(self, toy_sequential):
+        varied = apply_delay_variation(
+            toy_sequential, 0.1, random.Random(1)
+        )
+        changed = [
+            name
+            for name, gate in varied.gates.items()
+            if not gate.is_flip_flop
+            and gate.cell.delay != toy_sequential.gates[name].cell.delay
+        ]
+        assert changed
+
+    def test_flip_flops_nominal_by_default(self, toy_sequential):
+        varied = apply_delay_variation(
+            toy_sequential, 0.3, random.Random(2)
+        )
+        for ff in varied.flip_flops():
+            assert ff.cell.delay == toy_sequential.gates[ff.name].cell.delay
+
+    def test_flip_flop_variation_opt_in(self, toy_sequential):
+        varied = apply_delay_variation(
+            toy_sequential, 0.3, random.Random(2), include_flip_flops=True
+        )
+        assert any(
+            ff.cell.delay != toy_sequential.gates[ff.name].cell.delay
+            for ff in varied.flip_flops()
+        )
+
+    def test_original_untouched(self, toy_sequential):
+        before = {n: g.cell.delay for n, g in toy_sequential.gates.items()}
+        apply_delay_variation(toy_sequential, 0.5, random.Random(3))
+        after = {n: g.cell.delay for n, g in toy_sequential.gates.items()}
+        assert before == after
+
+    def test_delays_never_negative(self, toy_sequential):
+        varied = apply_delay_variation(
+            toy_sequential, 2.0, random.Random(4)
+        )
+        assert all(g.cell.delay >= 0 for g in varied.gates.values())
+
+    def test_deterministic_per_seed(self, toy_sequential):
+        a = apply_delay_variation(toy_sequential, 0.1, random.Random(5))
+        b = apply_delay_variation(toy_sequential, 0.1, random.Random(5))
+        assert all(
+            a.gates[n].cell.delay == b.gates[n].cell.delay for n in a.gates
+        )
+
+    def test_negative_sigma_rejected(self, toy_sequential):
+        with pytest.raises(ValueError):
+            apply_delay_variation(toy_sequential, -0.1, random.Random(6))
+
+    def test_varied_circuit_still_validates(self, toy_sequential):
+        varied = apply_delay_variation(toy_sequential, 0.2, random.Random(7))
+        varied.validate()

@@ -1,0 +1,95 @@
+"""Tests for the VCD waveform exporter."""
+
+import io
+import re
+
+import pytest
+
+from repro.core.gk import build_gk_demo
+from repro.sim import EventSimulator
+from repro.sim.vcd import dump_simulation, write_vcd
+from repro.sim.waveform import Waveform
+
+
+def parse_vcd(text):
+    """Minimal VCD reader for assertions: id -> [(tick, value)]."""
+    names = {}
+    for match in re.finditer(r"\$var wire 1 (\S+) (\S+) \$end", text):
+        names[match.group(1)] = match.group(2)
+    changes = {code: [] for code in names}
+    tick = 0
+    for line in text.splitlines():
+        if line.startswith("#"):
+            tick = int(line[1:])
+        elif line and line[0] in "01x" and line[1:] in names:
+            changes[line[1:]].append((tick, line[0]))
+    return names, changes
+
+
+class TestWriteVcd:
+    def test_header_and_vars(self):
+        wf = Waveform("sig", initial=0)
+        wf.record(1.0, 1)
+        buf = io.StringIO()
+        write_vcd(buf, [wf])
+        text = buf.getvalue()
+        assert "$timescale 1ps $end" in text
+        assert "$var wire 1" in text and "sig" in text
+        assert "$enddefinitions" in text
+
+    def test_changes_in_time_order(self):
+        a = Waveform("a", initial=0)
+        a.record(2.0, 1)
+        b = Waveform("b", initial=1)
+        b.record(1.0, 0)
+        b.record(3.0, 1)
+        buf = io.StringIO()
+        write_vcd(buf, [a, b])
+        names, changes = parse_vcd(buf.getvalue())
+        all_ticks = [t for series in changes.values() for t, _v in series]
+        # per-signal initial dump at 0 plus ordered change times
+        for series in changes.values():
+            ticks = [t for t, _ in series]
+            assert ticks == sorted(ticks)
+        assert max(all_ticks) == 3000  # 3ns at 1ps timescale
+
+    def test_x_values(self):
+        wf = Waveform("m", initial=None)
+        wf.record(1.0, 1)
+        buf = io.StringIO()
+        write_vcd(buf, [wf])
+        _names, changes = parse_vcd(buf.getvalue())
+        series = next(iter(changes.values()))
+        assert series[0] == (0, "x")
+
+    def test_gk_glitch_visible_in_vcd(self):
+        circuit = build_gk_demo(2.0, 3.0)
+        sim = EventSimulator(circuit)
+        sim.set_initial("x", 1)
+        sim.drive("key", [(3.0, 1)], initial=0)
+        result = sim.run(10.0)
+        buf = io.StringIO()
+        dump_simulation(buf, result, nets=["y", "key"], end_time=10.0)
+        names, changes = parse_vcd(buf.getvalue())
+        y_code = next(c for c, n in names.items() if n == "y")
+        y_series = [(t, v) for t, v in changes[y_code] if t > 0]
+        # the 3ns glitch: rise at 3ns, fall at 6ns
+        assert y_series == [(3000, "1"), (6000, "0")]
+
+    def test_timescale_scaling(self):
+        wf = Waveform("s", initial=0)
+        wf.record(1.0, 1)
+        buf = io.StringIO()
+        write_vcd(buf, [wf], timescale_ps=10)
+        assert "#100\n" in buf.getvalue()  # 1ns = 100 x 10ps
+
+    def test_many_signals_unique_ids(self):
+        waves = []
+        for i in range(120):
+            wf = Waveform(f"n{i}", initial=0)
+            wf.record(1.0, 1)
+            waves.append(wf)
+        buf = io.StringIO()
+        write_vcd(buf, waves)
+        names, _ = parse_vcd(buf.getvalue())
+        assert len(names) == 120

@@ -1,0 +1,109 @@
+"""Tests for waveform capture and glitch queries."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.waveform import Waveform, render_waveforms
+
+
+def make(changes, initial=0):
+    wf = Waveform("w", initial=initial)
+    for t, v in changes:
+        wf.record(t, v)
+    return wf
+
+
+class TestRecording:
+    def test_same_value_collapsed(self):
+        wf = make([(1.0, 1), (2.0, 1), (3.0, 0)])
+        assert wf.changes == [(1.0, 1), (3.0, 0)]
+
+    def test_zero_width_pulse_overwritten(self):
+        wf = make([(1.0, 1), (1.0, 0)])
+        assert wf.changes == []  # collapsed back to the initial 0
+
+    def test_non_monotonic_rejected(self):
+        wf = make([(2.0, 1)])
+        with pytest.raises(ValueError, match="non-monotonic"):
+            wf.record(1.0, 0)
+
+    def test_value_at(self):
+        wf = make([(1.0, 1), (3.0, 0)])
+        assert wf.value_at(0.5) == 0
+        assert wf.value_at(1.0) == 1  # change takes effect at its time
+        assert wf.value_at(2.9) == 1
+        assert wf.value_at(3.0) == 0
+
+    def test_final_value(self):
+        assert make([(1.0, 1)]).final_value() == 1
+
+
+class TestIntervalsAndPulses:
+    def test_intervals_cover_window(self):
+        wf = make([(1.0, 1), (3.0, 0)])
+        intervals = wf.intervals(0.0, 5.0)
+        assert [(p.start, p.end, p.value) for p in intervals] == [
+            (0.0, 1.0, 0),
+            (1.0, 3.0, 1),
+            (3.0, 5.0, 0),
+        ]
+
+    def test_pulses_of_value(self):
+        wf = make([(1.0, 1), (2.0, 0), (4.0, 1), (7.0, 0)])
+        pulses = wf.pulses(1, 0.0, 10.0)
+        assert [(p.start, p.end) for p in pulses] == [(1.0, 2.0), (4.0, 7.0)]
+
+    def test_pulses_max_length_filters(self):
+        wf = make([(1.0, 1), (2.0, 0), (4.0, 1), (7.0, 0)])
+        short = wf.pulses(1, 0.0, 10.0, max_length=1.5)
+        assert [(p.start, p.end) for p in short] == [(1.0, 2.0)]
+
+    def test_glitches_exclude_window_edges(self):
+        wf = make([(1.0, 1), (2.0, 0)])
+        # the [0,1) and [2,10) intervals are boundary levels, not glitches
+        glitches = wf.glitches(0.0, 10.0, max_length=1.5)
+        assert [(p.start, p.end) for p in glitches] == [(1.0, 2.0)]
+
+    def test_empty_window(self):
+        wf = make([(1.0, 1)])
+        assert wf.intervals(5.0, 5.0) == []
+
+
+class TestRender:
+    def test_render_glyphs(self):
+        wf = make([(2.0, 1), (4.0, None)])
+        strip = wf.render(0.0, 6.0, resolution=1.0)
+        assert strip == "__##??"
+
+    def test_multi_render_has_ruler_and_rows(self):
+        a = make([(1.0, 1)])
+        b = make([(2.0, 1)])
+        b.net = "second"
+        text = render_waveforms([a, b], 0.0, 4.0, resolution=1.0)
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert "second" in lines[2]
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(0, 100), st.sampled_from([0, 1, None])),
+        max_size=30,
+    )
+)
+def test_value_at_matches_last_change(raw):
+    """value_at(t) equals the value of the latest change at or before t."""
+    changes = sorted(raw, key=lambda tv: tv[0])
+    wf = Waveform("w", initial=0)
+    applied = []
+    for t, v in changes:
+        wf.record(t, v)
+        # model: record overrides any same-time change
+        applied = [(tt, vv) for tt, vv in applied if tt != t]
+        applied.append((t, v))
+    for probe in [0.0, 1.5, 17.3, 50.0, 99.9, 100.0]:
+        expected = 0
+        for t, v in applied:
+            if t <= probe:
+                expected = v
+        assert wf.value_at(probe) == expected

@@ -1,0 +1,109 @@
+"""Tests for path queries and PrimeTime-style reports."""
+
+import pytest
+
+from repro.netlist import Builder
+from repro.netlist.cells import Cell, CellLibrary
+from repro.sta import (
+    ClockSpec,
+    analyze,
+    critical_ffs,
+    path_report,
+    slack_report,
+    summary_line,
+    trace_path,
+    worst_endpoints,
+)
+
+
+def library():
+    lib = CellLibrary("p")
+    lib.add(Cell("INV_P", "INV", ("A",), "Y", area=1.0, delay=1.0))
+    lib.add(Cell("BUF_P", "BUF", ("A",), "Y", area=1.0, delay=1.0))
+    lib.add(
+        Cell("DFF_P", "DFF", ("D", "CLK"), "Q", area=1.0, delay=0.5,
+             setup=0.5, hold=0.1)
+    )
+    return lib
+
+
+def two_stage():
+    b = Builder("two", library=library())
+    b.clock("clk")
+    a = b.input("a")
+    deep = a
+    for _ in range(6):
+        deep = b.inv(deep)
+    q1 = b.dff(deep, name="deep_ff")
+    shallow = b.buf(a)
+    q2 = b.dff(shallow, name="shallow_ff")
+    b.po(b.buf(q1))
+    b.po(b.buf(q2))
+    return b.circuit
+
+
+class TestPaths:
+    def test_worst_endpoints_order(self):
+        c = two_stage()
+        ta = analyze(c, ClockSpec(period=10.0))
+        assert worst_endpoints(ta, 1) == ["deep_ff"]
+        assert worst_endpoints(ta, 2) == ["deep_ff", "shallow_ff"]
+
+    def test_critical_ffs_by_margin(self):
+        c = two_stage()
+        ta = analyze(c, ClockSpec(period=7.0))
+        # deep path arrival 6.0, slack 0.5; shallow slack 5.5
+        assert "deep_ff" in critical_ffs(ta, margin=1.0)
+        assert "shallow_ff" not in critical_ffs(ta, margin=1.0)
+        assert critical_ffs(ta, margin=0.1) == set()
+
+    def test_critical_ffs_include_launcher(self):
+        b = Builder("l", library=library())
+        b.clock("clk")
+        a = b.input("a")
+        q1 = b.dff(a, name="launch")
+        deep = q1
+        for _ in range(8):
+            deep = b.inv(deep)
+        b.dff(deep, name="capture")
+        b.po(deep)
+        ta = analyze(b.circuit, ClockSpec(period=9.5))
+        crit = critical_ffs(ta, margin=1.0)
+        assert {"launch", "capture"} <= crit
+
+    def test_trace_path_points(self):
+        c = two_stage()
+        ta = analyze(c, ClockSpec(period=10.0))
+        points = trace_path(ta, "deep_ff")
+        assert points[0].net == "a"
+        arrivals = [p.arrival for p in points]
+        assert arrivals == sorted(arrivals)
+        assert points[-1].arrival == pytest.approx(6.0)
+
+
+class TestReports:
+    def test_summary_line(self):
+        c = two_stage()
+        ta = analyze(c, ClockSpec(period=10.0))
+        line = summary_line(ta)
+        assert "2 endpoints" in line and "WNS" in line
+
+    def test_slack_report_contains_endpoints(self):
+        c = two_stage()
+        ta = analyze(c, ClockSpec(period=10.0))
+        report = slack_report(ta)
+        assert "deep_ff" in report and "shallow_ff" in report
+
+    def test_slack_report_flags_violations(self):
+        c = two_stage()
+        ta = analyze(c, ClockSpec(period=5.0))
+        assert "VIOLATED" in slack_report(ta)
+
+    def test_path_report_lists_pins(self):
+        c = two_stage()
+        ta = analyze(c, ClockSpec(period=10.0))
+        report = path_report(ta, "deep_ff")
+        assert "path to deep_ff" in report
+        assert "slack" in report
+        # six inverters on the path
+        assert report.count("inv$") >= 6

@@ -1,0 +1,151 @@
+"""Tests for static timing analysis."""
+
+import pytest
+
+from repro.netlist import Builder
+from repro.netlist.cells import Cell, CellLibrary
+from repro.sta import ClockSpec, analyze, synthetic_clock_tree_skew
+
+
+def unit_library():
+    lib = CellLibrary("unit")
+    lib.add(Cell("INV_U", "INV", ("A",), "Y", area=1.0, delay=1.0))
+    lib.add(Cell("AND_U", "AND2", ("A", "B"), "Y", area=1.0, delay=2.0))
+    lib.add(Cell("BUF_U", "BUF", ("A",), "Y", area=1.0, delay=1.5))
+    lib.add(
+        Cell("DFF_U", "DFF", ("D", "CLK"), "Q", area=4.0, delay=0.5,
+             setup=1.0, hold=0.25)
+    )
+    return lib
+
+
+def pipeline():
+    """PI -> INV -> AND -> FF1; FF1.Q -> BUF -> FF2."""
+    b = Builder("pipe", library=unit_library())
+    b.clock("clk")
+    a, bb = b.inputs("a", "b")
+    n1 = b.inv(a)
+    n2 = b.and2(n1, bb)
+    q1 = b.dff(n2, name="ff1")
+    n3 = b.buf(q1)
+    q2 = b.dff(n3, name="ff2")
+    b.po(q2)
+    return b.circuit
+
+
+class TestArrivalTimes:
+    def test_hand_computed_arrivals(self):
+        c = pipeline()
+        ta = analyze(c, ClockSpec(period=10.0))
+        # a@0 -> inv: 1 -> and: 3
+        assert ta.arrival_max["a"] == 0.0
+        e1 = ta.endpoints["ff1"]
+        assert e1.arrival_max == pytest.approx(3.0)
+        # ff1 launches at clk->q 0.5, buf adds 1.5
+        e2 = ta.endpoints["ff2"]
+        assert e2.arrival_max == pytest.approx(2.0)
+
+    def test_min_arrival_tracks_shortest_path(self):
+        b = Builder("minmax", library=unit_library())
+        b.clock("clk")
+        a = b.input("a")
+        slow = b.inv(b.inv(b.inv(a)))
+        fast = b.buf(a)
+        d = b.and2(slow, fast)
+        b.dff(d, name="ff")
+        b.po("q$x" if False else d)
+        c = b.circuit
+        ta = analyze(c, ClockSpec(period=20.0))
+        e = ta.endpoints["ff"]
+        assert e.arrival_max == pytest.approx(5.0)  # 3 invs + and
+        assert e.arrival_min == pytest.approx(3.5)  # buf + and
+
+    def test_wire_delays_added(self):
+        c = pipeline()
+        and_out = c.gates["ff1"].pins["D"]
+        ta = analyze(c, ClockSpec(period=10.0), wire_delay={and_out: 0.7})
+        assert ta.endpoints["ff1"].arrival_max == pytest.approx(3.7)
+
+    def test_input_arrival_offset(self):
+        c = pipeline()
+        ta = analyze(c, ClockSpec(period=10.0), input_arrival=1.0)
+        assert ta.endpoints["ff1"].arrival_max == pytest.approx(4.0)
+
+
+class TestSlackAndViolations:
+    def test_setup_slack(self):
+        c = pipeline()
+        ta = analyze(c, ClockSpec(period=10.0))
+        e1 = ta.endpoints["ff1"]
+        # required = period - setup = 9.0
+        assert e1.required_setup == pytest.approx(9.0)
+        assert e1.setup_slack == pytest.approx(6.0)
+        assert not e1.violated
+
+    def test_setup_violation_at_fast_clock(self):
+        c = pipeline()
+        ta = analyze(c, ClockSpec(period=3.5))
+        assert ta.endpoints["ff1"].setup_slack < 0
+        assert ta.setup_violations()
+        assert ta.worst_setup_slack() < 0
+
+    def test_hold_slack(self):
+        c = pipeline()
+        ta = analyze(c, ClockSpec(period=10.0))
+        e2 = ta.endpoints["ff2"]
+        # min arrival 2.0 vs required hold 0.25
+        assert e2.hold_slack == pytest.approx(1.75)
+        assert not ta.hold_violations()
+
+    def test_uncertainty_tightens_setup(self):
+        c = pipeline()
+        ta = analyze(c, ClockSpec(period=10.0, uncertainty=0.5))
+        assert ta.endpoints["ff1"].required_setup == pytest.approx(8.5)
+
+
+class TestClockSkew:
+    def test_skew_shifts_launch_and_capture(self):
+        c = pipeline()
+        skew = {"ff1": 1.0}
+        ta = analyze(c, ClockSpec(period=10.0, skew=skew))
+        # ff1 captures later -> more slack at ff1
+        assert ta.endpoints["ff1"].required_setup == pytest.approx(10.0)
+        # ff1 launches later -> ff2 sees a later arrival
+        assert ta.endpoints["ff2"].arrival_max == pytest.approx(3.0)
+
+    def test_endpoint_bounds_zero_skew(self):
+        c = pipeline()
+        ta = analyze(c, ClockSpec(period=10.0))
+        lb, ub = ta.endpoint_bounds("ff1")
+        assert lb == pytest.approx(0.25)  # hold
+        assert ub == pytest.approx(9.0)  # period - setup
+
+    def test_endpoint_bounds_conservative_under_skew(self):
+        c = pipeline()
+        ta = analyze(c, ClockSpec(period=10.0, skew={"ff1": 0.5}))
+        lb1, ub1 = ta.endpoint_bounds("ff1")
+        assert lb1 == pytest.approx(0.25 + 0.5)
+        assert ub1 == pytest.approx(10.0 + 0.5 - 0.5 - 1.0)
+
+    def test_unknown_endpoint_rejected(self):
+        c = pipeline()
+        ta = analyze(c, ClockSpec(period=10.0))
+        import pytest as _pytest
+
+        with _pytest.raises(Exception, match="not a capturing"):
+            ta.endpoint_bounds("nope")
+
+    def test_synthetic_skew_deterministic(self):
+        a = synthetic_clock_tree_skew(["f1", "f2"], 0.4, seed="s")
+        b = synthetic_clock_tree_skew(["f2", "f1"], 0.4, seed="s")
+        assert a == b
+        assert all(0 <= v <= 0.4 for v in a.values())
+
+
+class TestCriticalPath:
+    def test_critical_path_trace(self):
+        c = pipeline()
+        ta = analyze(c, ClockSpec(period=10.0))
+        path = ta.critical_path_to(ta.endpoints["ff1"].data_net)
+        assert path[0] == "a"  # source of the worst path
+        assert path[-1] == ta.endpoints["ff1"].data_net

@@ -1,0 +1,91 @@
+"""Tests for delay-element synthesis."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netlist import Builder, default_library
+from repro.sim import EventSimulator
+from repro.synth import compose_delay, insert_delay_chain
+
+
+class TestComposeDelay:
+    def test_meets_or_exceeds_target(self):
+        lib = default_library()
+        for target in (0.1, 0.33, 0.77, 1.0, 2.5):
+            chain = compose_delay(target, lib)
+            total = sum(c.delay for c in chain)
+            assert total >= target - 1e-9
+
+    def test_exact_decomposition(self):
+        lib = default_library()
+        chain = compose_delay(1.0, lib)
+        assert sum(c.delay for c in chain) == pytest.approx(1.0)
+
+    def test_overshoot_bounded_by_smallest_buffer(self):
+        lib = default_library()
+        smallest = min(
+            c.delay for c in lib.delay_elements() if c.function == "BUF"
+        )
+        for step in range(1, 60):
+            target = step * 0.037
+            total = sum(c.delay for c in compose_delay(target, lib))
+            assert total < target + smallest + 1e-9
+
+    def test_zero_target(self):
+        assert compose_delay(0.0, default_library()) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            compose_delay(-1.0, default_library())
+
+    def test_only_non_inverting_cells(self):
+        chain = compose_delay(1.3, default_library())
+        assert all(c.function == "BUF" for c in chain)
+
+    @settings(max_examples=60, deadline=None)
+    @given(target=st.floats(0.0, 20.0))
+    def test_property_always_meets_target(self, target):
+        lib = default_library()
+        total = sum(c.delay for c in compose_delay(target, lib))
+        assert total >= target - 1e-9
+
+
+class TestInsertDelayChain:
+    def test_chain_in_netlist_matches_composition(self):
+        b = Builder("d")
+        a = b.input("a")
+        chain = insert_delay_chain(b.circuit, a, 0.9)
+        b.circuit.add_output(chain.output_net)
+        assert chain.achieved_delay >= 0.9
+        assert chain.num_cells == len(chain.gate_names)
+        assert chain.area > 0
+
+    def test_measured_delay_matches_achieved(self):
+        b = Builder("d")
+        a = b.input("a")
+        chain = insert_delay_chain(b.circuit, a, 1.2)
+        b.circuit.add_output(chain.output_net)
+        sim = EventSimulator(b.circuit)
+        sim.drive(a, [(1.0, 1)], initial=0)
+        result = sim.run(10.0)
+        changes = result.waveforms[chain.output_net].changes
+        assert len(changes) == 1
+        assert changes[0][0] == pytest.approx(1.0 + chain.achieved_delay)
+
+    def test_zero_target_still_anchors_a_buffer(self):
+        b = Builder("d")
+        a = b.input("a")
+        chain = insert_delay_chain(b.circuit, a, 0.0)
+        b.circuit.add_output(chain.output_net)
+        assert chain.num_cells == 1
+        assert chain.output_net != a
+
+    def test_polarity_preserved(self):
+        b = Builder("d")
+        a = b.input("a")
+        chain = insert_delay_chain(b.circuit, a, 0.6)
+        b.circuit.add_output(chain.output_net)
+        sim = EventSimulator(b.circuit)
+        sim.set_initial(a, 1)
+        result = sim.run(5.0)
+        assert result.waveforms[chain.output_net].value_at(4.9) == 1

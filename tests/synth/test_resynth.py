@@ -1,0 +1,91 @@
+"""Tests for technology mapping and the re-synthesis wrapper."""
+
+import pytest
+
+from repro.netlist import Builder
+from repro.sta import ClockSpec, analyze
+from repro.synth import (
+    insert_delay_chain,
+    map_to_library,
+    resynthesize,
+    upsize_critical_cells,
+)
+
+
+class TestTechmap:
+    def test_oversized_cells_downsized(self, toy_combinational):
+        c = toy_combinational.clone()
+        # replace the INV with the larger drive strength
+        inv = [g for g in c.gates.values() if g.function == "INV"][0]
+        inv.cell = c.library["INV_X2"]
+        remapped = map_to_library(c)
+        assert remapped == 1
+        assert inv.cell.name == "INV_X1"
+
+    def test_protected_cells_kept(self, toy_combinational):
+        c = toy_combinational.clone()
+        inv = [g for g in c.gates.values() if g.function == "INV"][0]
+        inv.cell = c.library["INV_X2"]
+        map_to_library(c, protected=[inv.name])
+        assert inv.cell.name == "INV_X2"
+
+
+class TestUpsize:
+    def test_upsizing_repairs_timing(self):
+        b = Builder("u")
+        b.clock("clk")
+        a = b.input("a")
+        deep = a
+        for _ in range(12):
+            deep = b.buf(deep)  # BUF_X1 at 0.08 -> 0.96ns total
+        b.dff(deep, name="ff")
+        b.po(deep)
+        c = b.circuit
+        clock = ClockSpec(period=0.95)
+        assert analyze(c, clock).setup_violations()
+        upsized = upsize_critical_cells(c, clock)
+        assert upsized > 0
+        assert not analyze(c, clock).setup_violations()
+
+    def test_no_upsizing_when_timing_met(self, s1238):
+        c = s1238.circuit.clone()
+        assert upsize_critical_cells(c, s1238.clock) == 0
+
+
+class TestResynthesize:
+    def test_full_flow_meets_timing(self, s1238):
+        c = s1238.circuit.clone()
+        result = resynthesize(c, s1238.clock, run_pnr=False)
+        assert result.meets_timing
+        assert result.circuit is c
+
+    def test_pnr_produces_layout(self, toy_sequential):
+        c = toy_sequential.clone()
+        result = resynthesize(c, ClockSpec(period=8.0), run_pnr=True)
+        assert result.layout.positions
+        assert result.routing.total_hpwl > 0
+
+    def test_protected_delay_chain_survives(self):
+        b = Builder("p")
+        b.clock("clk")
+        a = b.input("a")
+        chain = insert_delay_chain(b.circuit, a, 0.5)
+        q = b.dff(chain.output_net, name="ff")
+        b.po(q)
+        c = b.circuit
+        before = set(chain.gate_names)
+        resynthesize(c, ClockSpec(period=8.0), protected=chain.gate_names,
+                     run_pnr=False)
+        assert before <= set(c.gates)
+
+    def test_unprotected_delay_chain_swept(self):
+        b = Builder("p")
+        b.clock("clk")
+        a = b.input("a")
+        chain = insert_delay_chain(b.circuit, a, 0.5)
+        q = b.dff(chain.output_net, name="ff")
+        b.po(q)
+        c = b.circuit
+        resynthesize(c, ClockSpec(period=8.0), run_pnr=False)
+        # buffers on the path get bypassed and swept
+        assert not (set(chain.gate_names) <= set(c.gates))

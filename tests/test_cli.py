@@ -1,0 +1,91 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.netlist import parse_bench, write_bench
+
+
+@pytest.fixture()
+def bench_file(tmp_path, toy_sequential):
+    path = tmp_path / "toy.bench"
+    with open(path, "w") as stream:
+        write_bench(toy_sequential, stream)
+    return str(path)
+
+
+class TestInfo:
+    def test_info_on_file(self, bench_file, capsys):
+        assert main(["info", bench_file]) == 0
+        out = capsys.readouterr().out
+        assert "cells" in out and "FFs" in out
+        assert "clock" in out
+
+    def test_info_on_iwls(self, capsys):
+        assert main(["info", "iwls:s1238", "--paths", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "341" in out
+
+    def test_explicit_period(self, bench_file, capsys):
+        assert main(["info", bench_file, "--period", "5.0"]) == 0
+        assert "5.0 ns" in capsys.readouterr().out
+
+
+class TestLockAndAttack:
+    def test_xor_lock_roundtrip(self, bench_file, tmp_path, capsys):
+        locked_path = str(tmp_path / "locked.bench")
+        key_path = str(tmp_path / "key.json")
+        assert main([
+            "lock", bench_file, "--scheme", "xor", "--key-bits", "2",
+            "-o", locked_path, "--key-file", key_path,
+        ]) == 0
+        with open(locked_path) as stream:
+            locked = parse_bench(stream.read())
+        assert len(locked.key_inputs) == 2
+        with open(key_path) as stream:
+            key = json.load(stream)
+        assert set(key) == set(locked.key_inputs)
+
+    def test_attack_cracks_xor_file(self, bench_file, tmp_path, capsys):
+        locked_path = str(tmp_path / "locked.bench")
+        main(["lock", bench_file, "--scheme", "xor", "--key-bits", "2",
+              "-o", locked_path])
+        code = main(["attack", locked_path, bench_file])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "functional accuracy    : 1.000" in out
+
+    def test_gk_lock_reports_overhead(self, capsys):
+        assert main([
+            "lock", "iwls:s1238", "--scheme", "gk", "--key-bits", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "overhead" in out and "key" in out
+
+    def test_unknown_scheme_rejected(self, bench_file):
+        with pytest.raises(SystemExit):
+            main(["lock", bench_file, "--scheme", "rot13"])
+
+
+class TestReports:
+    def test_table1_single_bench(self, capsys):
+        assert main(["table1", "s1238"]) == 0
+        out = capsys.readouterr().out
+        assert "s1238" in out and "Cov.(%)" in out
+
+    def test_figures(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 4" in out and "Fig. 9" in out
+
+
+class TestReproduceCommand:
+    def test_parser_accepts_reproduce(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["reproduce", "--full", "--seed", "7"])
+        assert args.full is True
+        assert args.seed == 7
+        assert args.func.__name__ == "cmd_reproduce"
