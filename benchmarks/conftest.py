@@ -5,8 +5,16 @@ Every module regenerates one of the paper's tables or figures; run with
     pytest benchmarks/ --benchmark-only -s
 
 (the ``-s`` shows the regenerated rows/diagrams next to the timings).
+
+Each benchmark runs with ``repro.obs`` enabled; the per-test metric
+snapshots (solver decisions/conflicts, simulator event counts, flow
+retries, ...) are dumped to ``benchmarks/BENCH_obs.json`` at the end of
+the session so perf numbers can be correlated with the work performed.
+Mark a test ``@pytest.mark.no_obs`` to opt out (used by the overhead
+benchmark, which measures the disabled path).
 """
 
+import json
 import os
 import sys
 
@@ -16,7 +24,42 @@ _SRC = os.path.join(os.path.dirname(__file__), os.pardir, "src")
 if os.path.isdir(_SRC) and _SRC not in sys.path:
     sys.path.insert(0, os.path.abspath(_SRC))
 
+from repro import obs  # noqa: E402
 from repro.bench import BENCHMARKS, iwls_benchmark  # noqa: E402
+
+_OBS_DUMP = os.path.join(os.path.dirname(__file__), "BENCH_obs.json")
+_SNAPSHOTS = {}
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "no_obs: run this benchmark with observability disabled"
+    )
+
+
+@pytest.fixture(autouse=True)
+def _obs_snapshot(request):
+    """Collect a metric snapshot per benchmark test."""
+    if request.node.get_closest_marker("no_obs"):
+        yield
+        return
+    sink = obs.InMemorySink()
+    session = obs.enable(sink)
+    try:
+        yield
+        session.publish_metrics()
+        if sink.last_snapshot:
+            _SNAPSHOTS[request.node.nodeid] = sink.last_snapshot
+    finally:
+        obs.disable()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _SNAPSHOTS:
+        return
+    with open(_OBS_DUMP, "w") as stream:
+        json.dump(_SNAPSHOTS, stream, indent=2, sort_keys=True)
+        stream.write("\n")
 
 
 @pytest.fixture(scope="session")

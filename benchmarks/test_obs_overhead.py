@@ -1,0 +1,58 @@
+"""Overhead of the observability layer on the hottest path.
+
+The instrumented SAT attack must be no-op-cheap with observability
+disabled (the acceptance bar is <3% vs. the uninstrumented seed) and
+affordable when enabled. Run both benchmarks and compare:
+
+    pytest benchmarks/test_obs_overhead.py --benchmark-only
+
+The disabled benchmark is marked ``no_obs`` so the session-wide
+snapshot fixture does not enable a session behind its back.
+"""
+
+import random
+
+import pytest
+
+from repro import obs
+from repro.attacks import CombinationalOracle, sat_attack
+from repro.locking import XorLock
+from repro.netlist import Builder
+
+
+def _medium_comb():
+    """The 12-gate attack target the test suite uses (~4 ms/attack)."""
+    b = Builder("med")
+    a, bb, c, d = b.inputs("a", "b", "c", "d")
+    n1 = b.nand2(a, bb)
+    n2 = b.nor2(c, d)
+    n3 = b.xor(n1, n2)
+    n4 = b.and2(n3, a)
+    n5 = b.or2(n4, d)
+    n6 = b.xnor(n5, bb)
+    b.po(n6, "y1")
+    b.po(b.inv(n3), "y2")
+    return b.circuit
+
+
+def _attack_setup():
+    circuit = _medium_comb()
+    locked = XorLock().lock(circuit, 4, random.Random(7))
+    return locked.circuit, CombinationalOracle(circuit)
+
+
+@pytest.mark.no_obs
+def test_sat_attack_obs_disabled(benchmark):
+    """Baseline: instrumentation present but dormant."""
+    locked, oracle = _attack_setup()
+    assert not obs.is_enabled()
+    result = benchmark(sat_attack, locked, oracle)
+    assert result.completed
+
+
+def test_sat_attack_obs_enabled(benchmark):
+    """Same workload with spans + metrics live (autouse fixture)."""
+    locked, oracle = _attack_setup()
+    assert obs.is_enabled()
+    result = benchmark(sat_attack, locked, oracle)
+    assert result.completed

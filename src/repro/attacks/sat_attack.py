@@ -20,17 +20,41 @@ that failure observable, reproducing Sec. VI's result.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional
 
 from ..netlist.circuit import Circuit, NetlistError
 from ..netlist.transform import extract_combinational
+from ..obs import metrics as _metrics
+from ..obs.spans import trace_span
 from ..sat.cnf import CNF
 from ..sat.solver import Solver
 from ..sat.tseitin import CircuitEncoder
 from .oracle import CombinationalOracle
 
-__all__ = ["SatAttackResult", "sat_attack", "verify_key_against_oracle"]
+__all__ = ["IterationStats", "SatAttackResult", "sat_attack",
+           "verify_key_against_oracle"]
+
+
+@dataclass(frozen=True)
+class IterationStats:
+    """Cumulative effort after one DIP iteration (1-based *index*).
+
+    Counter fields are cumulative over the whole attack so far, so each
+    sequence is monotonically non-decreasing across iterations — the
+    property the oracle-guided-attack literature reports (queries,
+    solver effort, clause growth per iteration) and the one our
+    regression tests pin down.
+    """
+
+    index: int
+    seconds: float  # wall time since the attack started
+    solver_decisions: int
+    solver_conflicts: int
+    solver_propagations: int
+    oracle_queries: int
+    clauses: int  # problem clauses in the solver's database
 
 
 @dataclass
@@ -45,6 +69,7 @@ class SatAttackResult:
     oracle_queries: int = 0
     solver_conflicts: int = 0
     solver_decisions: int = 0
+    iteration_stats: List[IterationStats] = field(default_factory=list)
 
     @property
     def found_any_dip(self) -> bool:
@@ -98,60 +123,95 @@ def sat_attack(
         solver.add_cnf(cnf)
         return encoder
 
-    copy1 = encode_copy({})
-    pi_vars = {net: copy1.var_of[net] for net in comb.inputs}
-    copy2 = encode_copy(pi_vars)
+    t_start = time.perf_counter()
+    # Touch the loop counters so they appear in metric tables even for
+    # the paper's headline case (UNSAT at iteration 1: zero of each).
+    _metrics.inc("attack.sat.iterations", 0)
+    _metrics.inc("attack.sat.oracle_queries", 0)
+    with trace_span(
+        "attack.sat", design=comb.name, key_bits=len(comb.key_inputs)
+    ) as attack_span:
+        with trace_span("attack.sat.encode"):
+            copy1 = encode_copy({})
+            pi_vars = {net: copy1.var_of[net] for net in comb.inputs}
+            copy2 = encode_copy(pi_vars)
 
-    # Miter: diff <-> OR over per-output XORs; assumed true per DIP query.
-    miter_cnf = CNF(num_vars=solver.num_vars)
-    xor_vars = []
-    for net in comb.outputs:
-        x = miter_cnf.new_var()
-        miter_cnf.add_xor(x, copy1.var_of[net], copy2.var_of[net])
-        xor_vars.append(x)
-    diff = miter_cnf.new_var()
-    miter_cnf.add_or(diff, xor_vars)
-    solver.add_cnf(miter_cnf)
-
-    result = SatAttackResult(
-        completed=False, key=None, iterations=0, unsat_at_first_iteration=False
-    )
-    for _ in range(max_iterations):
-        if not solver.solve([diff]):
-            result.completed = True
-            break
-        model = solver.model()
-        dip = {net: int(model[var]) for net, var in pi_vars.items()}
-        result.dips.append(dip)
-        result.iterations += 1
-        response = oracle.query(dip)
-        result.oracle_queries += 1
-        # Pin both copies to the oracle's answer on this DIP.
-        for copy in (copy1, copy2):
-            cnf = CNF(num_vars=solver.num_vars)
-            encoder = CircuitEncoder(
-                cnf, comb, net_vars={net: copy.var_of[net] for net in comb.key_inputs}
-            )
-            for net, value in dip.items():
-                var = encoder.var_of[net]
-                cnf.add_clause([var if value else -var])
+            # Miter: diff <-> OR over per-output XORs; assumed true per
+            # DIP query.
+            miter_cnf = CNF(num_vars=solver.num_vars)
+            xor_vars = []
             for net in comb.outputs:
-                var = encoder.var_of[net]
-                value = response[oracle_output_of[net]]
-                cnf.add_clause([var if value else -var])
-            solver.add_cnf(cnf)
+                x = miter_cnf.new_var()
+                miter_cnf.add_xor(x, copy1.var_of[net], copy2.var_of[net])
+                xor_vars.append(x)
+            diff = miter_cnf.new_var()
+            miter_cnf.add_or(diff, xor_vars)
+            solver.add_cnf(miter_cnf)
 
-    result.unsat_at_first_iteration = result.completed and result.iterations == 0
-    result.solver_conflicts = solver.num_conflicts
-    result.solver_decisions = solver.num_decisions
-    if result.completed:
-        if solver.solve([]):
-            model = solver.model()
-            result.key = {
-                net: int(model[copy1.var_of[net]]) for net in comb.key_inputs
-            }
-        else:
-            result.key = None  # over-constrained: no consistent key at all
+        result = SatAttackResult(
+            completed=False, key=None, iterations=0,
+            unsat_at_first_iteration=False,
+        )
+        for iteration in range(max_iterations):
+            with trace_span("attack.sat.iteration", index=iteration + 1):
+                if not solver.solve([diff]):
+                    result.completed = True
+                    break
+                model = solver.model()
+                dip = {net: int(model[var]) for net, var in pi_vars.items()}
+                result.dips.append(dip)
+                result.iterations += 1
+                response = oracle.query(dip)
+                result.oracle_queries += 1
+                _metrics.inc("attack.sat.oracle_queries")
+                # Pin both copies to the oracle's answer on this DIP.
+                for copy in (copy1, copy2):
+                    cnf = CNF(num_vars=solver.num_vars)
+                    encoder = CircuitEncoder(
+                        cnf, comb,
+                        net_vars={
+                            net: copy.var_of[net] for net in comb.key_inputs
+                        },
+                    )
+                    for net, value in dip.items():
+                        var = encoder.var_of[net]
+                        cnf.add_clause([var if value else -var])
+                    for net in comb.outputs:
+                        var = encoder.var_of[net]
+                        value = response[oracle_output_of[net]]
+                        cnf.add_clause([var if value else -var])
+                    solver.add_cnf(cnf)
+                result.iteration_stats.append(IterationStats(
+                    index=result.iterations,
+                    seconds=time.perf_counter() - t_start,
+                    solver_decisions=solver.num_decisions,
+                    solver_conflicts=solver.num_conflicts,
+                    solver_propagations=solver.num_propagations,
+                    oracle_queries=result.oracle_queries,
+                    clauses=solver.num_clauses,
+                ))
+                _metrics.inc("attack.sat.iterations")
+
+        result.unsat_at_first_iteration = (
+            result.completed and result.iterations == 0
+        )
+        result.solver_conflicts = solver.num_conflicts
+        result.solver_decisions = solver.num_decisions
+        if result.completed:
+            with trace_span("attack.sat.key_extract"):
+                if solver.solve([]):
+                    model = solver.model()
+                    result.key = {
+                        net: int(model[copy1.var_of[net]])
+                        for net in comb.key_inputs
+                    }
+                else:
+                    # over-constrained: no consistent key at all
+                    result.key = None
+        attack_span.annotate(
+            iterations=result.iterations, completed=result.completed,
+            unsat_at_first=result.unsat_at_first_iteration,
+        )
     return result
 
 

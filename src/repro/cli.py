@@ -7,9 +7,21 @@ Gives the library's main flows a tool-like surface operating on
 * ``lock``     — encrypt a design (gk / xor / sarlock / antisat / tdk /
   hybrid), writing the locked netlist and the key
 * ``attack``   — run the SAT attack against a locked netlist + oracle
+* ``profile``  — run the whole pipeline under the observability
+  harness and print the span tree + metrics table
 * ``table1`` / ``table2`` — regenerate the paper's tables
 * ``figures``  — print the paper's timing diagrams
 * ``reproduce`` — regenerate the whole evaluation in one run
+
+Every command accepts three observability flags:
+
+* ``--trace FILE`` — stream spans and the final metric snapshot to
+  *FILE* as JSONL (see :mod:`repro.obs`);
+* ``--profile``    — print a span tree + metric table to stderr when
+  the command finishes;
+* ``--quiet``      — suppress informational chatter, keeping only the
+  primary result on stdout (trace/metric output goes to stderr, so the
+  two streams never mix).
 """
 
 from __future__ import annotations
@@ -38,6 +50,22 @@ from .sta.report import slack_report
 from .sta.timing import analyze
 
 __all__ = ["main"]
+
+#: set per-invocation by :func:`main` from ``--quiet``
+_QUIET = False
+
+
+def _emit(text: str = "", *, result: bool = False, err: bool = False) -> None:
+    """Print *text*, honouring ``--quiet``.
+
+    Informational lines (the default) are suppressed under ``--quiet``;
+    *result* lines — the output a script would parse — always print.
+    *err* routes to stderr (observability reports live there, keeping
+    stdout machine-readable).
+    """
+    if _QUIET and not result:
+        return
+    print(text, file=sys.stderr if err else sys.stdout)
 
 
 def _load(path: str) -> Circuit:
@@ -92,17 +120,20 @@ def _scheme(name: str, clock: ClockSpec) -> LockingScheme:
 def cmd_info(args: argparse.Namespace) -> int:
     circuit = _load(args.netlist)
     stats = circuit.stats()
-    print(f"name        : {circuit.name}")
-    print(f"cells       : {stats.num_cells} "
-          f"({stats.num_flip_flops} FFs, {stats.num_combinational} comb)")
-    print(f"area        : {stats.area:.1f} um^2")
-    print(f"ports       : {stats.num_inputs} PIs, {stats.num_key_inputs} "
-          f"keys, {stats.num_outputs} POs")
+    _emit(f"name        : {circuit.name}", result=True)
+    _emit(f"cells       : {stats.num_cells} "
+          f"({stats.num_flip_flops} FFs, {stats.num_combinational} comb)",
+          result=True)
+    _emit(f"area        : {stats.area:.1f} um^2", result=True)
+    _emit(f"ports       : {stats.num_inputs} PIs, {stats.num_key_inputs} "
+          f"keys, {stats.num_outputs} POs", result=True)
     if circuit.flip_flops():
         clock = _clock_for(circuit, args.period)
-        print(f"clock       : {clock.period} ns"
-              + ("" if args.period else " (auto: critical x 1.08)"))
-        print(slack_report(analyze(circuit, clock), limit=args.paths))
+        _emit(f"clock       : {clock.period} ns"
+              + ("" if args.period else " (auto: critical x 1.08)"),
+              result=True)
+        _emit(slack_report(analyze(circuit, clock), limit=args.paths),
+              result=True)
     return 0
 
 
@@ -112,17 +143,18 @@ def cmd_lock(args: argparse.Namespace) -> int:
     scheme = _scheme(args.scheme, clock)
     rng = random.Random(args.seed)
     locked = scheme.lock(circuit, args.key_bits, rng)
-    print(f"locked with {args.scheme}: {locked.circuit}")
-    print(f"overhead: {overhead(circuit, locked.circuit)}")
+    _emit(f"locked with {args.scheme}: {locked.circuit}")
+    _emit(f"overhead: {overhead(circuit, locked.circuit)}")
     if args.output:
         _save(locked.circuit, args.output)
-        print(f"netlist -> {args.output}")
+        _emit(f"netlist -> {args.output}")
     if args.key_file:
         with open(args.key_file, "w") as stream:
             json.dump(locked.key, stream, indent=2, sort_keys=True)
-        print(f"key     -> {args.key_file}")
+        _emit(f"key     -> {args.key_file}")
     else:
-        print(f"key     : {json.dumps(locked.key, sort_keys=True)}")
+        _emit(f"key     : {json.dumps(locked.key, sort_keys=True)}",
+              result=True)
     return 0
 
 
@@ -131,19 +163,44 @@ def cmd_attack(args: argparse.Namespace) -> int:
     original = _load(args.oracle)
     oracle = CombinationalOracle(original)
     result = sat_attack(locked, oracle, max_iterations=args.max_iterations)
-    print(f"completed              : {result.completed}")
-    print(f"DIP iterations         : {result.iterations}")
-    print(f"UNSAT at 1st iteration : {result.unsat_at_first_iteration}")
+    _emit(f"completed              : {result.completed}", result=True)
+    _emit(f"DIP iterations         : {result.iterations}", result=True)
+    _emit(f"UNSAT at 1st iteration : {result.unsat_at_first_iteration}",
+          result=True)
+    _emit(f"oracle queries         : {result.oracle_queries}")
+    _emit(f"solver decisions       : {result.solver_decisions}")
+    _emit(f"solver conflicts       : {result.solver_conflicts}")
     if result.key is not None:
         accuracy = verify_key_against_oracle(
             locked, oracle, result.key, samples=args.verify_samples
         )
-        print(f"recovered key          : "
-              f"{json.dumps(result.key, sort_keys=True)}")
-        print(f"functional accuracy    : {accuracy:.3f}")
+        _emit(f"recovered key          : "
+              f"{json.dumps(result.key, sort_keys=True)}", result=True)
+        _emit(f"functional accuracy    : {accuracy:.3f}", result=True)
         return 0 if accuracy == 1.0 else 1
-    print("no consistent key")
+    _emit("no consistent key", result=True)
     return 1
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    from .obs import JsonlSink, run_profile
+
+    circuit = _load(args.netlist)
+    clock = _clock_for(circuit, args.period)
+    extra = [JsonlSink(args.trace)] if args.trace else []
+    report = run_profile(
+        circuit,
+        clock,
+        key_bits=args.key_bits,
+        seed=args.seed,
+        max_iterations=args.max_iterations,
+        sim_cycles=args.sim_cycles,
+        extra_sinks=extra,
+    )
+    _emit(report.render(), result=True)
+    if args.trace:
+        _emit(f"trace   -> {args.trace}")
+    return 0
 
 
 def cmd_table1(args: argparse.Namespace) -> int:
@@ -151,7 +208,7 @@ def cmd_table1(args: argparse.Namespace) -> int:
 
     names = args.benchmarks or list(BENCHMARKS)
     rows = [table1_row(name) for name in names]
-    print(format_table1(rows))
+    _emit(format_table1(rows), result=True)
     return 0
 
 
@@ -160,14 +217,15 @@ def cmd_table2(args: argparse.Namespace) -> int:
 
     names = args.benchmarks or list(BENCHMARKS)
     rows = [table2_row(name) for name in names]
-    print(format_table2(rows))
+    _emit(format_table2(rows), result=True)
     return 0
 
 
 def cmd_reproduce(args: argparse.Namespace) -> int:
     from .reporting.summary import reproduce
 
-    reproduce(fast=not args.full, echo=print, seed=args.seed)
+    reproduce(fast=not args.full,
+              echo=lambda text: _emit(text, result=True), seed=args.seed)
     return 0
 
 
@@ -185,26 +243,36 @@ def cmd_figures(args: argparse.Namespace) -> int:
         figure7_scenarios(),
         figure9_trigger_windows(),
     ):
-        print("=" * 74)
-        print(figure.title)
-        print(figure.diagram)
+        _emit("=" * 74, result=True)
+        _emit(figure.title, result=True)
+        _emit(figure.diagram, result=True)
     return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
+    obs_flags = argparse.ArgumentParser(add_help=False)
+    group = obs_flags.add_argument_group("observability")
+    group.add_argument("--trace", metavar="FILE",
+                       help="write spans + metrics to FILE as JSONL")
+    group.add_argument("--profile", action="store_true",
+                       help="print a span tree + metric table to stderr")
+    group.add_argument("--quiet", "-q", action="store_true",
+                       help="suppress informational output on stdout")
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Glitch Key-gate logic locking — paper reproduction CLI",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("info", help="netlist statistics and timing")
+    p = sub.add_parser("info", help="netlist statistics and timing",
+                       parents=[obs_flags])
     p.add_argument("netlist", help=".bench/.v file, or iwls:<name>")
     p.add_argument("--period", type=float, help="clock period in ns")
     p.add_argument("--paths", type=int, default=10, help="endpoints to list")
     p.set_defaults(func=cmd_info)
 
-    p = sub.add_parser("lock", help="encrypt a design")
+    p = sub.add_parser("lock", help="encrypt a design", parents=[obs_flags])
     p.add_argument("netlist")
     p.add_argument("--scheme", default="gk",
                    choices=["gk", "xor", "sarlock", "antisat", "tdk", "hybrid"])
@@ -215,26 +283,44 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--key-file", help="write the correct key (JSON) here")
     p.set_defaults(func=cmd_lock)
 
-    p = sub.add_parser("attack", help="SAT-attack a locked netlist")
+    p = sub.add_parser("attack", help="SAT-attack a locked netlist",
+                       parents=[obs_flags])
     p.add_argument("locked", help="locked netlist (key inputs present)")
     p.add_argument("oracle", help="original netlist (the activated chip)")
     p.add_argument("--max-iterations", type=int, default=256)
     p.add_argument("--verify-samples", type=int, default=64)
     p.set_defaults(func=cmd_attack)
 
-    p = sub.add_parser("table1", help="regenerate paper Table I")
+    p = sub.add_parser(
+        "profile",
+        help="profile the whole GK pipeline (synth/P&R/STA/lock/attack/sim)",
+        parents=[obs_flags],
+    )
+    p.add_argument("netlist", help=".bench/.v file, or iwls:<name>")
+    p.add_argument("--key-bits", type=int, default=8)
+    p.add_argument("--seed", type=int, default=2019)
+    p.add_argument("--period", type=float)
+    p.add_argument("--max-iterations", type=int, default=64)
+    p.add_argument("--sim-cycles", type=int, default=8)
+    p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser("table1", help="regenerate paper Table I",
+                       parents=[obs_flags])
     p.add_argument("benchmarks", nargs="*", choices=list(BENCHMARKS) + [[]])
     p.set_defaults(func=cmd_table1)
 
-    p = sub.add_parser("table2", help="regenerate paper Table II")
+    p = sub.add_parser("table2", help="regenerate paper Table II",
+                       parents=[obs_flags])
     p.add_argument("benchmarks", nargs="*", choices=list(BENCHMARKS) + [[]])
     p.set_defaults(func=cmd_table2)
 
-    p = sub.add_parser("figures", help="regenerate paper Figs. 4/6/7/9")
+    p = sub.add_parser("figures", help="regenerate paper Figs. 4/6/7/9",
+                       parents=[obs_flags])
     p.set_defaults(func=cmd_figures)
 
     p = sub.add_parser(
-        "reproduce", help="regenerate the paper's whole evaluation"
+        "reproduce", help="regenerate the paper's whole evaluation",
+        parents=[obs_flags],
     )
     p.add_argument("--full", action="store_true",
                    help="run the SAT attack on three benchmarks, not one")
@@ -244,9 +330,40 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[list] = None) -> int:
+    global _QUIET
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    _QUIET = bool(getattr(args, "quiet", False))
+
+    # `profile` manages its own observability session (run_profile) and
+    # threads --trace through as an extra sink; every other command gets
+    # a session assembled here from the shared flags.
+    if args.func is cmd_profile:
+        return args.func(args)
+
+    from . import obs
+
+    sinks = []
+    memory = None
+    if getattr(args, "trace", None):
+        sinks.append(obs.JsonlSink(args.trace))
+    if getattr(args, "profile", False):
+        memory = obs.InMemorySink()
+        sinks.append(memory)
+    if not sinks:
+        return args.func(args)
+
+    session = obs.enable(*sinks)
+    try:
+        code = args.func(args)
+        snapshot = session.publish_metrics()
+    finally:
+        obs.disable()
+    if memory is not None:
+        _emit(obs.render_span_tree(memory.roots), result=True, err=True)
+        _emit("", result=True, err=True)
+        _emit(obs.render_metrics_table(snapshot), result=True, err=True)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -28,6 +28,8 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..locking.base import LockedCircuit, LockingError, LockingScheme
 from ..netlist.circuit import Circuit
+from ..obs import metrics as _metrics
+from ..obs.spans import trace_span
 from ..pnr.placer import place
 from ..pnr.router import route
 from ..sta.clock import ClockSpec
@@ -122,72 +124,103 @@ class GkLock(LockingScheme):
         count = num_key_bits // 2
         locked = circuit.clone(f"{circuit.name}__gk{num_key_bits}")
 
-        wire_delay = None
-        if self.run_pnr:
-            wire_delay = route(place(locked)).wire_delay
-        analysis = analyze(locked, self.clock, wire_delay=wire_delay)
-        # ECO baseline: endpoints already violated before any insertion
-        # (possible when routed wire delays exceed the synthesis guard
-        # band) are not the flow's doing and are excluded from triage.
-        baseline_violated = {
-            e.ff for e in analysis.setup_violations() + analysis.hold_violations()
-        }
-        plans = available_ffs(
-            locked,
-            self.clock,
-            self.glitch_length,
-            analysis=analysis,
-            margin=self.margin,
-        )
-        candidates = [name for name, plan in plans.items() if plan.feasible]
-        if self.candidate_ffs is not None:
-            candidates = [n for n in candidates if n in self.candidate_ffs]
-        if len(candidates) < count:
-            raise LockingError(
-                f"{circuit.name}: only {len(candidates)} feasible FFs for "
-                f"{count} GKs"
-            )
-        order = list(candidates)
-        rng.shuffle(order)
+        with trace_span("flow.gk_lock", design=circuit.name, gks=count):
+            wire_delay = None
+            if self.run_pnr:
+                with trace_span("flow.pnr"):
+                    wire_delay = route(place(locked)).wire_delay
+            with trace_span("flow.sta.baseline"):
+                analysis = analyze(locked, self.clock, wire_delay=wire_delay)
+            # ECO baseline: endpoints already violated before any insertion
+            # (possible when routed wire delays exceed the synthesis guard
+            # band) are not the flow's doing and are excluded from triage.
+            baseline_violated = {
+                e.ff
+                for e in analysis.setup_violations() + analysis.hold_violations()
+            }
+            with trace_span("flow.plan") as plan_span:
+                plans = available_ffs(
+                    locked,
+                    self.clock,
+                    self.glitch_length,
+                    analysis=analysis,
+                    margin=self.margin,
+                )
+                candidates = [
+                    name for name, plan in plans.items() if plan.feasible
+                ]
+                if self.candidate_ffs is not None:
+                    candidates = [
+                        n for n in candidates if n in self.candidate_ffs
+                    ]
+                plan_span.annotate(feasible=len(candidates),
+                                   ffs=len(plans))
+            if len(candidates) < count:
+                raise LockingError(
+                    f"{circuit.name}: only {len(candidates)} feasible FFs for "
+                    f"{count} GKs"
+                )
+            order = list(candidates)
+            rng.shuffle(order)
 
-        records: List[GkRecord] = []
-        key: Dict[str, int] = {}
-        index = 0
-        rejected: List[str] = []
-        for ff_name in order:
-            if len(records) == count:
-                break
-            record = self._try_insert(locked, plans[ff_name], rng, index)
-            if record is None:
-                rejected.append(ff_name)
-                continue
-            records.append(record)
-            k1, k2 = record.correct_key
-            key[record.keygen.k1_net] = k1
-            key[record.keygen.k2_net] = k2
-            index += 1
-        if len(records) < count:
-            raise LockingError(
-                f"{circuit.name}: verified only {len(records)}/{count} GKs "
-                f"(rejected at {len(rejected)} locations)"
-            )
+            records: List[GkRecord] = []
+            key: Dict[str, int] = {}
+            index = 0
+            rejected: List[str] = []
+            with trace_span("flow.insert") as insert_span:
+                for ff_name in order:
+                    if len(records) == count:
+                        break
+                    record = self._try_insert(
+                        locked, plans[ff_name], rng, index
+                    )
+                    if record is None:
+                        # The paper's repeat-the-procedure loop: roll back
+                        # and retry at the next feasible location.
+                        rejected.append(ff_name)
+                        _metrics.inc("flow.gk.retries")
+                        continue
+                    records.append(record)
+                    _metrics.inc("flow.gk.inserted")
+                    k1, k2 = record.correct_key
+                    key[record.keygen.k1_net] = k1
+                    key[record.keygen.k2_net] = k2
+                    index += 1
+                insert_span.annotate(inserted=len(records),
+                                     retries=len(rejected))
+            if len(records) < count:
+                raise LockingError(
+                    f"{circuit.name}: verified only {len(records)}/{count} "
+                    f"GKs (rejected at {len(rejected)} locations)"
+                )
 
-        protected: Set[str] = set()
-        for record in records:
-            protected.update(record.all_gate_names)
+            protected: Set[str] = set()
+            for record in records:
+                protected.update(record.all_gate_names)
 
-        # Step 4: re-synthesis under design constraints.
-        optimize(locked, protected=protected)
+            # Step 4: re-synthesis under design constraints.
+            with trace_span("flow.resynth"):
+                optimize(locked, protected=protected)
 
-        # Step 5: post-insertion STA + true/false violation triage.
-        if self.run_pnr:
-            wire_delay = route(place(locked)).wire_delay
-        post = analyze(locked, self.clock, wire_delay=wire_delay)
-        false_violations, true_violations, drift_waived = self._triage(
-            post, records, baseline_violated
-        )
+            # Step 5: post-insertion STA + true/false violation triage.
+            if self.run_pnr:
+                with trace_span("flow.pnr.post"):
+                    wire_delay = route(place(locked)).wire_delay
+            with trace_span("flow.sta.post") as post_span:
+                post = analyze(locked, self.clock, wire_delay=wire_delay)
+                false_violations, true_violations, drift_waived = self._triage(
+                    post, records, baseline_violated
+                )
+                post_span.annotate(
+                    false_violations=len(false_violations),
+                    true_violations=len(true_violations),
+                    drift_waived=len(drift_waived),
+                )
+            _metrics.inc("flow.gk.false_violations", len(false_violations))
+            _metrics.inc("flow.gk.true_violations", len(true_violations))
+            _metrics.inc("flow.gk.drift_waived", len(drift_waived))
 
-        locked.validate()
+            locked.validate()
         return LockedCircuit(
             circuit=locked,
             original=circuit,

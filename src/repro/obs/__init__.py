@@ -1,0 +1,55 @@
+"""repro.obs — structured tracing, metrics, and profiling.
+
+Zero-dependency observability for every hot path in the repo: nested
+wall/monotonic-time spans (:func:`trace_span`), a metrics registry
+(counters / gauges / fixed-bucket histograms), pluggable sinks
+(in-memory, JSONL file, human-readable tree), and a whole-pipeline
+profile harness (:func:`run_profile`, surfaced as ``repro profile``).
+
+Everything is off by default and *cheap* when off: instrumented call
+sites check one module attribute (``context.ACTIVE is None``) before
+doing any work, so the solver's DIP loop and the event simulator carry
+their instrumentation permanently.  Enable per-process with
+:func:`enable` (CLI: ``--trace FILE`` / ``--profile``) or per-block in
+tests with :func:`capture`::
+
+    from repro import obs
+
+    with obs.capture() as sink:
+        sat_attack(locked, oracle)
+    print(obs.render_span_tree(sink.roots))
+    print(sink.metric_value("attack.sat.oracle_queries"))
+"""
+
+from .context import ObsSession, capture, current, disable, enable, is_enabled
+from .metrics import (
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    inc,
+    observe,
+    set_gauge,
+    snapshot,
+)
+from .sinks import (
+    InMemorySink,
+    JsonlSink,
+    Sink,
+    TreeSink,
+    render_metrics_table,
+    render_span_tree,
+)
+from .spans import Span, annotate, current_span, trace_span
+from .instrument import ProfileReport, run_profile, traced
+
+__all__ = [
+    "ObsSession", "capture", "current", "disable", "enable", "is_enabled",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "DEFAULT_TIME_BUCKETS", "inc", "observe", "set_gauge", "snapshot",
+    "Sink", "InMemorySink", "JsonlSink", "TreeSink",
+    "render_span_tree", "render_metrics_table",
+    "Span", "annotate", "current_span", "trace_span",
+    "ProfileReport", "run_profile", "traced",
+]

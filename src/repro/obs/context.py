@@ -1,0 +1,131 @@
+"""Global observability state: the one flag every hot path checks.
+
+Instrumentation call sites throughout the repo read a single module
+attribute, :data:`ACTIVE`, before doing *any* work:
+
+    from repro.obs import context as _obs
+    ...
+    if _obs.ACTIVE is not None:
+        <build span / bump counters>
+
+so with observability disabled (the default) the entire subsystem costs
+one attribute load and one ``is None`` test per instrumented call — no
+allocation, no dictionary lookup, no string formatting.  That cost is
+bounded by the overhead benchmark in ``benchmarks/test_obs_overhead.py``.
+
+:func:`enable` installs an :class:`ObsSession` (sinks + metrics
+registry + span stack); :func:`disable` tears it down and returns it
+for inspection.  :func:`capture` is the test-friendly context manager
+wrapping both around an in-memory sink.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .metrics import MetricsRegistry
+    from .sinks import InMemorySink, Sink
+    from .spans import Span
+
+__all__ = ["ObsSession", "enable", "disable", "current", "is_enabled",
+           "capture"]
+
+
+class ObsSession:
+    """Everything one enabled observability window accumulates."""
+
+    __slots__ = ("registry", "sinks", "stack", "roots")
+
+    def __init__(self, sinks: List["Sink"], registry: "MetricsRegistry") -> None:
+        self.registry = registry
+        self.sinks = sinks
+        #: innermost-last stack of open spans (single-threaded by design)
+        self.stack: List["Span"] = []
+        #: completed top-level spans, in completion order
+        self.roots: List["Span"] = []
+
+    # ------------------------------------------------------------------
+
+    def span_closed(self, span: "Span") -> None:
+        """Called by the span machinery whenever a span completes."""
+        if span.parent is None:
+            self.roots.append(span)
+        for sink in self.sinks:
+            sink.on_span(span)
+
+    def publish_metrics(self) -> dict:
+        """Push the current metrics snapshot to every sink; returns it."""
+        snapshot = self.registry.snapshot()
+        for sink in self.sinks:
+            sink.on_metrics(snapshot)
+        return snapshot
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+
+#: The enabled-ness flag.  ``None`` means observability is off; hot
+#: paths must check this exact attribute (always via the module, so
+#: rebinding is visible everywhere).
+ACTIVE: Optional[ObsSession] = None
+
+
+def is_enabled() -> bool:
+    return ACTIVE is not None
+
+
+def current() -> Optional[ObsSession]:
+    return ACTIVE
+
+
+def enable(
+    *sinks: "Sink", registry: Optional["MetricsRegistry"] = None
+) -> ObsSession:
+    """Turn observability on.  Replaces any previously active session."""
+    global ACTIVE
+    from .metrics import MetricsRegistry
+
+    session = ObsSession(list(sinks), registry or MetricsRegistry())
+    ACTIVE = session
+    return session
+
+
+def disable() -> Optional[ObsSession]:
+    """Turn observability off; returns the session that was active."""
+    global ACTIVE
+    session = ACTIVE
+    ACTIVE = None
+    if session is not None:
+        session.close()
+    return session
+
+
+@contextmanager
+def capture() -> Iterator["InMemorySink"]:
+    """Enable observability with a fresh in-memory sink, for one block.
+
+    >>> with capture() as sink:
+    ...     with trace_span("work"):
+    ...         pass
+    >>> sink.spans[0].name
+    'work'
+
+    The previously active session (if any) is restored afterwards, so
+    tests can nest captures without trampling CLI-level tracing.
+    """
+    global ACTIVE
+    from .sinks import InMemorySink
+
+    previous = ACTIVE
+    sink = InMemorySink()
+    session = enable(sink)
+    sink.session = session
+    try:
+        yield sink
+    finally:
+        session.publish_metrics()
+        session.close()
+        ACTIVE = previous

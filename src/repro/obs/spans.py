@@ -1,0 +1,174 @@
+"""Nested wall-clock spans: ``with trace_span("sta.analyze"): ...``.
+
+A :class:`Span` records both clocks — ``time.time()`` for *when* the
+work happened (so JSONL traces can be correlated across runs) and
+``time.perf_counter()`` for *how long* it took (monotonic, immune to
+clock steps).  Spans nest via a per-session stack; closing a span
+attaches it to its parent (or to the session's root list) and notifies
+every sink.
+
+When observability is disabled :func:`trace_span` returns a shared
+no-op singleton — no ``Span`` object, no timestamps, no stack traffic —
+so the pattern is safe to leave in hot-ish paths permanently.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from typing import Any, Dict, List, Optional
+
+from . import context as _obs
+
+__all__ = ["Span", "trace_span", "current_span", "annotate"]
+
+_ids = itertools.count(1)
+
+
+class Span:
+    """One timed, annotated region of work."""
+
+    __slots__ = ("span_id", "name", "wall_start", "t0", "duration",
+                 "parent", "children", "attrs")
+
+    def __init__(self, name: str, parent: Optional["Span"],
+                 attrs: Dict[str, Any]) -> None:
+        self.span_id = next(_ids)
+        self.name = name
+        self.parent = parent
+        self.attrs = attrs
+        self.children: List["Span"] = []
+        self.wall_start = time.time()
+        self.duration: Optional[float] = None  # seconds, set on close
+        self.t0 = time.perf_counter()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        depth, node = 0, self.parent
+        while node is not None:
+            depth, node = depth + 1, node.parent
+        return depth
+
+    def annotate(self, **attrs: Any) -> "Span":
+        """Attach key/value details to the span while it is open."""
+        self.attrs.update(attrs)
+        return self
+
+    def self_seconds(self) -> Optional[float]:
+        """Time not accounted for by child spans."""
+        if self.duration is None:
+            return None
+        return self.duration - sum(c.duration or 0.0 for c in self.children)
+
+    def iter_tree(self):
+        """This span and every descendant, pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.iter_tree()
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Flat JSON-friendly form (children referenced by parent_id)."""
+        return {
+            "type": "span",
+            "id": self.span_id,
+            "parent_id": self.parent.span_id if self.parent else None,
+            "name": self.name,
+            "wall_start": self.wall_start,
+            "duration": self.duration,
+            "attrs": self.attrs,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        took = f"{self.duration * 1e3:.2f}ms" if self.duration is not None \
+            else "open"
+        return f"Span({self.name!r}, {took}, attrs={self.attrs})"
+
+
+class _NullSpan:
+    """The disabled-path stand-in: absorbs every span operation."""
+
+    __slots__ = ()
+    duration = None
+    children = ()
+    attrs: Dict[str, Any] = {}
+    name = ""
+
+    def annotate(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL = _NullSpan()
+
+
+class _SpanContext:
+    """Context manager creating/closing one :class:`Span`."""
+
+    __slots__ = ("_session", "_name", "_attrs", "span")
+
+    def __init__(self, session: "_obs.ObsSession", name: str,
+                 attrs: Dict[str, Any]) -> None:
+        self._session = session
+        self._name = name
+        self._attrs = attrs
+        self.span: Optional[Span] = None
+
+    def __enter__(self) -> Span:
+        stack = self._session.stack
+        parent = stack[-1] if stack else None
+        span = Span(self._name, parent, self._attrs)
+        self.span = span
+        stack.append(span)
+        return span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        span = self.span
+        assert span is not None
+        span.duration = time.perf_counter() - span.t0
+        if exc_type is not None:
+            span.attrs.setdefault("error", exc_type.__name__)
+        stack = self._session.stack
+        # Unwind defensively: a mismatched exit (e.g. a generator that
+        # never resumed) must not corrupt sibling bookkeeping.
+        while stack and stack[-1] is not span:
+            stack.pop()
+        if stack:
+            stack.pop()
+        if span.parent is not None:
+            span.parent.children.append(span)
+        self._session.span_closed(span)
+        return False
+
+
+def trace_span(name: str, **attrs: Any):
+    """Open a named span (``with trace_span("flow.insert") as sp:``).
+
+    Returns the shared no-op singleton when observability is disabled,
+    so call sites need no guard of their own.
+    """
+    session = _obs.ACTIVE
+    if session is None:
+        return _NULL
+    return _SpanContext(session, name, attrs)
+
+
+def current_span() -> Optional[Span]:
+    """The innermost open span, or None (also None when disabled)."""
+    session = _obs.ACTIVE
+    if session is None or not session.stack:
+        return None
+    return session.stack[-1]
+
+
+def annotate(**attrs: Any) -> None:
+    """Attach attributes to the innermost open span, if any."""
+    span = current_span()
+    if span is not None:
+        span.annotate(**attrs)

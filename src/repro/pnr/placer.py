@@ -18,6 +18,7 @@ from collections import deque
 from typing import Dict, List, Optional, Tuple
 
 from ..netlist.circuit import Circuit
+from ..obs.spans import trace_span
 from .layout import Layout
 
 __all__ = ["place"]
@@ -74,6 +75,12 @@ def _legalize(
 
 def place(circuit: Circuit, refinement_passes: int = 3) -> Layout:
     """Place *circuit* on a square-ish die at ~70% utilization."""
+    with trace_span("pnr.place", design=circuit.name,
+                    cells=len(circuit.gates)):
+        return _place(circuit, refinement_passes)
+
+
+def _place(circuit: Circuit, refinement_passes: int) -> Layout:
     total_area = sum(g.cell.area for g in circuit.gates.values())
     if total_area == 0.0:
         return Layout(circuit, {}, 0.0, 0.0, _ROW_HEIGHT)

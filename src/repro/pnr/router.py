@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
+from ..obs.spans import trace_span
 from .layout import Layout
 
 __all__ = ["RoutingEstimate", "route"]
@@ -37,15 +38,17 @@ class RoutingEstimate:
 def route(layout: Layout) -> RoutingEstimate:
     """Estimate wire delays for every net of the placed circuit."""
     circuit = layout.circuit
-    wire_delay: Dict[str, float] = {}
-    total = 0.0
-    for net in sorted(circuit.nets()):
-        if net == circuit.clock:
-            continue  # the clock tree is modeled by ClockSpec skews
-        sinks = circuit.fanout_pins(net)
-        hpwl = layout.net_hpwl(net)
-        total += hpwl
-        delay = hpwl * _DELAY_PER_UM + len(sinks) * _DELAY_PER_SINK
-        if delay > 0.0:
-            wire_delay[net] = delay
+    with trace_span("pnr.route", design=circuit.name) as span:
+        wire_delay: Dict[str, float] = {}
+        total = 0.0
+        for net in sorted(circuit.nets()):
+            if net == circuit.clock:
+                continue  # the clock tree is modeled by ClockSpec skews
+            sinks = circuit.fanout_pins(net)
+            hpwl = layout.net_hpwl(net)
+            total += hpwl
+            delay = hpwl * _DELAY_PER_UM + len(sinks) * _DELAY_PER_SINK
+            if delay > 0.0:
+                wire_delay[net] = delay
+        span.annotate(nets=len(wire_delay), hpwl=round(total, 1))
     return RoutingEstimate(wire_delay=wire_delay, total_hpwl=total)

@@ -21,8 +21,11 @@ netlist layer (see :mod:`repro.sat.tseitin` for the bridge).
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..obs import context as _obs
+from ..obs.spans import trace_span
 from .cnf import CNF
 
 __all__ = ["Solver", "luby"]
@@ -88,6 +91,8 @@ class Solver:
         self.num_conflicts = 0
         self.num_decisions = 0
         self.num_propagations = 0
+        self.num_learned = 0  # clauses ever learned (survives _reduce_db)
+        self.num_solve_calls = 0
 
     # ------------------------------------------------------------------
     # Variables and literals
@@ -111,6 +116,16 @@ class Solver:
     @property
     def num_vars(self) -> int:
         return self._num_vars
+
+    @property
+    def num_clauses(self) -> int:
+        """Problem (non-learned) clauses currently in the database."""
+        return len(self._clauses)
+
+    @property
+    def num_learnt_clauses(self) -> int:
+        """Learned clauses currently retained."""
+        return len(self._learnts)
 
     def _ensure_var(self, var: int) -> None:
         while self._num_vars < var:
@@ -367,6 +382,7 @@ class Solver:
             self._cla_inc *= 1e-20
 
     def _record_learnt(self, lits: List[int]) -> None:
+        self.num_learned += 1
         if len(lits) == 1:
             self._enqueue(lits[0], None)
             return
@@ -423,6 +439,45 @@ class Solver:
         Returns True (SAT; see :meth:`model`) or False (UNSAT under the
         assumptions).
         """
+        self.num_solve_calls += 1
+        if _obs.ACTIVE is None:  # observability off: zero-overhead path
+            return self._solve(assumptions)
+        return self._solve_observed(assumptions)
+
+    def _solve_observed(self, assumptions: Sequence[int]) -> bool:
+        """:meth:`_solve` wrapped in a span + per-call counter deltas."""
+        before = (self.num_decisions, self.num_conflicts,
+                  self.num_propagations, self.num_learned)
+        t0 = time.perf_counter()
+        with trace_span(
+            "sat.solve", vars=self._num_vars, clauses=len(self._clauses),
+            assumptions=len(assumptions),
+        ) as span:
+            sat = self._solve(assumptions)
+            decisions, conflicts, propagations, learned = (
+                self.num_decisions - before[0],
+                self.num_conflicts - before[1],
+                self.num_propagations - before[2],
+                self.num_learned - before[3],
+            )
+            span.annotate(result="SAT" if sat else "UNSAT",
+                          decisions=decisions, conflicts=conflicts,
+                          propagations=propagations, learned=learned)
+        session = _obs.ACTIVE
+        if session is not None:
+            registry = session.registry
+            registry.counter("sat.solver.calls").inc()
+            registry.counter("sat.solver.decisions").inc(decisions)
+            registry.counter("sat.solver.conflicts").inc(conflicts)
+            registry.counter("sat.solver.propagations").inc(propagations)
+            registry.counter("sat.solver.learned_clauses").inc(learned)
+            registry.gauge("sat.solver.clauses").set(len(self._clauses))
+            registry.histogram("sat.solve.seconds").observe(
+                time.perf_counter() - t0
+            )
+        return sat
+
+    def _solve(self, assumptions: Sequence[int] = ()) -> bool:
         if self._unsat:
             return False
         self._cancel_until(0)

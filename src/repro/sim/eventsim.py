@@ -28,6 +28,8 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..netlist.circuit import Circuit, Gate, NetlistError
+from ..obs import context as _obs
+from ..obs.spans import trace_span
 from .logic import LogicValue, eval_function
 from .waveform import Waveform
 
@@ -76,11 +78,26 @@ _EV_SAMPLE = 1
 class EventSimulator:
     """Simulates one :class:`Circuit` with per-cell delays."""
 
-    def __init__(self, circuit: Circuit, delay_mode: str = "transport") -> None:
+    def __init__(
+        self,
+        circuit: Circuit,
+        delay_mode: str = "transport",
+        glitch_threshold: float = 1.0,
+    ) -> None:
         if delay_mode not in ("transport", "inertial"):
             raise ValueError(f"unknown delay mode {delay_mode!r}")
         self.circuit = circuit
         self.delay_mode = delay_mode
+        #: two transitions on one net closer together than this count as
+        #: a glitch pulse (default = the paper's 1ns L_glitch target)
+        self.glitch_threshold = glitch_threshold
+        # Run statistics, maintained unconditionally (integer bumps are
+        # in the noise next to eval_function); published to repro.obs
+        # metrics at the end of run() when observability is enabled.
+        self.events_processed = 0
+        self.peak_queue_depth = 0
+        self.glitches_observed = 0
+        self._last_change_time: Dict[str, float] = {}
         self._values: Dict[str, LogicValue] = {net: None for net in circuit.nets()}
         self._waveforms: Dict[str, Waveform] = {}
         self._queue: List[Tuple[float, int, int, object]] = []
@@ -191,6 +208,33 @@ class EventSimulator:
 
     def run(self, until: float) -> SimulationResult:
         """Process events up to and including time *until*."""
+        if _obs.ACTIVE is None:  # observability off: zero-overhead path
+            return self._run(until)
+        before = (self.events_processed, self.glitches_observed,
+                  len(self.samples), len(self.violations))
+        with trace_span(
+            "sim.run", design=self.circuit.name, until=until,
+            mode=self.delay_mode,
+        ) as span:
+            result = self._run(until)
+            events = self.events_processed - before[0]
+            glitches = self.glitches_observed - before[1]
+            samples = len(self.samples) - before[2]
+            violations = len(self.violations) - before[3]
+            span.annotate(events=events, glitches=glitches,
+                          samples=samples, violations=violations,
+                          peak_queue_depth=self.peak_queue_depth)
+        session = _obs.ACTIVE
+        if session is not None:
+            registry = session.registry
+            registry.counter("sim.events").inc(events)
+            registry.counter("sim.glitches").inc(glitches)
+            registry.counter("sim.samples").inc(samples)
+            registry.counter("sim.violations").inc(violations)
+            registry.gauge("sim.peak_queue_depth").max(self.peak_queue_depth)
+        return result
+
+    def _run(self, until: float) -> SimulationResult:
         # Settle initial combinational values from the initial net values.
         for gate in self.circuit.topological_order():
             operands = [self._values[n] for n in gate.input_nets()]
@@ -199,8 +243,12 @@ class EventSimulator:
         for net in self._values:
             self._waveform_for(net)
 
-        while self._queue and self._queue[0][0] <= until:
+        queue = self._queue
+        while queue and queue[0][0] <= until:
+            if len(queue) > self.peak_queue_depth:
+                self.peak_queue_depth = len(queue)
             time, kind, seq, payload = heapq.heappop(self._queue)
+            self.events_processed += 1
             self.now = time
             if kind == _EV_NET:
                 net, value = payload  # type: ignore[misc]
@@ -227,6 +275,12 @@ class EventSimulator:
             return
         self._values[net] = value
         self._waveform_for(net).record(self.now, value)
+        # Two consecutive transitions on one net form a pulse; a pulse
+        # narrower than the threshold is a glitch (the paper's subject).
+        previous = self._last_change_time.get(net)
+        self._last_change_time[net] = self.now
+        if previous is not None and self.now - previous < self.glitch_threshold:
+            self.glitches_observed += 1
 
         if net == self.circuit.clock and value == 1:
             for ff_name in sorted(self._ffs):

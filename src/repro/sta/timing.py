@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..netlist.circuit import Circuit, Gate, NetlistError
+from ..obs.spans import trace_span
 from .clock import ClockSpec
 
 __all__ = ["EndpointTiming", "TimingAnalysis", "analyze"]
@@ -119,6 +120,19 @@ def analyze(
     *wire_delay* maps a net to the interconnect delay of its driving
     pin (from :mod:`repro.pnr`); unannotated nets have zero wire delay.
     """
+    with trace_span("sta.analyze", design=circuit.name,
+                    cells=len(circuit.gates)) as span:
+        analysis = _analyze(circuit, clock, wire_delay, input_arrival)
+        span.annotate(endpoints=len(analysis.endpoints))
+    return analysis
+
+
+def _analyze(
+    circuit: Circuit,
+    clock: ClockSpec,
+    wire_delay: Optional[Mapping[str, float]],
+    input_arrival: float,
+) -> TimingAnalysis:
     wires = wire_delay or {}
     arrival_max: Dict[str, float] = {}
     arrival_min: Dict[str, float] = {}

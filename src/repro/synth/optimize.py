@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
 
 from ..netlist.circuit import Circuit, Gate, NetlistError
+from ..obs.spans import trace_span
 
 __all__ = ["optimize", "sweep_dead_gates", "propagate_constants",
            "simplify_inverters", "hash_structural"]
@@ -217,14 +218,17 @@ def optimize(
     """
     guard = frozenset(protected)
     total = 0
-    for _ in range(max_rounds):
-        changed = 0
-        changed += propagate_constants(circuit, guard)
-        changed += simplify_inverters(circuit, guard)
-        changed += hash_structural(circuit, guard)
-        changed += sweep_dead_gates(circuit, guard)
-        total += changed
-        if changed == 0:
-            break
-    circuit.validate()
+    with trace_span("synth.optimize", design=circuit.name,
+                    protected=len(guard)) as span:
+        for _ in range(max_rounds):
+            changed = 0
+            changed += propagate_constants(circuit, guard)
+            changed += simplify_inverters(circuit, guard)
+            changed += hash_structural(circuit, guard)
+            changed += sweep_dead_gates(circuit, guard)
+            total += changed
+            if changed == 0:
+                break
+        circuit.validate()
+        span.annotate(changes=total)
     return total

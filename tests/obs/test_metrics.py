@@ -1,0 +1,92 @@
+"""Tests for the repro.obs metrics registry."""
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("x")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_set_and_max(self):
+        g = Gauge("depth")
+        g.set(7)
+        assert g.value == 7
+        g.max(3)
+        assert g.value == 7  # high-water mark kept
+        g.max(11)
+        assert g.value == 11
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        h = Histogram("lat", bounds=(1.0, 10.0, 100.0))
+        for value in (0.5, 5.0, 5.0, 50.0, 500.0):
+            h.observe(value)
+        assert h.counts == [1, 2, 1, 1]
+        assert h.count == 5
+        assert h.sum == pytest.approx(560.5)
+        assert h.min == 0.5 and h.max == 500.0
+        assert h.mean == pytest.approx(112.1)
+
+    def test_boundary_goes_to_lower_bucket(self):
+        h = Histogram("lat", bounds=(1.0, 10.0))
+        h.observe(1.0)
+        assert h.counts == [1, 0, 0]
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("bad", bounds=(2.0, 1.0))
+
+    def test_empty_mean_is_none(self):
+        assert Histogram("lat").mean is None
+
+
+class TestRegistry:
+    def test_get_or_create_is_stable(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_kind_conflicts_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_contains_and_names(self):
+        reg = MetricsRegistry()
+        reg.counter("b")
+        reg.counter("a")
+        assert "a" in reg and "missing" not in reg
+        assert reg.names() == ["a", "b"]
+
+    def test_snapshot_round_trips_through_json(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h", bounds=(1.0,)).observe(0.5)
+        snap = json.loads(json.dumps(reg.snapshot()))
+        assert snap["c"] == {"kind": "counter", "value": 3}
+        assert snap["g"] == {"kind": "gauge", "value": 1.5}
+        assert snap["h"]["count"] == 1
+        assert snap["h"]["counts"] == [1, 0]

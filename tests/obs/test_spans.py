@@ -1,0 +1,144 @@
+"""Tests for repro.obs spans and the enable/disable context."""
+
+import pytest
+
+from repro import obs
+from repro.obs import context as obs_context
+from repro.obs.spans import _NULL
+
+
+@pytest.fixture(autouse=True)
+def _obs_off():
+    """Every test starts and ends with observability disabled."""
+    obs.disable()
+    yield
+    obs.disable()
+
+
+class TestDisabledPath:
+    def test_disabled_returns_shared_singleton(self):
+        assert obs.trace_span("a") is _NULL
+        assert obs.trace_span("b", attr=1) is _NULL
+
+    def test_null_span_absorbs_everything(self):
+        with obs.trace_span("ignored") as span:
+            assert span.annotate(x=1) is span
+        assert obs.current_span() is None
+
+    def test_module_helpers_are_noops(self):
+        obs.inc("some.counter", 5)
+        obs.set_gauge("some.gauge", 3)
+        obs.observe("some.hist", 0.5)
+        assert obs.snapshot() is None
+        obs.annotate(ignored=True)
+
+    def test_is_enabled_flag(self):
+        assert not obs.is_enabled()
+        with obs.capture():
+            assert obs.is_enabled()
+        assert not obs.is_enabled()
+
+
+class TestSpans:
+    def test_nesting_builds_a_tree(self):
+        with obs.capture() as sink:
+            with obs.trace_span("root"):
+                with obs.trace_span("child1"):
+                    with obs.trace_span("grandchild"):
+                        pass
+                with obs.trace_span("child2"):
+                    pass
+        (root,) = sink.roots
+        assert [c.name for c in root.children] == ["child1", "child2"]
+        assert [c.name for c in root.children[0].children] == ["grandchild"]
+        assert root.children[0].parent is root
+
+    def test_durations_are_set_and_nested(self):
+        with obs.capture() as sink:
+            with obs.trace_span("outer"):
+                with obs.trace_span("inner"):
+                    pass
+        (outer,) = sink.roots
+        (inner,) = outer.children
+        assert outer.duration >= inner.duration >= 0.0
+        assert outer.self_seconds() == pytest.approx(
+            outer.duration - inner.duration
+        )
+
+    def test_annotate_and_attrs(self):
+        with obs.capture() as sink:
+            with obs.trace_span("work", design="s1238") as span:
+                span.annotate(result="UNSAT")
+                obs.annotate(via_helper=True)
+        span = sink.spans_named("work")[0]
+        assert span.attrs == {
+            "design": "s1238", "result": "UNSAT", "via_helper": True,
+        }
+
+    def test_current_span_tracks_innermost(self):
+        with obs.capture():
+            assert obs.current_span() is None
+            with obs.trace_span("a"):
+                assert obs.current_span().name == "a"
+                with obs.trace_span("b"):
+                    assert obs.current_span().name == "b"
+                assert obs.current_span().name == "a"
+
+    def test_exception_is_recorded_and_propagates(self):
+        with obs.capture() as sink:
+            with pytest.raises(ValueError):
+                with obs.trace_span("broken"):
+                    raise ValueError("boom")
+        span = sink.spans_named("broken")[0]
+        assert span.attrs["error"] == "ValueError"
+        assert span.duration is not None
+
+    def test_every_closed_span_reaches_the_sink(self):
+        with obs.capture() as sink:
+            with obs.trace_span("root"):
+                with obs.trace_span("child"):
+                    pass
+        assert [s.name for s in sink.spans] == ["child", "root"]
+        assert [s.name for s in sink.roots] == ["root"]
+
+    def test_depth_and_iter_tree(self):
+        with obs.capture() as sink:
+            with obs.trace_span("a"):
+                with obs.trace_span("b"):
+                    with obs.trace_span("c"):
+                        pass
+        (a,) = sink.roots
+        assert [s.name for s in a.iter_tree()] == ["a", "b", "c"]
+        assert [s.depth for s in a.iter_tree()] == [0, 1, 2]
+
+    def test_to_dict_is_json_friendly(self):
+        import json
+
+        with obs.capture() as sink:
+            with obs.trace_span("x", k=1):
+                pass
+        record = sink.spans[0].to_dict()
+        assert json.loads(json.dumps(record))["name"] == "x"
+        assert record["parent_id"] is None
+        assert record["duration"] > 0
+
+
+class TestSessionManagement:
+    def test_capture_restores_previous_session(self):
+        outer_session = obs.enable(obs.InMemorySink())
+        try:
+            with obs.capture():
+                assert obs_context.ACTIVE is not outer_session
+            assert obs_context.ACTIVE is outer_session
+        finally:
+            obs.disable()
+
+    def test_disable_returns_the_session(self):
+        session = obs.enable(obs.InMemorySink())
+        assert obs.disable() is session
+        assert obs.disable() is None
+
+    def test_capture_publishes_final_metrics(self):
+        with obs.capture() as sink:
+            obs.inc("seen.counter", 2)
+        assert sink.metric_value("seen.counter") == 2

@@ -89,3 +89,76 @@ class TestReproduceCommand:
         assert args.full is True
         assert args.seed == 7
         assert args.func.__name__ == "cmd_reproduce"
+
+
+class TestObservabilityFlags:
+    @pytest.fixture()
+    def locked_file(self, bench_file, tmp_path):
+        locked_path = str(tmp_path / "locked.bench")
+        main(["lock", bench_file, "--scheme", "xor", "--key-bits", "2",
+              "-o", locked_path, "--quiet"])
+        return locked_path
+
+    def test_quiet_suppresses_progress_keeps_results(
+        self, bench_file, capsys
+    ):
+        assert main([
+            "lock", bench_file, "--scheme", "xor", "--key-bits", "2",
+            "--quiet",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "locked with" not in out and "overhead" not in out
+        assert '"keyin_' in out  # the key JSON is a result, not progress
+
+    def test_quiet_attack_keeps_verdict(
+        self, locked_file, bench_file, capsys
+    ):
+        assert main(["attack", locked_file, bench_file, "-q"]) == 0
+        out = capsys.readouterr().out
+        assert "completed              : True" in out
+        assert "functional accuracy" in out
+        assert "solver decisions" not in out  # info line, silenced
+
+    def test_trace_writes_jsonl(
+        self, locked_file, bench_file, tmp_path, capsys
+    ):
+        trace_path = tmp_path / "trace.jsonl"
+        assert main([
+            "attack", locked_file, bench_file, "--trace", str(trace_path),
+        ]) == 0
+        records = [
+            json.loads(line) for line in trace_path.read_text().splitlines()
+        ]
+        kinds = {r["type"] for r in records}
+        assert kinds == {"span", "metrics"}
+        names = {r["name"] for r in records if r["type"] == "span"}
+        assert "attack.sat" in names and "sat.solve" in names
+
+    def test_profile_prints_tree_and_metrics_to_stderr(
+        self, locked_file, bench_file, capsys
+    ):
+        assert main([
+            "attack", locked_file, bench_file, "--profile", "--quiet",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "functional accuracy" in captured.out  # results on stdout
+        assert "attack.sat" in captured.err  # span tree on stderr
+        assert "sat.solver.decisions" in captured.err  # metrics table
+
+    def test_obs_disabled_after_command(self, locked_file, bench_file):
+        from repro import obs
+
+        main(["attack", locked_file, bench_file, "--profile", "--quiet"])
+        assert not obs.is_enabled()
+
+    def test_parser_accepts_profile(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["profile", "iwls:s1238", "--key-bits", "2", "--seed", "3"]
+        )
+        assert args.func.__name__ == "cmd_profile"
+        assert args.key_bits == 2
+        assert args.seed == 3
+        assert args.max_iterations == 64
+        assert args.sim_cycles == 8
