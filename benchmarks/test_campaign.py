@@ -1,0 +1,57 @@
+"""Campaign engine — scheduling overhead and cache leverage.
+
+Times the three regimes of a Table II campaign over the three smallest
+benchmarks: serial (the baseline the aggregates are pinned to),
+a cold 4-worker pool (pays process spawn + per-worker benchmark
+generation; wins wall-clock only with real cores), and a warm cached
+run (every cell replays from the content-addressed store).  The
+aggregate text is asserted identical across all three — the speed knobs
+must never change a number.
+"""
+
+import pytest
+
+from repro.campaign import CampaignConfig, CampaignMatrix, run_campaign
+from repro.reporting.tables import format_table2, table2_rows_from_cells
+
+SUBSET = ["s1238", "s5378", "s9234"]
+
+
+def _table2_text(jobs, cache_dir):
+    result = run_campaign(
+        CampaignMatrix.table2(SUBSET),
+        CampaignConfig(jobs=jobs, cache_dir=cache_dir),
+    )
+    assert result.ok, result.failed()
+    cells = {
+        (r["params"]["benchmark"], r["params"]["config"]):
+            r["payload"]["overhead"]
+        for r in result.ordered()
+    }
+    return format_table2(table2_rows_from_cells(cells, SUBSET))
+
+
+def test_campaign_serial(benchmark):
+    text = benchmark.pedantic(
+        _table2_text, args=(1, None), rounds=1, iterations=1
+    )
+    print("\n" + text)
+
+
+def test_campaign_pool_cold(benchmark, tmp_path):
+    serial = _table2_text(1, None)
+    pooled = benchmark.pedantic(
+        _table2_text, args=(4, str(tmp_path / "cache")),
+        rounds=1, iterations=1,
+    )
+    assert pooled == serial
+
+
+def test_campaign_pool_warm(benchmark, tmp_path):
+    cache = str(tmp_path / "cache")
+    serial = _table2_text(1, None)
+    _table2_text(4, cache)  # populate
+    warm = benchmark.pedantic(
+        _table2_text, args=(4, cache), rounds=1, iterations=1
+    )
+    assert warm == serial

@@ -1,0 +1,43 @@
+"""repro.campaign — parallel experiment campaign engine.
+
+The paper's whole evaluation is a *sweep*: every table and attack
+comparison is a job matrix (benchmark x lock scheme x attack x seed)
+whose cells are independent.  This package turns such a matrix into a
+batch of isolated jobs fanned out over a ``ProcessPoolExecutor``:
+
+* :mod:`matrix` — declarative job matrices with stable content-hashed
+  job ids and a deterministic expansion order;
+* :mod:`worker` — the child-process job runner: kind registry,
+  wall-clock deadlines (SIGALRM), and per-job observability capture;
+* :mod:`cache`  — content-addressed on-disk cache of synthesized /
+  locked netlists, so repeated sweeps skip redundant synth+P&R;
+* :mod:`store`  — resumable JSONL result store (append-only; rerunning
+  a campaign skips already-completed jobs);
+* :mod:`runner` — the scheduler: bounded retry with backoff for
+  transient failures, crash isolation (a dead worker fails one matrix
+  cell, not the campaign), and parent-side adoption of each job's
+  span/metric snapshot so ``--profile`` works across process
+  boundaries.
+
+The determinism contract: for a fixed matrix, the aggregated results
+are byte-identical no matter how many workers ran the campaign, whether
+the cache was warm or cold, and whether the run was resumed.
+"""
+
+from .cache import NetlistCache
+from .matrix import CampaignMatrix, JobSpec
+from .runner import CampaignConfig, CampaignResult, run_campaign
+from .store import ResultStore
+from .worker import (
+    JobTimeout,
+    TransientJobError,
+    execute_job,
+    register_kind,
+)
+
+__all__ = [
+    "CampaignMatrix", "JobSpec",
+    "NetlistCache", "ResultStore",
+    "CampaignConfig", "CampaignResult", "run_campaign",
+    "JobTimeout", "TransientJobError", "execute_job", "register_kind",
+]

@@ -1,0 +1,168 @@
+"""Content-addressed on-disk cache of synthesized / locked netlists.
+
+Generating a benchmark stand-in ("synthesis") and locking it dominate
+the cost of every sweep cell, and both are pure functions of their
+parameters.  The cache keys each artifact by a SHA-256 of its canonical
+parameter JSON (salted with :data:`CACHE_VERSION` so flow changes
+invalidate old entries) and stores one JSON payload per entry —
+typically the locked netlist text, the correct key, and the measured
+overhead numbers.
+
+Writes are atomic (``os.replace`` of a unique temp file), so concurrent
+workers racing on the same key are safe: last writer wins and both
+wrote identical bytes anyway, because entries are content-addressed
+functions of their inputs.  Hit/miss counts are kept per instance and
+reported home in each job result.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional
+
+from .matrix import canonical_json
+
+__all__ = ["CACHE_VERSION", "NetlistCache"]
+
+#: Bump to invalidate every cached artifact (e.g. when the generator,
+#: a locking flow, or the delay model changes shape).
+CACHE_VERSION = 1
+
+
+class NetlistCache:
+    """Filesystem cache; ``root=None`` disables it (every get misses).
+
+    >>> cache = NetlistCache("/tmp/repro-cache")
+    >>> key = cache.key(kind="lock", benchmark="s1238", seed=2019)
+    >>> cache.get(key) is None   # first run
+    True
+    """
+
+    def __init__(self, root: Optional[str]) -> None:
+        self.root = Path(root) if root else None
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.root is not None
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def key(**fields: Any) -> str:
+        payload = dict(fields)
+        payload["__cache_version__"] = CACHE_VERSION
+        return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        assert self.root is not None
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        if self.root is None:
+            self.misses += 1
+            return None
+        path = self._path(key)
+        try:
+            with open(path) as stream:
+                entry = json.load(stream)
+        except (OSError, json.JSONDecodeError):
+            # Missing, or a torn write from a killed worker: treat as a
+            # miss and let the recompute overwrite it atomically.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry["payload"]
+
+    def put(self, key: str, payload: Mapping[str, Any]) -> Optional[Path]:
+        if self.root is None:
+            return None
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"key": key, "version": CACHE_VERSION, "payload": payload}
+        fd, tmp = tempfile.mkstemp(
+            dir=str(path.parent), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as stream:
+                json.dump(entry, stream, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.writes += 1
+        return path
+
+    # ------------------------------------------------------------------
+    # Binary artifacts (pickled circuits): lets pool workers share one
+    # benchmark generation instead of each regenerating it.  Pickle
+    # round-trips preserve gate insertion order and names exactly, so a
+    # loaded instance locks bit-identically to a freshly generated one.
+    # ------------------------------------------------------------------
+
+    def get_object(self, key: str) -> Optional[Any]:
+        if self.root is None:
+            self.misses += 1
+            return None
+        path = self._path(key).with_suffix(".pkl")
+        try:
+            with open(path, "rb") as stream:
+                value = pickle.load(stream)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def put_object(self, key: str, value: Any) -> Optional[Path]:
+        if self.root is None:
+            return None
+        path = self._path(key).with_suffix(".pkl")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=str(path.parent), prefix=".tmp-", suffix=".pkl"
+        )
+        try:
+            with os.fdopen(fd, "wb") as stream:
+                pickle.dump(value, stream, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.writes += 1
+        return path
+
+    def get_or_compute(
+        self, key: str, compute
+    ) -> Dict[str, Any]:
+        """Return the cached payload for *key*, computing and storing
+        it on a miss.  *compute* must be a pure function of the inputs
+        hashed into *key* — that is the content-addressing contract."""
+        payload = self.get(key)
+        if payload is None:
+            payload = compute()
+            self.put(key, payload)
+        return payload
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "writes": self.writes}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = str(self.root) if self.root else "disabled"
+        return f"NetlistCache({where}, hits={self.hits}, misses={self.misses})"

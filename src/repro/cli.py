@@ -9,7 +9,14 @@ Gives the library's main flows a tool-like surface operating on
 * ``attack``   — run the SAT attack against a locked netlist + oracle
 * ``profile``  — run the whole pipeline under the observability
   harness and print the span tree + metrics table
-* ``table1`` / ``table2`` — regenerate the paper's tables
+* ``table1`` / ``table2`` — regenerate the paper's tables (fanned out
+  over a process-pool campaign; ``--jobs 1`` forces the serial path,
+  which produces byte-identical aggregates)
+* ``campaign`` — run a declarative job matrix (benchmark x scheme x
+  attack x seed) on the campaign engine: ``--jobs N`` workers, per-job
+  ``--timeout``, bounded retries, a resumable JSONL result store
+  (``--store`` / ``--resume``), and a content-addressed netlist cache
+  (``--cache-dir``)
 * ``figures``  — print the paper's timing diagrams
 * ``reproduce`` — regenerate the whole evaluation in one run
 
@@ -35,12 +42,7 @@ from typing import Dict, Optional
 from .attacks.oracle import CombinationalOracle
 from .attacks.sat_attack import sat_attack, verify_key_against_oracle
 from .bench.iwls import BENCHMARKS, iwls_benchmark
-from .locking.antisat import AntiSat
 from .locking.base import LockingScheme
-from .locking.hybrid import HybridGkXor
-from .locking.sarlock import SarLock
-from .locking.tdk import TdkLock
-from .locking.xor_lock import XorLock
 from .netlist.bench_io import parse_bench, write_bench
 from .netlist.circuit import Circuit
 from .netlist.stats import overhead
@@ -99,22 +101,12 @@ def _clock_for(circuit: Circuit, period: Optional[float]) -> ClockSpec:
 
 
 def _scheme(name: str, clock: ClockSpec) -> LockingScheme:
-    from .core.flow import GkLock
+    from .core.flow import build_scheme
 
-    registry = {
-        "gk": lambda: GkLock(clock),
-        "xor": XorLock,
-        "sarlock": SarLock,
-        "antisat": AntiSat,
-        "tdk": TdkLock,
-        "hybrid": lambda: HybridGkXor(clock),
-    }
     try:
-        return registry[name]()
-    except KeyError:
-        raise SystemExit(
-            f"unknown scheme {name!r}; choose from {', '.join(registry)}"
-        )
+        return build_scheme(name, clock)
+    except KeyError as exc:
+        raise SystemExit(str(exc))
 
 
 def cmd_info(args: argparse.Namespace) -> int:
@@ -203,29 +195,187 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _campaign_config(args: argparse.Namespace,
+                     default_store: Optional[str] = None):
+    from .campaign import CampaignConfig
+
+    store = getattr(args, "store", None) or default_store
+    return CampaignConfig(
+        jobs=getattr(args, "jobs", 0),
+        timeout=getattr(args, "timeout", None),
+        retries=getattr(args, "retries", 2),
+        cache_dir=getattr(args, "cache_dir", None),
+        store_path=store,
+        resume=bool(getattr(args, "resume", False)) and store is not None,
+    )
+
+
+def _campaign_progress(total: int):
+    """Per-job status lines on stderr as results land."""
+    done = [0]
+
+    def report(record: Dict) -> None:
+        done[0] += 1
+        took = record.get("duration")
+        took_text = f"{took:6.2f}s" if took is not None else "      -"
+        cache = record.get("cache") or {}
+        hit = " cache" if cache.get("hits") else ""
+        _emit(
+            f"[{done[0]:>3}/{total}] {record['status']:<8}{took_text}  "
+            f"{record['kind']}({_params_text(record['params'])})"
+            f"{hit}",
+            err=True,
+        )
+
+    return report
+
+
+def _params_text(params: Dict) -> str:
+    return " ".join(f"{k}={v}" for k, v in sorted(params.items()))
+
+
+def _warn_failures(result) -> None:
+    for record in result.failed():
+        _emit(
+            f"FAILED {record['kind']}({_params_text(record['params'])}): "
+            f"{record['status']} after {record.get('attempts', 1)} "
+            f"attempt(s): {record.get('error')}",
+            result=True, err=True,
+        )
+
+
 def cmd_table1(args: argparse.Namespace) -> int:
-    from .reporting.tables import format_table1, table1_row
+    from .campaign import CampaignMatrix, run_campaign
+    from .reporting.tables import format_table1, table1_row_from_dict
 
     names = args.benchmarks or list(BENCHMARKS)
-    rows = [table1_row(name) for name in names]
+    result = run_campaign(
+        CampaignMatrix.table1(names),
+        _campaign_config(args),
+        progress=_campaign_progress(len(names)),
+    )
+    rows = [
+        table1_row_from_dict(record["payload"]["row"])
+        for record in result.ordered()
+        if record["status"] == "ok"
+    ]
     _emit(format_table1(rows), result=True)
-    return 0
+    _warn_failures(result)
+    return 0 if result.ok else 1
 
 
 def cmd_table2(args: argparse.Namespace) -> int:
-    from .reporting.tables import format_table2, table2_row
+    from .campaign import CampaignMatrix, run_campaign
+    from .reporting.tables import format_table2, table2_rows_from_cells
 
     names = args.benchmarks or list(BENCHMARKS)
-    rows = [table2_row(name) for name in names]
+    matrix = CampaignMatrix.table2(names)
+    result = run_campaign(
+        matrix,
+        _campaign_config(args),
+        progress=_campaign_progress(len(matrix)),
+    )
+    cells = {
+        (record["params"]["benchmark"], record["params"]["config"]):
+            record["payload"]["overhead"]
+        for record in result.ordered()
+        if record["status"] == "ok"
+    }
+    rows = table2_rows_from_cells(cells, names)
     _emit(format_table2(rows), result=True)
-    return 0
+    _warn_failures(result)
+    return 0 if result.ok else 1
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .campaign import CampaignMatrix, run_campaign
+
+    if args.matrix:
+        text = args.matrix
+        if not text.lstrip().startswith("{"):
+            with open(text) as stream:
+                text = stream.read()
+        matrix = CampaignMatrix.from_dict(_json.loads(text))
+    else:
+        seeds = args.seeds or [2019]
+        benchmarks = args.benchmarks or list(BENCHMARKS)
+        if args.kind == "table1":
+            matrix = CampaignMatrix.table1(benchmarks, seed=seeds[0])
+        elif args.kind == "table2":
+            matrix = CampaignMatrix.table2(
+                benchmarks, configs=args.configs or None, seed=seeds[0]
+            )
+        elif args.kind == "lock":
+            matrix = CampaignMatrix.lock(
+                benchmarks, args.schemes or ["gk"],
+                args.key_bits or [8], seeds,
+            )
+        else:
+            matrix = CampaignMatrix.attack(
+                benchmarks, args.schemes or ["gk", "xor"],
+                args.attacks or ["sat"], args.key_bits or [8], seeds,
+            )
+
+    config = _campaign_config(args, default_store="campaign.jsonl")
+    _emit(
+        f"campaign {matrix.kind}: {len(matrix)} jobs on "
+        f"{config.resolve_jobs(len(matrix))} worker(s)"
+        + (f", store={config.store_path}" if config.store_path else "")
+        + (f", cache={config.cache_dir}" if config.cache_dir else "")
+    )
+    result = run_campaign(
+        matrix, config, progress=_campaign_progress(len(matrix))
+    )
+
+    if matrix.kind in ("table1", "table2"):
+        _emit(_render_campaign_table(matrix, result), result=True)
+    counts = " ".join(
+        f"{status}={count}"
+        for status, count in sorted(result.status_counts.items())
+    )
+    cache = result.cache_stats()
+    _emit(
+        f"done in {result.wall_seconds:.2f}s: {counts}; resumed "
+        f"{result.resumed}; cache hits={cache['hits']} "
+        f"misses={cache['misses']}",
+        result=True,
+    )
+    _warn_failures(result)
+    return 0 if result.ok else 1
+
+
+def _render_campaign_table(matrix, result) -> str:
+    from .reporting.tables import (
+        format_table1,
+        format_table2,
+        table1_row_from_dict,
+        table2_rows_from_cells,
+    )
+
+    ok = [r for r in result.ordered() if r["status"] == "ok"]
+    if matrix.kind == "table1":
+        return format_table1(
+            [table1_row_from_dict(r["payload"]["row"]) for r in ok]
+        )
+    benchmarks = list(dict.fromkeys(
+        record["params"]["benchmark"] for record in result.ordered()
+    ))
+    cells = {
+        (r["params"]["benchmark"], r["params"]["config"]):
+            r["payload"]["overhead"]
+        for r in ok
+    }
+    return format_table2(table2_rows_from_cells(cells, benchmarks))
 
 
 def cmd_reproduce(args: argparse.Namespace) -> int:
     from .reporting.summary import reproduce
 
     reproduce(fast=not args.full,
-              echo=lambda text: _emit(text, result=True), seed=args.seed)
+              echo=lambda text: _emit(text, result=True), seed=args.seed,
+              jobs=args.jobs, cache_dir=args.cache_dir)
     return 0
 
 
@@ -258,6 +408,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print a span tree + metric table to stderr")
     group.add_argument("--quiet", "-q", action="store_true",
                        help="suppress informational output on stdout")
+
+    pool_flags = argparse.ArgumentParser(add_help=False)
+    group = pool_flags.add_argument_group("campaign")
+    group.add_argument("--jobs", "-j", type=int, default=0, metavar="N",
+                       help="worker processes (0 = one per CPU core; "
+                            "1 = serial, in-process)")
+    group.add_argument("--timeout", type=float, metavar="SEC",
+                       help="per-job wall-clock deadline")
+    group.add_argument("--retries", type=int, default=2, metavar="N",
+                       help="extra attempts for transient failures")
+    group.add_argument("--cache-dir", metavar="DIR",
+                       help="content-addressed netlist cache directory")
+    group.add_argument("--store", metavar="FILE",
+                       help="JSONL result store (one record per job)")
+    group.add_argument("--resume", action="store_true",
+                       help="skip jobs already completed in --store")
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -305,14 +471,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("table1", help="regenerate paper Table I",
-                       parents=[obs_flags])
+                       parents=[obs_flags, pool_flags])
     p.add_argument("benchmarks", nargs="*", choices=list(BENCHMARKS) + [[]])
     p.set_defaults(func=cmd_table1)
 
     p = sub.add_parser("table2", help="regenerate paper Table II",
-                       parents=[obs_flags])
+                       parents=[obs_flags, pool_flags])
     p.add_argument("benchmarks", nargs="*", choices=list(BENCHMARKS) + [[]])
     p.set_defaults(func=cmd_table2)
+
+    p = sub.add_parser(
+        "campaign",
+        help="run a declarative experiment matrix on the process pool",
+        parents=[obs_flags, pool_flags],
+    )
+    p.add_argument("--kind", default="table2",
+                   choices=["table1", "table2", "lock", "attack"],
+                   help="job kind when building the matrix from flags")
+    p.add_argument("--matrix", metavar="JSON|FILE",
+                   help="full matrix spec as a JSON dict "
+                        '(e.g. \'{"kind": "lock", "axes": {...}}\') '
+                        "or a path to one; overrides the axis flags")
+    p.add_argument("--benchmarks", nargs="*", choices=list(BENCHMARKS),
+                   metavar="BENCH", help="benchmark axis (default: all)")
+    p.add_argument("--configs", nargs="*",
+                   choices=["gk4", "gk8", "gk16", "hybrid"],
+                   help="table2 configuration axis")
+    p.add_argument("--schemes", nargs="*",
+                   choices=["gk", "xor", "sarlock", "antisat", "tdk",
+                            "hybrid"],
+                   help="locking-scheme axis (lock/attack kinds)")
+    p.add_argument("--attacks", nargs="*", choices=["sat", "removal"],
+                   help="attack axis (attack kind)")
+    p.add_argument("--key-bits", nargs="*", type=int, metavar="N",
+                   help="key-width axis (lock/attack kinds)")
+    p.add_argument("--seeds", nargs="*", type=int, metavar="N",
+                   help="seed axis")
+    p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser("figures", help="regenerate paper Figs. 4/6/7/9",
                        parents=[obs_flags])
@@ -320,7 +515,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "reproduce", help="regenerate the paper's whole evaluation",
-        parents=[obs_flags],
+        parents=[obs_flags, pool_flags],
     )
     p.add_argument("--full", action="store_true",
                    help="run the SAT attack on three benchmarks, not one")

@@ -41,7 +41,8 @@ from .keygen import KEYGEN_MODES, KeygenStructure, insert_keygen
 from .strategy import GkConfig, choose_config
 from .timing_rules import TriggerWindow
 
-__all__ = ["GkRecord", "GkLock", "expose_gk_keys"]
+__all__ = ["GkRecord", "GkLock", "expose_gk_keys", "scheme_registry",
+           "build_scheme"]
 
 
 @dataclass
@@ -369,6 +370,40 @@ class GkLock(LockingScheme):
             else:
                 true_violations.append(endpoint.ff)
         return false_violations, true_violations, drift_waived
+
+
+def scheme_registry(clock: ClockSpec) -> Dict[str, "object"]:
+    """Name -> zero-arg factory for every locking scheme in the repo.
+
+    The one authoritative list, shared by the CLI's ``--scheme`` flag
+    and the campaign workers' ``lock``/``attack`` job kinds (which run
+    in separate processes and must resolve names identically).
+    """
+    from ..locking.antisat import AntiSat
+    from ..locking.hybrid import HybridGkXor
+    from ..locking.sarlock import SarLock
+    from ..locking.tdk import TdkLock
+    from ..locking.xor_lock import XorLock
+
+    return {
+        "gk": lambda: GkLock(clock),
+        "xor": XorLock,
+        "sarlock": SarLock,
+        "antisat": AntiSat,
+        "tdk": TdkLock,
+        "hybrid": lambda: HybridGkXor(clock),
+    }
+
+
+def build_scheme(name: str, clock: ClockSpec) -> LockingScheme:
+    """Instantiate the locking scheme registered under *name*."""
+    registry = scheme_registry(clock)
+    try:
+        return registry[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown scheme {name!r}; choose from {', '.join(registry)}"
+        ) from None
 
 
 def expose_gk_keys(locked: LockedCircuit) -> Circuit:

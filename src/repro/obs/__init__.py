@@ -43,6 +43,13 @@ from .sinks import (
 )
 from .spans import Span, annotate, current_span, trace_span
 from .instrument import ProfileReport, run_profile, traced
+from .snapshots import (
+    adopt_payload,
+    capture_payload,
+    merge_metrics,
+    span_tree_from_dict,
+    span_tree_to_dict,
+)
 
 __all__ = [
     "ObsSession", "capture", "current", "disable", "enable", "is_enabled",
@@ -52,4 +59,6 @@ __all__ = [
     "render_span_tree", "render_metrics_table",
     "Span", "annotate", "current_span", "trace_span",
     "ProfileReport", "run_profile", "traced",
+    "adopt_payload", "capture_payload", "merge_metrics",
+    "span_tree_from_dict", "span_tree_to_dict",
 ]

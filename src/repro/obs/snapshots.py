@@ -1,0 +1,121 @@
+"""Snapshot serialization: carry spans and metrics across processes.
+
+Campaign workers run each job under :func:`repro.obs.capture`, then
+ship the resulting span forest and metric snapshot home as plain JSON
+(:func:`capture_payload`).  The parent reconstructs the spans
+(:func:`span_tree_from_dict`) and merges the metrics
+(:func:`merge_metrics`) into its own active session
+(:func:`adopt_payload`), so ``--profile`` and ``--trace`` show the
+whole campaign as if it had run in one process.
+
+Merge semantics per instrument kind:
+
+* counters add;
+* gauges keep the maximum (every gauge in this repo is a high-water
+  mark — peak queue depth, clause count);
+* histograms with identical bounds merge bucket-wise (the reason the
+  registry uses fixed Prometheus-style buckets in the first place);
+  mismatched bounds fall back to re-observing the remote mean, which
+  preserves count and sum exactly and approximates the shape.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional
+
+from .context import ObsSession
+from .metrics import DEFAULT_TIME_BUCKETS, MetricsRegistry
+from .sinks import InMemorySink
+from .spans import Span
+
+__all__ = [
+    "span_tree_to_dict", "span_tree_from_dict",
+    "merge_metrics", "capture_payload", "adopt_payload",
+]
+
+
+def span_tree_to_dict(span: Span) -> Dict[str, Any]:
+    """Nested JSON form of *span* and its subtree."""
+    return {
+        "name": span.name,
+        "wall_start": span.wall_start,
+        "duration": span.duration,
+        "attrs": dict(span.attrs),
+        "children": [span_tree_to_dict(child) for child in span.children],
+    }
+
+
+def span_tree_from_dict(
+    tree: Mapping[str, Any], parent: Optional[Span] = None
+) -> Span:
+    """Rebuild a :class:`Span` tree from its JSON form.
+
+    The reconstructed spans carry the *original* timestamps and
+    durations; they are inert records (never on any session stack).
+    """
+    span = Span(tree["name"], parent, dict(tree.get("attrs") or {}))
+    span.wall_start = tree.get("wall_start") or 0.0
+    span.duration = tree.get("duration")
+    for child in tree.get("children") or ():
+        span.children.append(span_tree_from_dict(child, span))
+    return span
+
+
+def capture_payload(sink: InMemorySink) -> Dict[str, Any]:
+    """JSON-able snapshot of one finished :func:`repro.obs.capture`."""
+    return {
+        "spans": [span_tree_to_dict(root) for root in sink.roots],
+        "metrics": sink.last_snapshot or {},
+    }
+
+
+def merge_metrics(registry: MetricsRegistry, snapshot: Mapping[str, Any]) -> None:
+    """Fold a worker's metric *snapshot* into *registry*."""
+    for name, entry in snapshot.items():
+        kind = entry.get("kind")
+        if kind == "counter":
+            registry.counter(name).inc(entry.get("value", 0))
+        elif kind == "gauge":
+            registry.gauge(name).max(entry.get("value", 0))
+        elif kind == "histogram":
+            bounds = tuple(entry.get("bounds") or ())
+            local = registry.histogram(name, bounds or DEFAULT_TIME_BUCKETS)
+            if tuple(local.bounds) == bounds and entry.get("counts"):
+                counts: List[int] = entry["counts"]
+                for i, count in enumerate(counts):
+                    local.counts[i] += count
+                local.count += entry.get("count", 0)
+                local.sum += entry.get("sum", 0.0)
+                for bound_key, keep in (("min", min), ("max", max)):
+                    remote = entry.get(bound_key)
+                    if remote is None:
+                        continue
+                    mine = getattr(local, bound_key)
+                    setattr(local, bound_key,
+                            remote if mine is None else keep(mine, remote))
+            else:
+                count = entry.get("count", 0)
+                if count:
+                    mean = entry.get("sum", 0.0) / count
+                    for _ in range(count):
+                        local.observe(mean)
+
+
+def adopt_payload(session: ObsSession, payload: Mapping[str, Any]) -> None:
+    """Attach a worker's snapshot to the parent's live session.
+
+    Reconstructed spans are announced to the session's sinks in the
+    order live spans would have closed (children before parents), and
+    roots land in ``session.roots`` just like locally closed spans.
+    """
+    merge_metrics(session.registry, payload.get("metrics") or {})
+    for tree in payload.get("spans") or ():
+        root = span_tree_from_dict(tree)
+        for span in _post_order(root):
+            session.span_closed(span)
+
+
+def _post_order(span: Span):
+    for child in span.children:
+        yield from _post_order(child)
+    yield span

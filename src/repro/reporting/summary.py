@@ -26,21 +26,61 @@ from .figures import (
     figure7_scenarios,
     figure9_trigger_windows,
 )
-from .tables import format_table1, format_table2, table1_row, table2_row
+from .tables import format_table1, format_table2
 
 __all__ = ["reproduce"]
+
+
+def _campaign_tables(
+    seed: int, jobs: int, cache_dir: Optional[str]
+) -> tuple:
+    """Regenerate both tables on the campaign engine.
+
+    Cell results are identical to the serial :func:`table1_row` /
+    :func:`table2_row` path (same seeds, same flows), so ``jobs`` only
+    changes the wall-clock, never a number in the report.
+    """
+    from ..campaign import CampaignConfig, CampaignMatrix, run_campaign
+    from .tables import table1_row_from_dict, table2_rows_from_cells
+
+    config = CampaignConfig(jobs=jobs, cache_dir=cache_dir)
+    result1 = run_campaign(CampaignMatrix.table1(BENCHMARKS, seed=seed), config)
+    result2 = run_campaign(
+        CampaignMatrix.table2(BENCHMARKS, seed=seed), config
+    )
+    failures = result1.failed() + result2.failed()
+    if failures:
+        details = "; ".join(
+            f"{r['kind']}{sorted(r['params'].items())}: {r['error']}"
+            for r in failures
+        )
+        raise RuntimeError(f"table campaign failed: {details}")
+    rows1 = [
+        table1_row_from_dict(record["payload"]["row"])
+        for record in result1.ordered()
+    ]
+    cells = {
+        (r["params"]["benchmark"], r["params"]["config"]):
+            r["payload"]["overhead"]
+        for r in result2.ordered()
+    }
+    return rows1, table2_rows_from_cells(cells, list(BENCHMARKS))
 
 
 def reproduce(
     fast: bool = True,
     echo: Optional[Callable[[str], None]] = None,
     seed: int = 2019,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> str:
     """Regenerate the paper's evaluation; returns the full report text.
 
     With *echo* (e.g. ``print``) sections stream as they finish.  *fast*
     restricts the SAT-attack experiment to s1238 and skips the larger
-    attack sweeps (the bench suite covers those exhaustively).
+    attack sweeps (the bench suite covers those exhaustively).  *jobs*
+    fans the table sweeps out over that many worker processes (0 = one
+    per core); the report is byte-identical at any worker count.
     """
     sections: List[str] = []
 
@@ -56,12 +96,11 @@ def reproduce(
 
     instances = {name: iwls_benchmark(name, seed=seed) for name in BENCHMARKS}
 
+    rows1, rows2 = _campaign_tables(seed, jobs, cache_dir)
     emit("\n## Table I — available FFs for GK encryption\n")
-    rows1 = [table1_row(name, instances[name]) for name in BENCHMARKS]
     emit(format_table1(rows1))
 
     emit("\n## Table II — overhead of GK encryption\n")
-    rows2 = [table2_row(name, instances[name], seed=seed) for name in BENCHMARKS]
     emit(format_table2(rows2))
 
     for figure in (

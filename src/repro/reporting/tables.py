@@ -23,13 +23,23 @@ from ..netlist.stats import overhead
 __all__ = [
     "Table1Row",
     "table1_row",
+    "table1_row_from_dict",
     "format_table1",
     "Table2Row",
+    "table2_cell",
     "table2_row",
+    "table2_rows_from_cells",
+    "lock_table2_config",
     "format_table2",
+    "table1_aggregate",
+    "table2_aggregate",
+    "TABLE2_CONFIGS",
     "PAPER_TABLE1",
     "PAPER_TABLE2",
 ]
+
+#: Table II configuration order (columns of the paper's table).
+TABLE2_CONFIGS: Tuple[str, ...] = ("gk4", "gk8", "gk16", "hybrid")
 
 #: Paper Table I: bench -> (cells, FFs, available FFs, coverage %, [4] count)
 PAPER_TABLE1: Dict[str, Tuple[int, int, int, float, int]] = {
@@ -95,6 +105,11 @@ def table1_row(
     )
 
 
+def table1_row_from_dict(data: Dict) -> Table1Row:
+    """Rehydrate a row from its JSON form (campaign payloads)."""
+    return Table1Row(**data)
+
+
 def format_table1(rows: Sequence[Table1Row], with_paper: bool = True) -> str:
     header = (
         f"{'Bench.':<9}{'Cell':>6}{'FF':>6}{'Ava.FF':>8}{'Cov.(%)':>9}"
@@ -138,6 +153,61 @@ class Table2Row:
     hybrid: Optional[Tuple[float, float]]  # 8 GKs + 16 XORs
 
 
+def lock_table2_config(
+    circuit,
+    clock,
+    config: str,
+    seed: int = 2019,
+    run_pnr: bool = False,
+):
+    """Lock *circuit* in one Table II configuration.
+
+    Returns the :class:`~repro.locking.base.LockedCircuit`, or ``None``
+    where the configuration does not fit (the paper's "-").  The seed
+    derivation matches the original row harness bit for bit, so cell
+    results computed one at a time — e.g. by campaign workers — equal
+    the ones a whole-row computation produces.
+    """
+    if config == "hybrid":
+        try:
+            return HybridGkXor(clock, run_pnr=run_pnr).lock(
+                circuit, 32, random.Random(seed + 99)
+            )
+        except LockingError:
+            return None
+    try:
+        num_bits = {"gk4": 8, "gk8": 16, "gk16": 32}[config]
+    except KeyError:
+        raise ValueError(
+            f"unknown Table II config {config!r}; "
+            f"choose from {', '.join(TABLE2_CONFIGS)}"
+        ) from None
+    try:
+        return GkLock(clock, run_pnr=run_pnr).lock(
+            circuit, num_bits, random.Random(seed + num_bits)
+        )
+    except LockingError:
+        return None
+
+
+def table2_cell(
+    name: str,
+    config: str,
+    instance: Optional[BenchmarkInstance] = None,
+    seed: int = 2019,
+    run_pnr: bool = False,
+) -> Optional[Tuple[float, float]]:
+    """One (benchmark, configuration) cell of Table II."""
+    instance = instance or iwls_benchmark(name)
+    locked = lock_table2_config(
+        instance.circuit, instance.clock, config, seed=seed, run_pnr=run_pnr
+    )
+    if locked is None:
+        return None
+    oh = overhead(instance.circuit, locked.circuit)
+    return (oh.cell_percent, oh.area_percent)
+
+
 def table2_row(
     name: str,
     instance: Optional[BenchmarkInstance] = None,
@@ -146,35 +216,32 @@ def table2_row(
 ) -> Table2Row:
     """Lock one benchmark in all four Table II configurations."""
     instance = instance or iwls_benchmark(name)
-    circuit, clock = instance.circuit, instance.clock
+    cells = {
+        config: table2_cell(name, config, instance=instance, seed=seed,
+                            run_pnr=run_pnr)
+        for config in TABLE2_CONFIGS
+    }
+    return Table2Row(bench=name, **cells)
 
-    def gk_overhead(num_bits: int) -> Optional[Tuple[float, float]]:
-        try:
-            locked = GkLock(clock, run_pnr=run_pnr).lock(
-                circuit, num_bits, random.Random(seed + num_bits)
-            )
-        except LockingError:
-            return None
-        oh = overhead(circuit, locked.circuit)
-        return (oh.cell_percent, oh.area_percent)
 
-    def hybrid_overhead() -> Optional[Tuple[float, float]]:
-        try:
-            locked = HybridGkXor(clock, run_pnr=run_pnr).lock(
-                circuit, 32, random.Random(seed + 99)
-            )
-        except LockingError:
-            return None
-        oh = overhead(circuit, locked.circuit)
-        return (oh.cell_percent, oh.area_percent)
+def table2_rows_from_cells(
+    cells: Dict[Tuple[str, str], Optional[Sequence[float]]],
+    benchmarks: Sequence[str],
+) -> List[Table2Row]:
+    """Assemble rows from per-cell results keyed ``(bench, config)``.
 
-    return Table2Row(
-        bench=name,
-        gk4=gk_overhead(8),
-        gk8=gk_overhead(16),
-        gk16=gk_overhead(32),
-        hybrid=hybrid_overhead(),
-    )
+    This is the campaign aggregation path: workers compute cells
+    independently (in any order, on any number of processes) and the
+    rows come out identical to :func:`table2_row`'s.
+    """
+    rows = []
+    for name in benchmarks:
+        values = {}
+        for config in TABLE2_CONFIGS:
+            cell = cells.get((name, config))
+            values[config] = None if cell is None else tuple(cell)
+        rows.append(Table2Row(bench=name, **values))
+    return rows
 
 
 def format_table2(rows: Sequence[Table2Row], with_paper: bool = True) -> str:
@@ -229,3 +296,40 @@ def format_table2(rows: Sequence[Table2Row], with_paper: bool = True) -> str:
             row.append(f"{c / n:>10.2f} /{a / n:>9.2f}")
         lines.append("".join(row))
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Canonical aggregates (golden snapshots + campaign determinism checks)
+# ----------------------------------------------------------------------
+
+def table1_aggregate(rows: Sequence[Table1Row]) -> Dict:
+    """JSON-able canonical form of a Table I run.
+
+    Serialized with ``sort_keys=True`` this is byte-stable across runs,
+    worker counts, and cache states — the golden regression tests and
+    the serial-vs-parallel determinism check both diff exactly this.
+    """
+    from dataclasses import asdict
+
+    return {
+        "table": "table1",
+        "rows": [asdict(row) for row in rows],
+        "text": format_table1(rows),
+    }
+
+
+def table2_aggregate(rows: Sequence[Table2Row]) -> Dict:
+    """JSON-able canonical form of a Table II run (see above)."""
+    def cell(value: Optional[Tuple[float, float]]):
+        return None if value is None else [value[0], value[1]]
+
+    return {
+        "table": "table2",
+        "rows": [
+            {"bench": row.bench,
+             **{config: cell(getattr(row, config))
+                for config in TABLE2_CONFIGS}}
+            for row in rows
+        ],
+        "text": format_table2(rows),
+    }

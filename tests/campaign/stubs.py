@@ -1,0 +1,55 @@
+"""Stub job kinds for exercising the campaign scheduler.
+
+Loaded into pool workers through ``CampaignConfig.worker_modules`` (as a
+``.py`` file path), which is also how this file doubles as a test of
+that extension mechanism.  Kinds cover the failure taxonomy:
+
+* ``echo``    — succeeds immediately, returns its params
+* ``sleepy``  — busy-waits ``seconds`` (pure Python, so SIGALRM
+  deadlines can interrupt it)
+* ``crashy``  — kills the worker process outright (``os._exit``)
+* ``flaky``   — raises :class:`TransientJobError` until its attempt
+  counter (a line-per-attempt state file, shared across worker
+  processes) reaches ``succeed_after``
+* ``boom``    — raises a deterministic ``ValueError``
+"""
+
+import os
+import time
+
+from repro.campaign import TransientJobError, register_kind
+
+
+@register_kind("echo")
+def _echo(params, cache):
+    return {"echo": dict(params)}
+
+
+@register_kind("sleepy")
+def _sleepy(params, cache):
+    deadline = time.monotonic() + float(params["seconds"])
+    while time.monotonic() < deadline:  # busy-wait: interruptible by SIGALRM
+        sum(range(1000))
+    return {"slept": float(params["seconds"])}
+
+
+@register_kind("crashy")
+def _crashy(params, cache):
+    os._exit(13)
+
+
+@register_kind("flaky")
+def _flaky(params, cache):
+    state = params["state"]
+    with open(state, "a") as stream:
+        stream.write("attempt\n")
+    with open(state) as stream:
+        attempts = len(stream.readlines())
+    if attempts < int(params["succeed_after"]):
+        raise TransientJobError(f"not yet (attempt {attempts})")
+    return {"attempts": attempts}
+
+
+@register_kind("boom")
+def _boom(params, cache):
+    raise ValueError("deterministic failure")

@@ -1,0 +1,98 @@
+"""Content-addressed netlist cache: accounting, atomicity, versioning."""
+
+import json
+import os
+
+from repro.campaign import NetlistCache
+from repro.campaign.cache import CACHE_VERSION
+
+
+def test_disabled_cache_always_misses():
+    cache = NetlistCache(None)
+    assert not cache.enabled
+    key = cache.key(kind="x", value=1)
+    assert cache.get(key) is None
+    assert cache.put(key, {"a": 1}) is None
+    assert cache.get(key) is None
+    assert cache.stats() == {"hits": 0, "misses": 2, "writes": 0}
+
+
+def test_hit_miss_write_accounting(tmp_path):
+    cache = NetlistCache(str(tmp_path))
+    key = cache.key(kind="lock", benchmark="s1238", seed=2019)
+    assert cache.get(key) is None                      # miss
+    cache.put(key, {"netlist": "module m; endmodule"})
+    assert cache.get(key) == {"netlist": "module m; endmodule"}  # hit
+    assert cache.stats() == {"hits": 1, "misses": 1, "writes": 1}
+
+
+def test_key_is_order_insensitive_and_version_salted(tmp_path):
+    cache = NetlistCache(str(tmp_path))
+    assert cache.key(a=1, b=2) == cache.key(b=2, a=1)
+    assert cache.key(a=1) != cache.key(a=2)
+    # The version salt is part of the hashed payload: bumping
+    # CACHE_VERSION must invalidate every existing entry.
+    raw = {"a": 1, "__cache_version__": CACHE_VERSION + 1}
+    import hashlib
+
+    other = hashlib.sha256(
+        json.dumps(raw, sort_keys=True, separators=(",", ":")).encode()
+    ).hexdigest()
+    assert other != cache.key(a=1)
+
+
+def test_get_or_compute_computes_once(tmp_path):
+    cache = NetlistCache(str(tmp_path))
+    key = cache.key(kind="t", n=1)
+    calls = []
+
+    def compute():
+        calls.append(1)
+        return {"value": 42}
+
+    assert cache.get_or_compute(key, compute) == {"value": 42}
+    assert cache.get_or_compute(key, compute) == {"value": 42}
+    assert len(calls) == 1
+
+
+def test_put_leaves_no_temp_files(tmp_path):
+    cache = NetlistCache(str(tmp_path))
+    key = cache.key(kind="t", n=2)
+    cache.put(key, {"x": "y"})
+    leftovers = [
+        name
+        for _root, _dirs, files in os.walk(tmp_path)
+        for name in files
+        if name.startswith(".tmp-")
+    ]
+    assert leftovers == []
+
+
+def test_corrupt_entry_reads_as_miss(tmp_path):
+    cache = NetlistCache(str(tmp_path))
+    key = cache.key(kind="t", n=3)
+    path = cache.put(key, {"x": 1})
+    path.write_text("{ not json")
+    assert cache.get(key) is None  # torn write: miss, not an exception
+
+
+def test_object_roundtrip_preserves_structure(tmp_path):
+    """Pickled artifacts must come back exactly — gate insertion order
+    included, since locking flows iterate it."""
+    cache = NetlistCache(str(tmp_path))
+    key = cache.key(kind="bench", benchmark="toy")
+    value = {"gates": ["g3", "g1", "g2"], "nested": {"b": 2, "a": 1}}
+    assert cache.get_object(key) is None
+    cache.put_object(key, value)
+    loaded = cache.get_object(key)
+    assert loaded == value
+    assert list(loaded["nested"]) == ["b", "a"]  # insertion order kept
+
+
+def test_json_and_object_entries_do_not_collide(tmp_path):
+    cache = NetlistCache(str(tmp_path))
+    key = cache.key(kind="t", n=4)
+    cache.put(key, {"json": True})
+    cache.put_object(key, {"pickle": True})
+    assert cache.get(key) == {"json": True}
+    assert cache.get_object(key) == {"pickle": True}

@@ -1,0 +1,63 @@
+"""Job matrix expansion: ordering, identity, serialization."""
+
+import pytest
+
+from repro.campaign import CampaignMatrix, JobSpec
+from repro.campaign.matrix import canonical_json, content_id
+
+
+def test_expansion_is_row_major_and_ordered():
+    matrix = CampaignMatrix(
+        kind="lock",
+        axes={"benchmark": ["s1238", "s5378"], "scheme": ["gk", "xor"]},
+        fixed={"seed": 2019},
+    )
+    specs = matrix.expand()
+    assert len(specs) == len(matrix) == 4
+    combos = [(s.param_dict["benchmark"], s.param_dict["scheme"]) for s in specs]
+    assert combos == [
+        ("s1238", "gk"), ("s1238", "xor"), ("s5378", "gk"), ("s5378", "xor"),
+    ]
+    assert all(s.param_dict["seed"] == 2019 for s in specs)
+
+
+def test_job_id_is_stable_and_param_order_insensitive():
+    a = JobSpec.make("lock", benchmark="s1238", seed=1)
+    b = JobSpec.make("lock", seed=1, benchmark="s1238")
+    assert a == b
+    assert a.job_id == b.job_id
+    assert a.job_id != JobSpec.make("lock", benchmark="s1238", seed=2).job_id
+    assert a.job_id != JobSpec.make("table1", benchmark="s1238", seed=1).job_id
+
+
+def test_spec_dict_roundtrip():
+    spec = JobSpec.make("attack", benchmark="s5378", key_bits=8)
+    again = JobSpec.from_dict(spec.to_dict())
+    assert again == spec
+    assert again.job_id == spec.job_id
+
+
+def test_matrix_dict_roundtrip_and_validation():
+    matrix = CampaignMatrix(kind="table1",
+                            axes={"benchmark": ["s1238"], "seed": [1, 2]})
+    again = CampaignMatrix.from_dict(
+        {"kind": "table1", "axes": {"benchmark": ["s1238"], "seed": [1, 2]}}
+    )
+    assert [s.job_id for s in again.expand()] == \
+        [s.job_id for s in matrix.expand()]
+    with pytest.raises(ValueError):
+        CampaignMatrix.from_dict({"kind": "x", "oops": {}})
+
+
+def test_canonical_json_is_key_sorted_and_compact():
+    assert canonical_json({"b": 1, "a": [2, 3]}) == '{"a":[2,3],"b":1}'
+    assert content_id("k", {"x": 1}) == content_id("k", {"x": 1})
+    assert content_id("k", {"x": 1}) != content_id("k", {"x": 2})
+
+
+def test_builtin_matrices_cover_the_paper_tables():
+    t1 = CampaignMatrix.table1(["s1238", "s5378"])
+    assert len(t1) == 2 and all(s.kind == "table1" for s in t1.expand())
+    t2 = CampaignMatrix.table2(["s1238"])
+    configs = [s.param_dict["config"] for s in t2.expand()]
+    assert configs == ["gk4", "gk8", "gk16", "hybrid"]

@@ -1,0 +1,71 @@
+"""JSONL result store: append, replay, torn tails, latest-wins."""
+
+import json
+
+from repro.campaign import ResultStore
+
+
+def _record(job_id, status="ok", **extra):
+    return {"type": "result", "job_id": job_id, "status": status, **extra}
+
+
+def test_append_then_load_roundtrip(tmp_path):
+    path = tmp_path / "run.jsonl"
+    with ResultStore(str(path)) as store:
+        store.append(_record("a", payload={"x": 1}))
+        store.append(_record("b", status="error"))
+    loaded = ResultStore(str(path)).load()
+    assert set(loaded) == {"a", "b"}
+    assert loaded["a"]["payload"] == {"x": 1}
+    assert loaded["b"]["status"] == "error"
+
+
+def test_latest_record_per_job_wins(tmp_path):
+    path = tmp_path / "run.jsonl"
+    with ResultStore(str(path)) as store:
+        store.append(_record("a", status="error", attempt=1))
+        store.append(_record("a", status="ok", attempt=2))
+    store = ResultStore(str(path))
+    assert store.load()["a"]["status"] == "ok"
+    assert store.completed_ids() == ["a"]
+
+
+def test_torn_tail_is_tolerated(tmp_path):
+    """A worker killed mid-write leaves a half line; replay must keep
+    every complete record and skip the debris."""
+    path = tmp_path / "run.jsonl"
+    with ResultStore(str(path)) as store:
+        store.append(_record("a"))
+        store.append(_record("b"))
+    with open(path, "a") as stream:
+        stream.write('\n{"type": "result", "job_id": "c", "sta')  # torn
+    store = ResultStore(str(path))
+    assert set(store.load()) == {"a", "b"}
+
+
+def test_non_dict_lines_are_skipped(tmp_path):
+    path = tmp_path / "run.jsonl"
+    path.write_text('[1, 2]\n"just a string"\n'
+                    + json.dumps(_record("a")) + "\n")
+    assert set(ResultStore(str(path)).load()) == {"a"}
+
+
+def test_truncate_starts_fresh(tmp_path):
+    path = tmp_path / "run.jsonl"
+    with ResultStore(str(path)) as store:
+        store.append(_record("old"))
+    store = ResultStore(str(path))
+    store.truncate()
+    store.append(_record("new"))
+    store.close()
+    assert set(ResultStore(str(path)).load()) == {"new"}
+
+
+def test_records_are_flushed_as_written(tmp_path):
+    """Another process (or a post-crash rerun) must see each record as
+    soon as append returns — that is the resumability contract."""
+    path = tmp_path / "run.jsonl"
+    store = ResultStore(str(path))
+    store.append(_record("a"))
+    assert set(ResultStore(str(path)).load()) == {"a"}  # before close
+    store.close()

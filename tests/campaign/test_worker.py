@@ -1,0 +1,83 @@
+"""execute_job: the failure taxonomy, deadlines, and the record shape."""
+
+import os
+
+import pytest
+
+from repro.campaign import JobSpec, NetlistCache, execute_job
+from repro.campaign.worker import load_worker_modules
+
+STUBS = os.path.join(os.path.dirname(__file__), "stubs.py")
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _stub_kinds():
+    load_worker_modules([STUBS])
+
+
+def test_ok_record_shape():
+    record = execute_job(JobSpec.make("echo", value=7))
+    assert record["status"] == "ok"
+    assert record["payload"] == {"echo": {"value": 7}}
+    assert record["error"] is None
+    assert record["transient"] is False
+    assert record["duration"] >= 0.0
+    assert record["kind"] == "echo"
+    assert record["params"] == {"value": 7}
+    # The obs snapshot always carries the campaign.job root span.
+    spans = record["obs"]["spans"]
+    assert [span["name"] for span in spans] == ["campaign.job"]
+    assert record["cache"] == {"hits": 0, "misses": 0}
+
+
+def test_unknown_kind_is_a_deterministic_error():
+    record = execute_job(JobSpec.make("no-such-kind"))
+    assert record["status"] == "error"
+    assert record["transient"] is False
+    assert "unknown job kind" in record["error"]
+
+
+def test_transient_error_is_flagged_retryable(tmp_path):
+    state = tmp_path / "attempts"
+    record = execute_job(
+        JobSpec.make("flaky", state=str(state), succeed_after=3)
+    )
+    assert record["status"] == "error"
+    assert record["transient"] is True
+
+
+def test_deterministic_exception_keeps_traceback():
+    record = execute_job(JobSpec.make("boom"))
+    assert record["status"] == "error"
+    assert record["transient"] is False
+    assert "ValueError: deterministic failure" in record["error"]
+    assert "in _boom" in record["traceback"]
+
+
+def test_deadline_interrupts_cpu_bound_work():
+    record = execute_job(JobSpec.make("sleepy", seconds=30), timeout=0.2)
+    assert record["status"] == "timeout"
+    assert record["duration"] < 5.0
+    assert "deadline" in record["error"]
+
+
+def test_no_timeout_means_no_deadline():
+    record = execute_job(JobSpec.make("sleepy", seconds=0.05), timeout=None)
+    assert record["status"] == "ok"
+    assert record["payload"] == {"slept": 0.05}
+
+
+def test_dict_spec_is_accepted():
+    spec = JobSpec.make("echo", value=1)
+    record = execute_job(spec.to_dict())
+    assert record["job_id"] == spec.job_id
+    assert record["status"] == "ok"
+
+
+def test_cache_delta_is_per_job(tmp_path):
+    cache = NetlistCache(str(tmp_path))
+    key = cache.key(kind="warm")
+    cache.put(key, {"warm": True})
+    cache.get(key)  # pre-existing traffic must not leak into the job
+    record = execute_job(JobSpec.make("echo"), cache=cache)
+    assert record["cache"] == {"hits": 0, "misses": 0}

@@ -3,6 +3,7 @@
 import os
 import random
 import sys
+import zlib
 
 import pytest
 
@@ -15,8 +16,37 @@ from repro.bench import iwls_benchmark  # noqa: E402
 from repro.netlist import Builder  # noqa: E402
 
 
+def pytest_collection_modifyitems(items):
+    """Auto-mark everything under tests/integration/ as ``integration``
+    so the fast CI tier can deselect it with ``-m 'not integration'``."""
+    for item in items:
+        if "tests/integration/" in str(item.fspath).replace(os.sep, "/"):
+            item.add_marker(pytest.mark.integration)
+
+
+@pytest.fixture(autouse=True)
+def _global_rng_guard(request):
+    """Pin and restore the *global* ``random`` state around every test.
+
+    Library code takes explicit ``random.Random(seed)`` instances, but a
+    test (or a dependency) that reaches for the module-level functions
+    would otherwise couple its outcome to whichever tests ran before it.
+    Seeding from the test's nodeid keeps any such use deterministic and
+    order-independent; restoring afterwards keeps the leak from
+    spreading.
+    """
+    saved = random.getstate()
+    random.seed(zlib.crc32(request.node.nodeid.encode()) ^ 0xC0FFEE)
+    try:
+        yield
+    finally:
+        random.setstate(saved)
+
+
 @pytest.fixture
 def rng():
+    """A fresh, fixed-seed RNG per test (function-scoped on purpose:
+    sharing one stream across tests would make them order-dependent)."""
     return random.Random(0xC0FFEE)
 
 

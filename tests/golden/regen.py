@@ -1,0 +1,58 @@
+"""Regenerate the golden table snapshots (run deliberately, not in CI).
+
+Usage::
+
+    PYTHONPATH=src python tests/golden/regen.py
+"""
+
+import json
+import os
+import sys
+
+sys.path.insert(
+    0,
+    os.path.abspath(os.path.join(os.path.dirname(__file__), "..", "..", "src")),
+)
+
+from repro.bench.iwls import BENCHMARKS  # noqa: E402
+from repro.campaign import (  # noqa: E402
+    CampaignConfig,
+    CampaignMatrix,
+    run_campaign,
+)
+from repro.reporting.tables import (  # noqa: E402
+    table1_aggregate,
+    table1_row_from_dict,
+    table2_aggregate,
+    table2_rows_from_cells,
+)
+
+
+def main() -> None:
+    here = os.path.dirname(os.path.abspath(__file__))
+    config = CampaignConfig(jobs=1)
+    r1 = run_campaign(CampaignMatrix.table1(BENCHMARKS), config)
+    r2 = run_campaign(CampaignMatrix.table2(BENCHMARKS), config)
+    assert r1.ok and r2.ok, (r1.failed(), r2.failed())
+    rows1 = [
+        table1_row_from_dict(r["payload"]["row"]) for r in r1.ordered()
+    ]
+    cells = {
+        (r["params"]["benchmark"], r["params"]["config"]):
+            r["payload"]["overhead"]
+        for r in r2.ordered()
+    }
+    rows2 = table2_rows_from_cells(cells, list(BENCHMARKS))
+    for name, aggregate in (
+        ("table1", table1_aggregate(rows1)),
+        ("table2", table2_aggregate(rows2)),
+    ):
+        path = os.path.join(here, f"{name}.json")
+        with open(path, "w") as stream:
+            json.dump(aggregate, stream, sort_keys=True, indent=2)
+            stream.write("\n")
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -14,6 +14,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.bench import GeneratorSpec, random_sequential_circuit
+from repro.locking.xor_lock import XorLock
 from repro.sim import CycleSimulator
 from repro.sim.harness import compare_with_original, random_input_sequence
 from repro.sta import ClockSpec, analyze
@@ -71,6 +72,85 @@ def test_inertial_mode_also_matches(seed):
         delay_mode="inertial",
     )
     assert result.equivalent
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_locked_circuit_matches_oracle_under_correct_key(seed):
+    """Property sweep over random circuits: an XOR-locked netlist with
+    the *correct* key is indistinguishable from the oracle in both
+    views — the timing simulation of the locked chip tracks the
+    zero-delay reference (compare_with_original), and the zero-delay
+    views of locked and original agree cycle for cycle.  Combined with
+    the unlocked sweeps above, this pins the whole determinism chain the
+    campaign engine relies on: lock → simulate → compare is a pure
+    function of the seed.
+    """
+    rng = random.Random(seed)
+    circuit = random_sequential_circuit(
+        GeneratorSpec(
+            name="xlock",
+            num_inputs=4,
+            num_outputs=3,
+            num_flip_flops=4,
+            num_combinational=28,
+            seed=seed,
+        )
+    )
+    locked = XorLock().lock(circuit, 4, rng)
+    clock = relaxed_clock(locked.circuit)
+    seq = random_input_sequence(circuit, 6, rng)
+
+    result = compare_with_original(
+        circuit, locked.circuit, clock.period, seq, key=locked.key
+    )
+    assert result.equivalent, f"seed {seed}: {result.po_mismatches[:5]}"
+    assert result.violations == 0
+
+    reference = CycleSimulator(circuit)
+    unlocked_view = CycleSimulator(locked.circuit)
+    shared = [po for po in circuit.outputs if po in set(locked.circuit.outputs)]
+    for cycle, inputs in enumerate(seq):
+        want = reference.step(inputs)
+        got = unlocked_view.step({**inputs, **locked.key})
+        for po in shared:
+            assert got[po] == want[po], f"seed {seed} cycle {cycle}: {po}"
+
+
+@pytest.mark.parametrize("seed", [0, 7, 2019, 4242])
+def test_wrong_key_corrupts_some_output(seed):
+    """The complementary check: flipping every key bit must corrupt at
+    least one output somewhere in the sequence — otherwise the lock is
+    vacuous and the equivalence above proves nothing.  Fixed seeds, not
+    a hypothesis sweep: corruption *usually* surfaces within a few
+    cycles but is not guaranteed for every circuit (a site can be
+    logically masked), so a search over all seeds would eventually
+    manufacture a spurious failure."""
+    rng = random.Random(seed)
+    circuit = random_sequential_circuit(
+        GeneratorSpec(
+            name="xlock2",
+            num_inputs=4,
+            num_outputs=2,
+            num_flip_flops=3,
+            num_combinational=24,
+            seed=seed,
+        )
+    )
+    locked = XorLock().lock(circuit, 4, rng)
+    wrong = {net: 1 - value for net, value in locked.key.items()}
+    seq = random_input_sequence(circuit, 8, rng)
+    reference = CycleSimulator(circuit)
+    view = CycleSimulator(locked.circuit)
+    shared = [po for po in circuit.outputs if po in set(locked.circuit.outputs)]
+    corrupted = False
+    for inputs in seq:
+        want = reference.step(inputs)
+        got = view.step({**inputs, **wrong})
+        if any(got[po] != want[po] for po in shared):
+            corrupted = True
+            break
+    assert corrupted, f"seed {seed}: all-bits-wrong key left outputs intact"
 
 
 def test_benchmark_scale_consistency(s1238):
