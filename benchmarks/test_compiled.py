@@ -1,0 +1,109 @@
+"""Throughput of the compiled circuit IR on the s1238 combinational core.
+
+Three regimes, same patterns, patterns/second each:
+
+* ``interpreted`` — the per-gate object-graph walk
+  (:func:`evaluate_combinational_interpreted`), the pre-compiled-IR
+  behaviour and the executable reference,
+* ``compiled_single`` — the compiled evaluator, one pattern per call
+  (one lane of the 64 used), the oracle's single-query path,
+* ``compiled_parallel_64`` — the batched 64-way path
+  (:meth:`CompiledCircuit.query_outputs`), the batched-oracle and
+  signal-probability path.
+
+Results land in ``benchmarks/BENCH_compiled.json``.  Two guards:
+
+* the 64-way path must clear 20x the interpreted throughput (the
+  headline number for the migration), and
+* against the committed baseline, the parallel-over-interpreted speedup
+  must not regress by more than 10% (ratios, not absolute rates, so the
+  guard is machine-independent).
+"""
+
+import json
+import os
+import random
+import time
+
+import pytest
+
+from repro.netlist.compiled import compile_circuit
+from repro.netlist.transform import extract_combinational
+from repro.sim.cyclesim import evaluate_combinational_interpreted
+
+_DUMP = os.path.join(os.path.dirname(__file__), "BENCH_compiled.json")
+
+MIN_PARALLEL_SPEEDUP = 20.0
+MAX_REGRESSION = 0.10
+_REPEATS = 3
+
+
+def _patterns_per_second(run, patterns):
+    """Best-of-N wall-clock throughput of ``run(patterns)``."""
+    run(patterns)  # warm caches (compiled IR, topo order) off the clock
+    best = float("inf")
+    for _ in range(_REPEATS):
+        start = time.perf_counter()
+        run(patterns)
+        best = min(best, time.perf_counter() - start)
+    return len(patterns) / best
+
+
+@pytest.mark.no_obs
+def test_compiled_throughput(s1238):
+    comb = extract_combinational(s1238.circuit).circuit
+    compiled = compile_circuit(comb)
+    rng = random.Random(0xBE9C)
+    patterns = [
+        {net: rng.randint(0, 1) for net in comb.inputs} for _ in range(256)
+    ]
+
+    # The interpreted walk is ~25x slower; 32 patterns keep its wall
+    # time comparable to the other regimes without drowning the run.
+    interpreted = _patterns_per_second(
+        lambda ps: [evaluate_combinational_interpreted(comb, p) for p in ps],
+        patterns[:32],
+    )
+    single = _patterns_per_second(
+        lambda ps: [compiled.query_outputs([p])[0] for p in ps],
+        patterns[:64],
+    )
+    parallel = _patterns_per_second(
+        lambda ps: compiled.query_outputs(ps), patterns
+    )
+
+    baseline = None
+    if os.path.exists(_DUMP):
+        with open(_DUMP) as stream:
+            baseline = json.load(stream)
+
+    results = {
+        "circuit": "s1238 (combinational core)",
+        "gates": len(comb.gates),
+        "nets": len(comb.nets()),
+        "patterns_per_second": {
+            "interpreted": round(interpreted, 1),
+            "compiled_single": round(single, 1),
+            "compiled_parallel_64": round(parallel, 1),
+        },
+        "speedup_vs_interpreted": {
+            "compiled_single": round(single / interpreted, 2),
+            "compiled_parallel_64": round(parallel / interpreted, 2),
+        },
+    }
+    with open(_DUMP, "w") as stream:
+        json.dump(results, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+    print(f"\nBENCH_compiled: {json.dumps(results['patterns_per_second'])}")
+
+    assert parallel >= MIN_PARALLEL_SPEEDUP * interpreted, (
+        f"64-way path is only {parallel / interpreted:.1f}x the "
+        f"interpreted walk (need {MIN_PARALLEL_SPEEDUP:.0f}x)"
+    )
+    if baseline is not None:
+        old = baseline["speedup_vs_interpreted"]["compiled_parallel_64"]
+        new = parallel / interpreted
+        assert new >= (1.0 - MAX_REGRESSION) * old, (
+            f"compiled path regressed: parallel speedup {new:.1f}x vs "
+            f"baseline {old:.1f}x (>{MAX_REGRESSION:.0%} drop)"
+        )

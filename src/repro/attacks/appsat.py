@@ -28,11 +28,11 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional
 
 from ..netlist.circuit import Circuit, NetlistError
+from ..netlist.compiled import compile_circuit
 from ..netlist.transform import extract_combinational
 from ..sat.cnf import CNF
 from ..sat.solver import Solver
 from ..sat.tseitin import CircuitEncoder
-from ..sim.cyclesim import evaluate_combinational
 from .oracle import CombinationalOracle
 from .sat_attack import _comb_view, _interface_map
 
@@ -138,18 +138,23 @@ def appsat_attack(
             result.dip_iterations += 1
             pin_pattern(dip, oracle.query(dip))
 
-        # Approximate phase: random-query reconciliation.
+        # Approximate phase: random-query reconciliation.  Patterns are
+        # drawn in the same order the per-query loop used, then both
+        # sides resolve in 64-wide bit-parallel passes.
         key = candidate_key()
         if key is None:
             return result
+        patterns = [
+            {net: rng.randint(0, 1) for net in comb.inputs}
+            for _ in range(queries_per_round)
+        ]
+        responses = oracle.query_batch(patterns)
+        result.random_queries += queries_per_round
+        candidate = compile_circuit(comb).query_outputs(
+            [dict(pattern, **key) for pattern in patterns]
+        )
         mismatches = 0
-        for _ in range(queries_per_round):
-            pattern = {net: rng.randint(0, 1) for net in comb.inputs}
-            response = oracle.query(pattern)
-            result.random_queries += 1
-            assignment = dict(pattern)
-            assignment.update(key)
-            values = evaluate_combinational(comb, assignment)
+        for pattern, response, values in zip(patterns, responses, candidate):
             if any(
                 values[net] != response[oracle_output_of[net]]
                 for net in comb.outputs

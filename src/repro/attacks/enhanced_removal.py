@@ -186,7 +186,7 @@ def enhanced_removal_attack(
         # The original GK key wire is now unread; drop it if floating.
         if gk.key_net in remodeled.key_inputs and not remodeled.fanout_pins(gk.key_net):
             remodeled.key_inputs.remove(gk.key_net)
-            del remodeled._driver[gk.key_net]
+            remodeled.release_driver(gk.key_net)
     remodeled.validate()
     result.remodeled = remodeled
 

@@ -22,8 +22,8 @@ from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..locking.base import LockedCircuit
 from ..netlist.circuit import Circuit, NetlistError
+from ..netlist.compiled import compile_circuit
 from ..netlist.transform import extract_combinational
-from ..sim.cyclesim import evaluate_combinational
 from ..sim.harness import SequentialTrace, simulate_sequential
 from ..sim.logic import LogicValue
 
@@ -50,8 +50,18 @@ class CombinationalOracle:
     def query(self, assignment: Mapping[str, LogicValue]) -> Dict[str, LogicValue]:
         """Outputs of the activated chip for one input pattern."""
         self.query_count += 1
-        values = evaluate_combinational(self.circuit, assignment)
-        return {net: values[net] for net in self.outputs}
+        return compile_circuit(self.circuit).query_outputs([assignment])[0]
+
+    def query_batch(
+        self, assignments: Sequence[Mapping[str, LogicValue]]
+    ) -> List[Dict[str, LogicValue]]:
+        """Outputs for many patterns: one bit-parallel pass per 64.
+
+        Counts one oracle query per pattern — batching is an evaluation
+        optimization, not a cheaper attack model.
+        """
+        self.query_count += len(assignments)
+        return compile_circuit(self.circuit).query_outputs(assignments)
 
 
 class TimingOracle:

@@ -32,8 +32,8 @@ from typing import Dict, List, Optional, Tuple
 
 from ..locking.base import LockedCircuit
 from ..netlist.circuit import Circuit
+from ..netlist.compiled import MASK, compile_circuit
 from ..netlist.transform import extract_combinational
-from ..sim.cyclesim import evaluate_combinational
 from ..synth.optimize import sweep_dead_gates
 from .oracle import CombinationalOracle
 
@@ -71,22 +71,72 @@ def signal_probabilities(
     Expects a combinational circuit (extract first for sequential).
     X evaluations count as 0.5.
     """
-    counts: Dict[str, float] = {}
-    sensitive: Dict[str, bool] = {}
-    for _ in range(samples):
-        pattern = {net: rng.randint(0, 1) for net in circuit.inputs}
-        key_a = {net: rng.randint(0, 1) for net in circuit.key_inputs}
-        key_b = {net: rng.randint(0, 1) for net in circuit.key_inputs}
-        values = evaluate_combinational(circuit, {**pattern, **key_a})
-        shadow = evaluate_combinational(circuit, {**pattern, **key_b})
-        for net, value in values.items():
-            counts[net] = counts.get(net, 0.0) + (
-                0.5 if value is None else float(value)
-            )
-            if shadow[net] != value:
-                sensitive[net] = True
-    probs = {net: count / samples for net, count in counts.items()}
-    return probs, {net: sensitive.get(net, False) for net in probs}
+    compiled = compile_circuit(circuit)
+    # The nets the per-sample evaluation dict used to report, in the
+    # same insertion order: inputs, keys, then gate outputs in schedule
+    # (= topological) order.  Undriven stray nets never appeared.
+    net_order = (
+        list(circuit.inputs) + list(circuit.key_inputs)
+        + list(compiled.out_names)
+    )
+    ids = [compiled.net_ids[net] for net in net_order]
+    ones = [0] * len(ids)
+    unknowns = [0] * len(ids)
+    sensitive_flags = [False] * len(ids)
+
+    num_nets = compiled.num_nets
+    remaining = samples
+    while remaining:
+        used = min(64, remaining)
+        remaining -= used
+        lane_mask = MASK if used == 64 else (1 << used) - 1
+        va = [0] * num_nets
+        ka = [0] * num_nets
+        vb = [0] * num_nets
+        kb = [0] * num_nets
+        for lane in range(used):
+            bit = 1 << lane
+            pattern = {net: rng.randint(0, 1) for net in circuit.inputs}
+            key_a = {net: rng.randint(0, 1) for net in circuit.key_inputs}
+            key_b = {net: rng.randint(0, 1) for net in circuit.key_inputs}
+            for net, value in pattern.items():
+                nid = compiled.net_ids[net]
+                if value:
+                    va[nid] |= bit
+                    vb[nid] |= bit
+                ka[nid] |= bit
+                kb[nid] |= bit
+            for net, value in key_a.items():
+                nid = compiled.net_ids[net]
+                if value:
+                    va[nid] |= bit
+                ka[nid] |= bit
+            for net, value in key_b.items():
+                nid = compiled.net_ids[net]
+                if value:
+                    vb[nid] |= bit
+                kb[nid] |= bit
+        compiled.run_planes(va, ka)
+        compiled.run_planes(vb, kb)
+        for j, nid in enumerate(ids):
+            v1, k1 = va[nid], ka[nid]
+            v2, k2 = vb[nid], kb[nid]
+            ones[j] += bin(v1 & k1 & lane_mask).count("1")
+            unknowns[j] += bin(~k1 & lane_mask).count("1")
+            if not sensitive_flags[j]:
+                differ = ((v1 ^ v2) & k1 & k2) | (k1 ^ k2)
+                if differ & lane_mask:
+                    sensitive_flags[j] = True
+
+    # ones + 0.5*unknowns is a sum of exact halves, so this reproduces
+    # the sequential float accumulation bit for bit.
+    probs = {
+        net: (ones[j] + 0.5 * unknowns[j]) / samples
+        for j, net in enumerate(net_order)
+    }
+    return probs, {
+        net: sensitive_flags[j] for j, net in enumerate(net_order)
+    }
 
 
 def _matches_oracle(
@@ -95,14 +145,17 @@ def _matches_oracle(
     rng: random.Random,
     patterns: int,
 ) -> bool:
+    # Kept per-pattern: the early return means batching would change
+    # how much of the rng stream gets consumed.
     output_map = dict(zip(candidate.outputs, oracle.outputs))
+    compiled = compile_circuit(candidate)
     for _ in range(patterns):
         pattern = {net: rng.randint(0, 1) for net in oracle.inputs}
         response = oracle.query(pattern)
         assignment = dict(pattern)
         for key_net in candidate.key_inputs:
             assignment[key_net] = rng.randint(0, 1)
-        values = evaluate_combinational(candidate, assignment)
+        values = compiled.query_outputs([assignment])[0]
         if any(
             values[net] != response[output_map[net]]
             for net in candidate.outputs
@@ -203,16 +256,22 @@ def removal_attack(
         if locked.original.flip_flops()
         else locked.original
     )
-    matches = 0
     output_map = dict(zip(restored.outputs, original_comb.outputs))
+    patterns_drawn: List[Dict[str, int]] = []
+    assignments: List[Dict[str, int]] = []
     for _ in range(check_samples):
         pattern = {net: rng.randint(0, 1) for net in original_comb.inputs}
         assignment = dict(pattern)
         for key_net in restored.key_inputs:
             assignment[key_net] = rng.randint(0, 1)
-        got = evaluate_combinational(restored, assignment)
-        want = evaluate_combinational(original_comb, pattern)
-        if all(got[net] == want[output_map[net]] for net in restored.outputs):
-            matches += 1
+        patterns_drawn.append(pattern)
+        assignments.append(assignment)
+    got_all = compile_circuit(restored).query_outputs(assignments)
+    want_all = compile_circuit(original_comb).query_outputs(patterns_drawn)
+    matches = sum(
+        1
+        for got, want in zip(got_all, want_all)
+        if all(got[net] == want[output_map[net]] for net in restored.outputs)
+    )
     result.restored_accuracy = matches / check_samples
     return result

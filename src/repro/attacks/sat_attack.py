@@ -231,16 +231,20 @@ def verify_key_against_oracle(
     """
     rng = rng or random.Random(0)
     comb = _comb_view(locked_netlist)
-    from ..sim.cyclesim import evaluate_combinational
+    from ..netlist.compiled import compile_circuit
 
     oracle_output_of = _interface_map(comb, oracle)
+    # Draw every pattern first (the same stream the per-pattern loop
+    # consumed), then resolve both sides in 64-wide passes.
+    patterns = [
+        {net: rng.randint(0, 1) for net in comb.inputs}
+        for _ in range(samples)
+    ]
+    responses = oracle.query_batch(patterns)
+    assignments = [dict(pattern, **key) for pattern in patterns]
+    candidate = compile_circuit(comb).query_outputs(assignments)
     matches = 0
-    for _ in range(samples):
-        pattern = {net: rng.randint(0, 1) for net in comb.inputs}
-        response = oracle.query(pattern)
-        assignment = dict(pattern)
-        assignment.update(key)
-        values = evaluate_combinational(comb, assignment)
+    for values, response in zip(candidate, responses):
         if all(
             values[net] == response[oracle_output_of[net]]
             for net in comb.outputs

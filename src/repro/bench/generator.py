@@ -198,7 +198,7 @@ def random_sequential_circuit(
     d_nets = dangling_first(spec.num_flip_flops, depth_bias=spec.ff_depth_bias)
     for i, d_net in enumerate(d_nets):
         name = f"ff{i}"
-        del circuit._driver[ff_outputs[i]]  # release the reserved claim
+        circuit.release_driver(ff_outputs[i])  # release the reserved claim
         circuit.add_gate(name, "DFF_X1", {"D": d_net, "CLK": "clock"}, ff_outputs[i])
         fanout_count[d_net] = fanout_count.get(d_net, 0) + 1
 

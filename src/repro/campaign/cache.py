@@ -31,7 +31,7 @@ __all__ = ["CACHE_VERSION", "NetlistCache"]
 
 #: Bump to invalidate every cached artifact (e.g. when the generator,
 #: a locking flow, or the delay model changes shape).
-CACHE_VERSION = 1
+CACHE_VERSION = 2
 
 
 class NetlistCache:

@@ -140,8 +140,12 @@ def _instance(benchmark: str, seed: int, cache: NetlistCache):
         instance = cache.get_object(disk_key) if cache.enabled else None
         if instance is None:
             from ..bench.iwls import iwls_benchmark
+            from ..netlist.compiled import compile_circuit
 
             instance = iwls_benchmark(benchmark, seed=seed)
+            # Compile before pickling: the compiled IR rides along in
+            # the cache entry, so other pool workers skip recompilation.
+            compile_circuit(instance.circuit)
             cache.put_object(disk_key, instance)
         if len(_INSTANCE_MEMO) >= 8:
             _INSTANCE_MEMO.clear()

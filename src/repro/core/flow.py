@@ -326,7 +326,7 @@ class GkLock(LockingScheme):
                 locked.remove_gate(name)
         for net in (k1, k2):
             locked.key_inputs.remove(net)
-            del locked._driver[net]
+            locked.release_driver(net)
 
     # ------------------------------------------------------------------
 
@@ -422,7 +422,7 @@ def expose_gk_keys(locked: LockedCircuit) -> Circuit:
             stripped.remove_gate(name)
         for net in (record.keygen.k1_net, record.keygen.k2_net):
             stripped.key_inputs.remove(net)
-            del stripped._driver[net]
+            stripped.release_driver(net)
         stripped.add_key_input(record.keygen.key_out)
     stripped.validate()
     return stripped

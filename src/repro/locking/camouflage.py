@@ -139,6 +139,7 @@ def attacker_view(camo: CamouflagedCircuit) -> Circuit:
     for record in camo.gates:
         gate = view.gates[record.gate_name]
         gate.truth_table = placeholder  # type: ignore[assignment]
+    view._invalidate()  # truth tables are baked into the compiled IR
     return view
 
 

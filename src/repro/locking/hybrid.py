@@ -128,7 +128,7 @@ class HybridGkXor(LockingScheme):
                 gate = locked.remove_gate(gate_name)
                 locked.rewire_sinks(gate.output, net)
                 locked.key_inputs.remove(key_net)
-                del locked._driver[key_net]
+                locked.release_driver(key_net)
         if index < xor_bits:
             raise LockingError(
                 f"placed only {index}/{xor_bits} XOR key-gates without "

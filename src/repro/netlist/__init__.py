@@ -2,6 +2,7 @@
 
 from .cells import Cell, CellLibrary, default_library
 from .circuit import Circuit, CircuitStats, Gate, NetlistError
+from .compiled import CompiledCircuit, compile_circuit
 from .builder import Builder
 from .transform import (
     CombinationalExtraction,
@@ -28,6 +29,8 @@ __all__ = [
     "CircuitStats",
     "Gate",
     "NetlistError",
+    "CompiledCircuit",
+    "compile_circuit",
     "Builder",
     "CombinationalExtraction",
     "expose_as_key_input",

@@ -97,7 +97,21 @@ class CircuitStats:
 
 
 class Circuit:
-    """A gate-level netlist over a :class:`CellLibrary`."""
+    """A gate-level netlist over a :class:`CellLibrary`.
+
+    Structural queries that are pure functions of the netlist —
+    :meth:`topological_order` and the compiled IR built by
+    :func:`repro.netlist.compiled.compile_circuit` — are memoized behind
+    a mutation counter.  Every structural edit goes through a method
+    that bumps the counter, so stale derived state is impossible; code
+    that pokes at ``_driver`` directly must use :meth:`release_driver`.
+    """
+
+    # Class-level defaults keep instances pickled before these fields
+    # existed loadable (the campaign cache stores pickled circuits).
+    _mutations: int = 0
+    _topo_cache = None  # (mutations, tuple of gates) or None
+    _compiled_cache = None  # (mutations, CompiledCircuit) or None
 
     def __init__(
         self,
@@ -115,6 +129,9 @@ class Circuit:
         self._driver: Dict[str, str] = {}  # net -> gate name ("" for PIs/keys/clock)
         self._fanouts: Dict[str, Set[Tuple[str, str]]] = {}  # net -> {(gate, pin)}
         self._name_counter = itertools.count()
+        self._mutations = 0
+        self._topo_cache = None
+        self._compiled_cache = None
         if clock is not None:
             self._driver[clock] = ""
 
@@ -141,6 +158,7 @@ class Circuit:
 
     def add_output(self, net: str) -> str:
         self.outputs.append(net)
+        self._invalidate()
         return net
 
     def add_gate(
@@ -175,6 +193,7 @@ class Circuit:
         del self._driver[gate.output]
         for pin, net in gate.pins.items():
             self._fanouts[net].discard((name, pin))
+        self._invalidate()
         return gate
 
     def new_net(self, prefix: str = "n") -> str:
@@ -196,6 +215,25 @@ class Circuit:
                 f"net {net!r} already driven in circuit {self.name!r}"
             )
         self._driver[net] = driver
+        self._invalidate()
+
+    def release_driver(self, net: str) -> None:
+        """Forget *net*'s driver claim (the caller re-claims or drops it)."""
+        del self._driver[net]
+        self._invalidate()
+
+    def replace_cell(self, gate_name: str, cell: Cell) -> None:
+        """Swap a gate's library cell (resizing, delay derating).
+
+        Cell swaps change delays the compiled IR has baked in, so they
+        must go through here rather than assigning ``gate.cell``.
+        """
+        self.gates[gate_name].cell = cell
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        """Bump the mutation counter; memoized derived state goes stale."""
+        self._mutations += 1
 
     # ------------------------------------------------------------------
     # Queries
@@ -236,7 +274,13 @@ class Circuit:
         Sources are PIs, key inputs, the clock, and flip-flop outputs;
         flip-flop D pins and POs are sinks.  Raises
         :class:`NetlistError` on a combinational cycle.
+
+        The order is memoized behind the mutation counter: repeated
+        calls between edits cost a list copy, not a Kahn pass.
         """
+        cached = self._topo_cache
+        if cached is not None and cached[0] == self._mutations:
+            return list(cached[1])
         indegree: Dict[str, int] = {}
         dependents: Dict[str, List[str]] = {}
         for gate in self.gates.values():
@@ -261,7 +305,17 @@ class Circuit:
         if len(order) != len(indegree):
             cyclic = sorted(n for n, d in indegree.items() if d > 0)
             raise NetlistError(f"combinational cycle through gates {cyclic[:8]}")
+        self._topo_cache = (self._mutations, tuple(order))
         return order
+
+    def compiled(self) -> "object":
+        """The circuit's compiled IR (cached behind the mutation counter).
+
+        See :func:`repro.netlist.compiled.compile_circuit`.
+        """
+        from .compiled import compile_circuit
+
+        return compile_circuit(self)
 
     def stats(self) -> CircuitStats:
         ffs = self.flip_flops()
@@ -314,6 +368,7 @@ class Circuit:
                 if net == old_net:
                     self.outputs[i] = new_net
                     moved += 1
+        self._invalidate()
         return moved
 
     def reconnect_pin(self, gate_name: str, pin: str, new_net: str) -> None:
@@ -325,6 +380,7 @@ class Circuit:
         gate.pins[pin] = new_net
         self._fanouts[old_net].discard((gate_name, pin))
         self._fanouts.setdefault(new_net, set()).add((gate_name, pin))
+        self._invalidate()
 
     def clone(self, name: Optional[str] = None) -> "Circuit":
         """A deep, independent copy of this circuit."""

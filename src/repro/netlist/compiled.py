@@ -1,0 +1,563 @@
+"""Compiled circuit IR: one levelized, bit-parallel evaluation core.
+
+Every layer that evaluates a netlist — the cycle oracle the SAT attack
+queries, the event simulator's settle pass, Tseitin encoding, STA,
+equivalence, ATPG, and synthesis — used to re-walk the object-graph
+:class:`~repro.netlist.circuit.Circuit` per call: string-keyed dicts,
+string dispatch per gate, a fresh Kahn sort per pass.  This module
+compiles a circuit **once** into flat structure-of-arrays over integer
+net IDs:
+
+* an interned net table (``net_names`` / ``net_ids``), sources first —
+  PIs, key inputs, the clock, flip-flop Q nets, then any remaining
+  undriven nets — followed by one slot per combinational gate output in
+  schedule order;
+* a levelized topological schedule: per gate the function opcode, the
+  output net ID, the fanin IDs (both as a flat ``fanin_ptr``/
+  ``fanin_ids`` pair and as per-gate tuples for the hot loop), the cell
+  delay, the level, and the LUT truth table where applicable.
+
+The schedule order is **exactly** ``circuit.topological_order()`` — the
+levels are metadata, not a reordering — so consumers that assign CNF
+variables or arrival times in iteration order produce byte-identical
+results before and after the migration.
+
+On top of the arrays sits a two-plane **64-way bit-parallel** evaluator
+with full 0/1/X semantics: each net carries a ``value`` word and a
+``known`` word (bit *i* = lane *i*; X ⇔ known bit clear; the invariant
+``value & ~known == 0`` holds everywhere), so one pass over the arrays
+simulates 64 input patterns.  The per-op plane formulas implement the
+same pessimistic ternary semantics as :mod:`repro.sim.logic` — a
+controlling value decides the output with X on the other pin, a MUX
+with an X select is known only when both candidates agree, and a LUT
+with X inputs is known only when every reachable table entry agrees
+(computed by Shannon reduction over the entry planes, which is
+equivalent).
+
+The compiled form is immutable and cached on the circuit behind its
+mutation counter (:func:`compile_circuit`), and it pickles cleanly so
+the campaign cache ships it to pool workers alongside the instance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .circuit import Circuit, NetlistError
+
+__all__ = [
+    "LANES",
+    "MASK",
+    "CompiledCircuit",
+    "compile_circuit",
+]
+
+#: patterns evaluated per bit-parallel pass (lane = bit position)
+LANES = 64
+#: all-lanes-set plane word
+MASK = (1 << LANES) - 1
+
+# Function opcodes, dense so the evaluator dispatches on small ints.
+(
+    OP_BUF,
+    OP_INV,
+    OP_AND2,
+    OP_NAND2,
+    OP_OR2,
+    OP_NOR2,
+    OP_XOR2,
+    OP_XNOR2,
+    OP_MUX2,
+    OP_MUX4,
+    OP_TIE0,
+    OP_TIE1,
+    OP_LUT,
+) = range(13)
+
+_OPCODES = {
+    "BUF": OP_BUF,
+    "INV": OP_INV,
+    "AND2": OP_AND2,
+    "NAND2": OP_NAND2,
+    "OR2": OP_OR2,
+    "NOR2": OP_NOR2,
+    "XOR2": OP_XOR2,
+    "XNOR2": OP_XNOR2,
+    "MUX2": OP_MUX2,
+    "MUX4": OP_MUX4,
+    "TIE0": OP_TIE0,
+    "TIE1": OP_TIE1,
+    "LUT": OP_LUT,
+}
+
+
+def _plane_bits(value) -> Tuple[int, int]:
+    """(value bit, known bit) of one ternary value; rejects non-values."""
+    if value == 0:
+        return 0, 1
+    if value == 1:
+        return 1, 1
+    if value is None:
+        return 0, 0
+    raise ValueError(f"not a logic value: {value!r}")
+
+
+def _mux_planes(va, ka, vb, kb, vs, ks):
+    """Two-plane 2:1 mux: *a* when sel=0, *b* when sel=1.
+
+    With an X select the output is known only where both candidates are
+    known and agree — the plane form of :func:`repro.sim.logic.mux3`.
+    """
+    sel0 = ks & ~vs  # select known 0 (vs ⊆ ks, so vs alone is "known 1")
+    agree = ka & kb & ~(va ^ vb)
+    k = (sel0 & ka) | (vs & kb) | (agree & ~ks)
+    v = (sel0 & va) | (vs & vb) | (agree & va & ~ks)
+    return v, k
+
+
+class CompiledCircuit:
+    """Immutable flat-array form of one circuit; see the module docs.
+
+    Build through :func:`compile_circuit` (which memoizes on the
+    circuit) rather than directly.
+    """
+
+    __slots__ = (
+        "name",
+        "net_names",
+        "net_ids",
+        "num_nets",
+        "num_sources",
+        "inputs",
+        "key_inputs",
+        "input_ids",
+        "key_ids",
+        "outputs",
+        "output_ids",
+        "clock_id",
+        "ff_names",
+        "ff_q_nets",
+        "ff_q_ids",
+        "ff_d_nets",
+        "ff_d_ids",
+        "num_gates",
+        "ops",
+        "functions",
+        "gate_names",
+        "out_ids",
+        "out_names",
+        "fanin_ptr",
+        "fanin_ids",
+        "fanin_tuples",
+        "fanin_name_tuples",
+        "delays",
+        "levels",
+        "truth_tables",
+        "lut_value_planes",
+        "_sched",
+    )
+
+    def __init__(self, circuit: Circuit) -> None:
+        order = circuit.topological_order()
+        comb_driven = {gate.output for gate in order}
+
+        net_ids: Dict[str, int] = {}
+        net_names: List[str] = []
+
+        def intern(net: str) -> int:
+            net_id = net_ids.get(net)
+            if net_id is None:
+                net_id = len(net_names)
+                net_ids[net] = net_id
+                net_names.append(net)
+            return net_id
+
+        for net in circuit.inputs:
+            intern(net)
+        for net in circuit.key_inputs:
+            intern(net)
+        self.clock_id = intern(circuit.clock) if circuit.clock else -1
+        ffs = circuit.flip_flops()
+        for ff in ffs:
+            intern(ff.output)
+        # Remaining sources: undriven-but-read nets, TIE-less claims, ...
+        for net in sorted(circuit.nets()):
+            if net not in comb_driven:
+                intern(net)
+        self.num_sources = len(net_names)
+        for gate in order:
+            intern(gate.output)
+
+        self.name = circuit.name
+        self.inputs = tuple(circuit.inputs)
+        self.key_inputs = tuple(circuit.key_inputs)
+        self.input_ids = tuple(net_ids[n] for n in circuit.inputs)
+        self.key_ids = tuple(net_ids[n] for n in circuit.key_inputs)
+        self.outputs = tuple(circuit.outputs)
+        self.output_ids = tuple(net_ids[n] for n in circuit.outputs)
+        self.ff_names = tuple(ff.name for ff in ffs)
+        self.ff_q_nets = tuple(ff.output for ff in ffs)
+        self.ff_q_ids = tuple(net_ids[ff.output] for ff in ffs)
+        self.ff_d_nets = tuple(ff.pins["D"] for ff in ffs)
+        self.ff_d_ids = tuple(net_ids[ff.pins["D"]] for ff in ffs)
+
+        ops: List[int] = []
+        functions: List[str] = []
+        gate_names: List[str] = []
+        out_ids: List[int] = []
+        fanin_ptr: List[int] = [0]
+        fanin_ids: List[int] = []
+        fanin_tuples: List[Tuple[int, ...]] = []
+        delays: List[float] = []
+        levels: List[int] = []
+        truth_tables: List[Optional[Tuple[int, ...]]] = []
+        lut_value_planes: List[Optional[Tuple[int, ...]]] = []
+        level_of: Dict[int, int] = {}
+
+        for gate in order:
+            opcode = _OPCODES.get(gate.function)
+            if opcode is None:
+                raise NetlistError(
+                    f"cannot compile function {gate.function!r} "
+                    f"(gate {gate.name})"
+                )
+            fanin = tuple(net_ids[n] for n in gate.input_nets())
+            ops.append(opcode)
+            functions.append(gate.function)
+            gate_names.append(gate.name)
+            out_ids.append(net_ids[gate.output])
+            fanin_ids.extend(fanin)
+            fanin_ptr.append(len(fanin_ids))
+            fanin_tuples.append(fanin)
+            delays.append(gate.cell.delay)
+            levels.append(
+                1 + max((level_of.get(n, 0) for n in fanin), default=0)
+            )
+            level_of[net_ids[gate.output]] = levels[-1]
+            truth_tables.append(gate.truth_table)
+            if gate.truth_table is not None:
+                lut_value_planes.append(
+                    tuple(MASK if bit else 0 for bit in gate.truth_table)
+                )
+            else:
+                lut_value_planes.append(None)
+
+        self.num_nets = len(net_names)
+        self.net_names = tuple(net_names)
+        self.net_ids = net_ids
+        self.num_gates = len(ops)
+        self.ops = tuple(ops)
+        self.functions = tuple(functions)
+        self.gate_names = tuple(gate_names)
+        self.out_ids = tuple(out_ids)
+        self.out_names = tuple(net_names[i] for i in out_ids)
+        self.fanin_ptr = tuple(fanin_ptr)
+        self.fanin_ids = tuple(fanin_ids)
+        self.fanin_tuples = tuple(fanin_tuples)
+        self.fanin_name_tuples = tuple(
+            tuple(net_names[i] for i in fanin) for fanin in fanin_tuples
+        )
+        self.delays = tuple(delays)
+        self.levels = tuple(levels)
+        self.truth_tables = tuple(truth_tables)
+        self.lut_value_planes = tuple(lut_value_planes)
+        self._sched = list(
+            zip(self.ops, self.out_ids, self.fanin_tuples,
+                self.lut_value_planes)
+        )
+
+    # ------------------------------------------------------------------
+    # Pickle support (__slots__ classes need explicit state plumbing)
+    # ------------------------------------------------------------------
+
+    def __getstate__(self):
+        return {slot: getattr(self, slot) for slot in self.__slots__
+                if slot != "_sched"}
+
+    def __setstate__(self, state):
+        for slot, value in state.items():
+            object.__setattr__(self, slot, value)
+        self._sched = list(
+            zip(self.ops, self.out_ids, self.fanin_tuples,
+                self.lut_value_planes)
+        )
+
+    # ------------------------------------------------------------------
+    # The bit-parallel core
+    # ------------------------------------------------------------------
+
+    def run_planes(
+        self,
+        value: List[int],
+        known: List[int],
+        skip_out: int = -1,
+    ) -> None:
+        """One levelized pass: fill every gate-output plane in place.
+
+        *value*/*known* are ``num_nets``-long lists of plane words with
+        the source slots (< ``num_sources``) already populated.  Pass
+        *skip_out* to leave one driven net's plane untouched (stuck-at
+        fault injection).
+        """
+        for op, out, fin, lut_planes in self._sched:
+            if out == skip_out:
+                continue
+            if op == OP_NAND2:
+                a, b = fin
+                va, ka = value[a], known[a]
+                vb, kb = value[b], known[b]
+                k = (ka & kb) | (ka & ~va) | (kb & ~vb)
+                value[out] = ~(va & vb) & k
+                known[out] = k
+            elif op == OP_INV:
+                a = fin[0]
+                ka = known[a]
+                value[out] = ~value[a] & ka
+                known[out] = ka
+            elif op == OP_NOR2:
+                a, b = fin
+                va, vb = value[a], value[b]
+                k = (known[a] & known[b]) | va | vb
+                value[out] = ~(va | vb) & k
+                known[out] = k
+            elif op == OP_AND2:
+                a, b = fin
+                va, ka = value[a], known[a]
+                vb, kb = value[b], known[b]
+                value[out] = va & vb
+                known[out] = (ka & kb) | (ka & ~va) | (kb & ~vb)
+            elif op == OP_OR2:
+                a, b = fin
+                va, vb = value[a], value[b]
+                value[out] = va | vb
+                known[out] = (known[a] & known[b]) | va | vb
+            elif op == OP_XOR2:
+                a, b = fin
+                k = known[a] & known[b]
+                value[out] = (value[a] ^ value[b]) & k
+                known[out] = k
+            elif op == OP_XNOR2:
+                a, b = fin
+                k = known[a] & known[b]
+                value[out] = ~(value[a] ^ value[b]) & k
+                known[out] = k
+            elif op == OP_BUF:
+                a = fin[0]
+                value[out] = value[a]
+                known[out] = known[a]
+            elif op == OP_MUX2:
+                a, b, s = fin
+                v, k = _mux_planes(
+                    value[a], known[a], value[b], known[b],
+                    value[s], known[s],
+                )
+                value[out] = v
+                known[out] = k
+            elif op == OP_MUX4:
+                a, b, c, d, s0, s1 = fin
+                vs0, ks0 = value[s0], known[s0]
+                lo_v, lo_k = _mux_planes(
+                    value[a], known[a], value[b], known[b], vs0, ks0
+                )
+                hi_v, hi_k = _mux_planes(
+                    value[c], known[c], value[d], known[d], vs0, ks0
+                )
+                v, k = _mux_planes(
+                    lo_v, lo_k, hi_v, hi_k, value[s1], known[s1]
+                )
+                value[out] = v
+                known[out] = k
+            elif op == OP_TIE0:
+                value[out] = 0
+                known[out] = MASK
+            elif op == OP_TIE1:
+                value[out] = MASK
+                known[out] = MASK
+            else:  # OP_LUT: Shannon reduction over the entry planes
+                vals = list(lut_planes)
+                knowns = [MASK] * len(vals)
+                for sel in fin:  # I0..Ik, low-to-high
+                    vs, ks = value[sel], known[sel]
+                    half = len(vals) // 2
+                    for j in range(half):
+                        vals[j], knowns[j] = _mux_planes(
+                            vals[2 * j], knowns[2 * j],
+                            vals[2 * j + 1], knowns[2 * j + 1],
+                            vs, ks,
+                        )
+                    del vals[half:], knowns[half:]
+                value[out] = vals[0]
+                known[out] = knowns[0]
+
+    # ------------------------------------------------------------------
+    # Assignment packing
+    # ------------------------------------------------------------------
+
+    def _check_assignment(self, assignment: Mapping) -> None:
+        """Missing inputs and unknown extras both raise NetlistError."""
+        for net in self.inputs:
+            if net not in assignment:
+                raise NetlistError(f"no value supplied for input {net!r}")
+        for net in self.key_inputs:
+            if net not in assignment:
+                raise NetlistError(f"no value supplied for input {net!r}")
+        net_ids = self.net_ids
+        for net in assignment:
+            if net not in net_ids:
+                raise NetlistError(
+                    f"assignment names unknown net {net!r} "
+                    f"in circuit {self.name!r}"
+                )
+
+    def _pack(
+        self,
+        assignments: Sequence[Mapping],
+        state: Optional[Mapping] = None,
+    ) -> Tuple[List[int], List[int]]:
+        """Source planes for up to :data:`LANES` checked assignments."""
+        value = [0] * self.num_nets
+        known = [0] * self.num_nets
+        net_ids = self.net_ids
+        num_sources = self.num_sources
+        for lane, assignment in enumerate(assignments):
+            bit = 1 << lane
+            for net, val in assignment.items():
+                net_id = net_ids[net]
+                if net_id >= num_sources:
+                    _plane_bits(val)  # validate even ignored extras
+                    continue  # driven net: the schedule overwrites it
+                # _plane_bits inlined: the planes start all-zero and each
+                # (net, lane) pair is touched once, so 0 and X need no
+                # clearing — only set bits.
+                if val == 1:
+                    value[net_id] |= bit
+                    known[net_id] |= bit
+                elif val == 0:
+                    known[net_id] |= bit
+                elif val is not None:
+                    raise ValueError(f"not a logic value: {val!r}")
+        if state is None:
+            state = {}
+        for ff_name, q_id in zip(self.ff_names, self.ff_q_ids):
+            v, k = _plane_bits(state.get(ff_name, None))
+            value[q_id] = MASK if v else 0
+            known[q_id] = MASK if k else 0
+        return value, known
+
+    @staticmethod
+    def _lane(value: List[int], known: List[int], net_id: int, lane: int):
+        if (known[net_id] >> lane) & 1:
+            return (value[net_id] >> lane) & 1
+        return None
+
+    # ------------------------------------------------------------------
+    # Public evaluation API
+    # ------------------------------------------------------------------
+
+    def evaluate(
+        self,
+        assignment: Mapping,
+        state: Optional[Mapping] = None,
+    ) -> Dict[str, object]:
+        """Drop-in for the interpreted ``evaluate_combinational``.
+
+        Same inputs, same result dict (net -> 0/1/X), same key order.
+        """
+        return self.evaluate_many([assignment], state)[0]
+
+    def evaluate_many(
+        self,
+        assignments: Sequence[Mapping],
+        state: Optional[Mapping] = None,
+    ) -> List[Dict[str, object]]:
+        """Full net-for-net evaluation of many patterns (64 per pass)."""
+        results: List[Dict[str, object]] = []
+        if state is None:
+            state = {}
+        for start in range(0, len(assignments), LANES):
+            chunk = assignments[start:start + LANES]
+            for assignment in chunk:
+                self._check_assignment(assignment)
+            value, known = self._pack(chunk, state)
+            self.run_planes(value, known)
+            out_planes = [
+                (net, value[net_id], known[net_id])
+                for net, net_id in zip(self.out_names, self.out_ids)
+            ]
+            for lane, assignment in enumerate(chunk):
+                bit = 1 << lane
+                values: Dict[str, object] = {}
+                for net in self.inputs:
+                    values[net] = assignment[net]
+                for net in self.key_inputs:
+                    values[net] = assignment[net]
+                for extra, val in assignment.items():
+                    values[extra] = val
+                for ff_name, q_net in zip(self.ff_names, self.ff_q_nets):
+                    values[q_net] = state.get(ff_name, None)
+                for net, v, k in out_planes:
+                    values[net] = (v >> lane) & 1 if k & bit else None
+                results.append(values)
+        return results
+
+    def query_outputs(
+        self,
+        assignments: Sequence[Mapping],
+        state: Optional[Mapping] = None,
+    ) -> List[Dict[str, object]]:
+        """Primary-output dicts for many patterns (the oracle's view)."""
+        results: List[Dict[str, object]] = []
+        for start in range(0, len(assignments), LANES):
+            chunk = assignments[start:start + LANES]
+            for assignment in chunk:
+                self._check_assignment(assignment)
+            value, known = self._pack(chunk, state)
+            self.run_planes(value, known)
+            # Lane extraction inlined (no per-net function call): this
+            # dictcomp is the hottest line of the batched oracle path.
+            po_planes = [
+                (net, value[net_id], known[net_id])
+                for net, net_id in zip(self.outputs, self.output_ids)
+            ]
+            for lane in range(len(chunk)):
+                bit = 1 << lane
+                results.append({
+                    net: (v >> lane) & 1 if k & bit else None
+                    for net, v, k in po_planes
+                })
+        return results
+
+    def step_state(
+        self,
+        assignment: Mapping,
+        state: Mapping,
+    ) -> Tuple[Dict[str, object], Dict[str, object]]:
+        """One clock cycle: (primary outputs, next flip-flop state)."""
+        self._check_assignment(assignment)
+        value, known = self._pack([assignment], state)
+        self.run_planes(value, known)
+        lane_of = self._lane
+        outputs = {
+            net: lane_of(value, known, net_id, 0)
+            for net, net_id in zip(self.outputs, self.output_ids)
+        }
+        next_state = {
+            ff_name: lane_of(value, known, d_id, 0)
+            for ff_name, d_id in zip(self.ff_names, self.ff_d_ids)
+        }
+        return outputs, next_state
+
+
+def compile_circuit(circuit: Circuit) -> CompiledCircuit:
+    """The compiled IR of *circuit*, memoized behind its mutation counter.
+
+    The cache lives on the circuit instance (and therefore travels with
+    pickles, which is how the campaign cache lets pool workers skip
+    recompilation); any structural edit invalidates it.
+    """
+    cached = circuit._compiled_cache
+    if cached is not None and cached[0] == circuit._mutations:
+        return cached[1]
+    compiled = CompiledCircuit(circuit)
+    circuit._compiled_cache = (circuit._mutations, compiled)
+    return compiled

@@ -15,6 +15,7 @@ matched state encodings.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Dict, Mapping, Optional
 
@@ -22,6 +23,7 @@ from ..sat.cnf import CNF
 from ..sat.solver import Solver
 from ..sat.tseitin import CircuitEncoder
 from .circuit import Circuit, NetlistError
+from .compiled import compile_circuit
 from .transform import extract_combinational
 
 __all__ = [
@@ -79,6 +81,34 @@ def check_equivalence(
             raise NetlistError(
                 f"circuit {tag} has unpinned key inputs {sorted(missing)[:4]}"
             )
+
+    # Fast path: 64 random patterns through the compiled bit-parallel
+    # evaluator first.  A Boolean disagreement is a counterexample and
+    # skips the SAT miter entirely; agreement falls through to the
+    # exhaustive proof.  (Only when the key dicts pin key inputs alone —
+    # pinning arbitrary internal nets is a SAT-level construct.)
+    if (set(key_a or {}) <= set(a.key_inputs)
+            and set(key_b or {}) <= set(b.key_inputs)):
+        rng = random.Random(0xC0FFEE)
+        patterns = [
+            {net: rng.randint(0, 1) for net in a.inputs} for _ in range(64)
+        ]
+        got_a = compile_circuit(a).query_outputs(
+            [dict(pattern, **(key_a or {})) for pattern in patterns]
+        )
+        got_b = compile_circuit(b).query_outputs(
+            [dict(pattern, **(key_b or {})) for pattern in patterns]
+        )
+        for pattern, values_a, values_b in zip(patterns, got_a, got_b):
+            differing = {
+                net_a: net_b
+                for net_a, net_b in zip(a.outputs, b.outputs)
+                if values_a[net_a] is not None
+                and values_b[net_b] is not None
+                and values_a[net_a] != values_b[net_b]
+            }
+            if differing:
+                return EquivalenceResult(False, dict(pattern), differing)
 
     cnf = CNF()
     enc_a = CircuitEncoder(cnf, a)

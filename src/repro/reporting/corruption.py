@@ -20,8 +20,8 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..locking.base import LockedCircuit
+from ..netlist.compiled import compile_circuit
 from ..netlist.transform import extract_combinational
-from ..sim.cyclesim import evaluate_combinational
 from ..sim.harness import compare_with_original, random_input_sequence
 
 __all__ = ["CorruptionReport", "combinational_corruption",
@@ -77,10 +77,15 @@ def combinational_corruption(
     observations = corrupted = 0
     for _ in range(wrong_keys):
         key = locked.random_wrong_key(rng)
-        for _ in range(patterns_per_key):
-            pattern = {net: rng.randint(0, 1) for net in comb_orig.inputs}
-            want = evaluate_combinational(comb_orig, pattern)
-            got = evaluate_combinational(comb_lock, {**pattern, **key})
+        patterns = [
+            {net: rng.randint(0, 1) for net in comb_orig.inputs}
+            for _ in range(patterns_per_key)
+        ]
+        want_all = compile_circuit(comb_orig).query_outputs(patterns)
+        got_all = compile_circuit(comb_lock).query_outputs(
+            [dict(pattern, **key) for pattern in patterns]
+        )
+        for want, got in zip(want_all, got_all):
             for net_l, net_o in output_map:
                 observations += 1
                 if got[net_l] != want[net_o]:

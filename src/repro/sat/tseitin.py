@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, Mapping, Optional
 
 from ..netlist.circuit import Circuit, Gate, NetlistError
+from ..netlist.compiled import compile_circuit
 from .cnf import CNF
 
 __all__ = ["CircuitEncoder", "encode_circuit", "encode_gate_function"]
@@ -111,19 +112,23 @@ class CircuitEncoder:
         return var
 
     def _encode(self) -> None:
+        # Walk the compiled schedule: same gate order as
+        # ``topological_order()`` and same pin order within each gate,
+        # so variable numbering is identical to the object-graph walk.
+        compiled = compile_circuit(self.circuit)
         for net in self.circuit.inputs + self.circuit.key_inputs:
             self._var(net)
-        for gate in self.circuit.topological_order():
-            self._encode_gate(gate)
+        for i in range(compiled.num_gates):
+            out = self._var(compiled.out_names[i])
+            operands = [
+                self._var(net) for net in compiled.fanin_name_tuples[i]
+            ]
+            encode_gate_function(
+                self.cnf, compiled.functions[i], out, operands,
+                compiled.truth_tables[i],
+            )
         for net in self.circuit.outputs:
             self._var(net)
-
-    def _encode_gate(self, gate: Gate) -> None:
-        out = self._var(gate.output)
-        operands = [self._var(net) for net in gate.input_nets()]
-        encode_gate_function(
-            self.cnf, gate.function, out, operands, gate.truth_table
-        )
 
     def output_vars(self) -> Dict[str, int]:
         return {net: self.var_of[net] for net in self.circuit.outputs}

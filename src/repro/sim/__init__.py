@@ -1,16 +1,22 @@
 """Simulation: three-valued logic, cycle-accurate, and event-driven timing."""
 
-from .logic import X, LogicValue, eval_function
-from .cyclesim import CycleSimulator, evaluate_combinational
+from .logic import X, LogicValue, check_logic_value, eval_function
+from .cyclesim import (
+    CycleSimulator,
+    evaluate_combinational,
+    evaluate_combinational_interpreted,
+)
 from .eventsim import EventSimulator, FFSample, SimulationResult, TimingViolation
 from .waveform import Pulse, Waveform, render_waveforms
 
 __all__ = [
     "X",
     "LogicValue",
+    "check_logic_value",
     "eval_function",
     "CycleSimulator",
     "evaluate_combinational",
+    "evaluate_combinational_interpreted",
     "EventSimulator",
     "FFSample",
     "SimulationResult",

@@ -7,18 +7,30 @@ glitches; the contrast between this view and the event-driven timing
 view (:mod:`repro.sim.eventsim`) is exactly the gap the paper's Glitch
 Key-gate hides in.
 
+Evaluation runs on the compiled IR
+(:mod:`repro.netlist.compiled`): the circuit is compiled once — flat
+arrays, integer net IDs — and each call is a bit-parallel pass over
+those arrays.  :func:`evaluate_combinational_interpreted` keeps the
+original object-graph walk as the executable reference the differential
+tests compare against.
+
 Used by: functional equivalence checks, the attack oracles, and the
 locking schemes' sanity tests.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 from ..netlist.circuit import Circuit, NetlistError
-from .logic import LogicValue, eval_function
+from ..netlist.compiled import compile_circuit
+from .logic import LogicValue, check_logic_value, eval_function
 
-__all__ = ["evaluate_combinational", "CycleSimulator"]
+__all__ = [
+    "evaluate_combinational",
+    "evaluate_combinational_interpreted",
+    "CycleSimulator",
+]
 
 
 def evaluate_combinational(
@@ -28,22 +40,50 @@ def evaluate_combinational(
 ) -> Dict[str, LogicValue]:
     """Evaluate every net of the combinational network.
 
-    *assignment* maps every PI and key input to a value; *state* maps
-    flip-flop gate names to their current Q values (defaults to X).
-    Returns a dict of net -> value covering all evaluated nets.
+    *assignment* maps every PI and key input to a value (extra entries
+    may pre-set other existing nets; a name that is no net raises
+    :class:`NetlistError`); *state* maps flip-flop gate names to their
+    current Q values (defaults to X).  Returns a dict of net -> value
+    covering all evaluated nets.
+    """
+    return compile_circuit(circuit).evaluate(assignment, state)
+
+
+def evaluate_combinational_interpreted(
+    circuit: Circuit,
+    assignment: Mapping[str, LogicValue],
+    state: Optional[Mapping[str, LogicValue]] = None,
+) -> Dict[str, LogicValue]:
+    """Reference implementation: the per-gate object-graph walk.
+
+    Semantically identical to :func:`evaluate_combinational`; kept (and
+    differentially tested) as the executable specification of the
+    compiled evaluator.
     """
     values: Dict[str, LogicValue] = {}
     for net in circuit.inputs + circuit.key_inputs:
         if net not in assignment:
             raise NetlistError(f"no value supplied for input {net!r}")
         values[net] = assignment[net]
+    known_nets = None
     for extra, value in assignment.items():
+        check_logic_value(value)
+        if extra not in values:
+            if known_nets is None:
+                known_nets = circuit.nets()
+            if extra not in known_nets:
+                raise NetlistError(
+                    f"assignment names unknown net {extra!r} "
+                    f"in circuit {circuit.name!r}"
+                )
         values[extra] = value
     state = state or {}
     for ff in circuit.flip_flops():
-        values[ff.output] = state.get(ff.name, None)
+        values[ff.output] = check_logic_value(state.get(ff.name, None))
     for gate in circuit.topological_order():
-        operands = [values[net] for net in gate.input_nets()]
+        # .get(): an undriven, unassigned net reads as X (the compiled
+        # evaluator's plane form gives the same).
+        operands = [values.get(net) for net in gate.input_nets()]
         values[gate.output] = eval_function(
             gate.function, operands, gate.truth_table
         )
@@ -72,13 +112,31 @@ class CycleSimulator:
 
     def step(self, inputs: Mapping[str, LogicValue]) -> Dict[str, LogicValue]:
         """Apply *inputs*, return PO values, then clock all flip-flops."""
-        values = evaluate_combinational(self.circuit, inputs, self.state)
-        outputs = {net: values[net] for net in self.circuit.outputs}
-        self.state = {ff.name: values[ff.pins["D"]] for ff in self._ffs}
+        outputs, self.state = compile_circuit(self.circuit).step_state(
+            inputs, self.state
+        )
+        return outputs
+
+    def step_many(
+        self, input_sequence: Sequence[Mapping[str, LogicValue]]
+    ) -> List[Dict[str, LogicValue]]:
+        """Batched :meth:`step`: one output dict per cycle.
+
+        Cycles are inherently serial (each feeds the next state), but
+        the batched entry point amortizes lookups over the compiled
+        arrays and skips per-cycle wrapper overhead.
+        """
+        compiled = compile_circuit(self.circuit)
+        state = self.state
+        outputs: List[Dict[str, LogicValue]] = []
+        for inputs in input_sequence:
+            po, state = compiled.step_state(inputs, state)
+            outputs.append(po)
+        self.state = state
         return outputs
 
     def run(
         self, input_sequence: Iterable[Mapping[str, LogicValue]]
     ) -> List[Dict[str, LogicValue]]:
         """Run one :meth:`step` per element of *input_sequence*."""
-        return [self.step(inputs) for inputs in input_sequence]
+        return self.step_many(list(input_sequence))

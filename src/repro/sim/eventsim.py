@@ -28,9 +28,10 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..netlist.circuit import Circuit, Gate, NetlistError
+from ..netlist.compiled import compile_circuit
 from ..obs import context as _obs
 from ..obs.spans import trace_span
-from .logic import LogicValue, eval_function
+from .logic import LogicValue, check_logic_value, eval_function
 from .waveform import Waveform
 
 __all__ = ["TimingViolation", "FFSample", "EventSimulator", "SimulationResult"]
@@ -130,12 +131,13 @@ class EventSimulator:
         """Set *net*'s value at t = -inf (no transition is produced)."""
         if net not in self._values:
             raise NetlistError(f"unknown net {net!r}")
-        self._values[net] = value
+        self._values[net] = check_logic_value(value)
         if net in self._waveforms:
             raise NetlistError("set_initial must precede run()")
 
     def initialize_ffs(self, value: LogicValue = 0) -> None:
         """Pretend every FF powered up holding *value* (Q nets included)."""
+        check_logic_value(value)
         for ff in self._ffs.values():
             self._sample_value[ff.name] = value
             self._values[ff.output] = value
@@ -150,7 +152,7 @@ class EventSimulator:
         if initial is not None:
             self.set_initial(net, initial)
         for time, value in changes:
-            self._schedule(time, _EV_NET, (net, value))
+            self._schedule(time, _EV_NET, (net, check_logic_value(value)))
 
     def drive_sequence(
         self,
@@ -235,11 +237,21 @@ class EventSimulator:
         return result
 
     def _run(self, until: float) -> SimulationResult:
-        # Settle initial combinational values from the initial net values.
-        for gate in self.circuit.topological_order():
-            operands = [self._values[n] for n in gate.input_nets()]
-            value = eval_function(gate.function, operands, gate.truth_table)
-            self._values[gate.output] = value
+        # Settle initial combinational values with one single-lane pass
+        # over the compiled schedule (same levelized order the event
+        # loop's per-gate evaluations then perturb).
+        compiled = compile_circuit(self.circuit)
+        plane_v = [0] * compiled.num_nets
+        plane_k = [0] * compiled.num_nets
+        values = self._values
+        for net_id in range(compiled.num_sources):
+            v = values.get(compiled.net_names[net_id])
+            if v is not None:
+                plane_v[net_id] = v
+                plane_k[net_id] = 1
+        compiled.run_planes(plane_v, plane_k)
+        for net, net_id in zip(compiled.out_names, compiled.out_ids):
+            values[net] = (plane_v[net_id] & 1) if plane_k[net_id] & 1 else None
         for net in self._values:
             self._waveform_for(net)
 

@@ -9,13 +9,30 @@ The semantics are the usual pessimistic ternary extension: a controlling
 value decides the output even with X on the other pin (``AND(0, X) = 0``,
 ``OR(1, X) = 1``), XOR of anything with X is X, and a MUX with an X
 select is X unless both selected candidates agree on a known value.
+
+Validation happens at *assignment boundaries* — the points where values
+enter a simulator (:func:`check_logic_value`), not inside every
+primitive: the per-gate hot path trusts its operands, which the
+boundary checks guarantee.  Feed :func:`eval_function` hand-rolled
+garbage and you get garbage out; feed it to a simulator and you get
+``ValueError`` at the door.
 """
 
 from __future__ import annotations
 
 from typing import Optional, Sequence, Tuple
 
-__all__ = ["X", "LogicValue", "and3", "or3", "not3", "xor3", "mux3", "eval_function"]
+__all__ = [
+    "X",
+    "LogicValue",
+    "check_logic_value",
+    "and3",
+    "or3",
+    "not3",
+    "xor3",
+    "mux3",
+    "eval_function",
+]
 
 #: The unknown logic value.
 X = None
@@ -23,20 +40,18 @@ X = None
 LogicValue = Optional[int]  # 0, 1, or None (X)
 
 
-def _check(value: LogicValue) -> LogicValue:
+def check_logic_value(value: LogicValue) -> LogicValue:
+    """Boundary validator: returns *value* or raises ``ValueError``."""
     if value not in (0, 1, None):
         raise ValueError(f"not a logic value: {value!r}")
     return value
 
 
 def not3(a: LogicValue) -> LogicValue:
-    _check(a)
     return None if a is None else 1 - a
 
 
 def and3(a: LogicValue, b: LogicValue) -> LogicValue:
-    _check(a)
-    _check(b)
     if a == 0 or b == 0:
         return 0
     if a is None or b is None:
@@ -45,8 +60,6 @@ def and3(a: LogicValue, b: LogicValue) -> LogicValue:
 
 
 def or3(a: LogicValue, b: LogicValue) -> LogicValue:
-    _check(a)
-    _check(b)
     if a == 1 or b == 1:
         return 1
     if a is None or b is None:
@@ -55,8 +68,6 @@ def or3(a: LogicValue, b: LogicValue) -> LogicValue:
 
 
 def xor3(a: LogicValue, b: LogicValue) -> LogicValue:
-    _check(a)
-    _check(b)
     if a is None or b is None:
         return None
     return a ^ b
@@ -64,9 +75,6 @@ def xor3(a: LogicValue, b: LogicValue) -> LogicValue:
 
 def mux3(a: LogicValue, b: LogicValue, sel: LogicValue) -> LogicValue:
     """2:1 mux: *a* when sel == 0, *b* when sel == 1."""
-    _check(a)
-    _check(b)
-    _check(sel)
     if sel == 0:
         return a
     if sel == 1:
@@ -89,7 +97,7 @@ def eval_function(
     """
     if function == "BUF":
         (a,) = inputs
-        return _check(a)
+        return a
     if function == "INV":
         (a,) = inputs
         return not3(a)
@@ -144,6 +152,6 @@ def eval_function(
             return candidates.pop()
         index = 0
         for i, v in enumerate(inputs):
-            index |= _check(v) << i  # type: ignore[operator]
+            index |= v << i  # type: ignore[operator]
         return truth_table[index]
     raise ValueError(f"unknown combinational function {function!r}")

@@ -53,5 +53,5 @@ def apply_delay_variation(
                 gate.cell, name=name, delay=gate.cell.delay * factor
             )
             cache[name] = cell
-        gate.cell = cell
+        varied.replace_cell(gate.name, cell)
     return varied

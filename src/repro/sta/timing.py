@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..netlist.circuit import Circuit, Gate, NetlistError
+from ..netlist.compiled import compile_circuit
 from ..obs.spans import trace_span
 from .clock import ClockSpec
 
@@ -149,18 +150,24 @@ def _analyze(
         arrival_max[ff.output] = arrival_min[ff.output] = launch
         critical_pred[ff.output] = None
 
-    for gate in circuit.topological_order():
-        stage = gate.cell.delay + wires.get(gate.output, 0.0)
-        operands = gate.input_nets()
+    # The compiled schedule is exactly topological_order(), with pin
+    # order preserved per gate, so the first-max tie-break (and thus
+    # critical_pred) is unchanged.
+    compiled = compile_circuit(circuit)
+    clock_net = circuit.clock
+    for i in range(compiled.num_gates):
+        out = compiled.out_names[i]
+        stage = compiled.delays[i] + wires.get(out, 0.0)
+        operands = compiled.fanin_name_tuples[i]
         if operands:
-            data = [n for n in operands if n != circuit.clock]
+            data = [n for n in operands if n != clock_net]
             worst = max(data, key=lambda n: arrival_max[n])
-            arrival_max[gate.output] = arrival_max[worst] + stage
-            arrival_min[gate.output] = min(arrival_min[n] for n in data) + stage
-            critical_pred[gate.output] = worst
+            arrival_max[out] = arrival_max[worst] + stage
+            arrival_min[out] = min(arrival_min[n] for n in data) + stage
+            critical_pred[out] = worst
         else:  # tie cells
-            arrival_max[gate.output] = arrival_min[gate.output] = stage
-            critical_pred[gate.output] = None
+            arrival_max[out] = arrival_min[out] = stage
+            critical_pred[out] = None
 
     endpoints: Dict[str, EndpointTiming] = {}
     for ff in circuit.flip_flops():

@@ -37,7 +37,7 @@ def map_to_library(
             continue
         best = library.cheapest(gate.function)
         if best.name != gate.cell.name and best.inputs == gate.cell.inputs:
-            gate.cell = best
+            circuit.replace_cell(gate.name, best)
             changed += 1
     circuit.library = library
     return changed
@@ -75,7 +75,9 @@ def upsize_critical_cells(
                 ]
                 if not candidates:
                     continue
-                driver.cell = min(candidates, key=lambda c: c.delay)
+                circuit.replace_cell(
+                    driver.name, min(candidates, key=lambda c: c.delay)
+                )
                 total += 1
                 improved = True
         if not improved:

@@ -1,0 +1,200 @@
+"""Tests for the compiled circuit IR and its memoization contract."""
+
+import pickle
+
+import pytest
+
+from repro.netlist import Builder, NetlistError, compile_circuit
+from repro.netlist.compiled import CompiledCircuit
+from repro.sim import (
+    evaluate_combinational,
+    evaluate_combinational_interpreted,
+)
+from tests.conftest import build_toy_combinational, build_toy_sequential
+
+
+class TestTopoMemoization:
+    def test_repeated_calls_hit_the_cache(self, toy_combinational):
+        first = toy_combinational.topological_order()
+        second = toy_combinational.topological_order()
+        assert [g.name for g in first] == [g.name for g in second]
+        assert first is not second  # callers get fresh lists, not aliases
+
+    def test_structural_edit_invalidates(self, toy_combinational):
+        c = toy_combinational
+        before = [g.name for g in c.topological_order()]
+        n = c.new_net("extra")
+        c.add_gate(c.new_gate_name("inv"), "INV_X1", {"A": c.inputs[0]}, n)
+        after = [g.name for g in c.topological_order()]
+        assert len(after) == len(before) + 1
+
+    def test_remove_gate_invalidates(self, toy_combinational):
+        c = toy_combinational
+        c.topological_order()
+        victim = next(g.name for g in c.gates.values()
+                      if g.function == "INV")
+        mutations = c._mutations
+        c.remove_gate(victim)
+        assert c._mutations > mutations
+        assert victim not in {g.name for g in c.topological_order()}
+
+    def test_replace_cell_invalidates(self, toy_combinational):
+        c = toy_combinational
+        compiled = compile_circuit(c)
+        gate = next(g for g in c.gates.values() if g.function == "AND2")
+        faster = min(
+            (cell for cell in c.library.cells_for("AND2")
+             if cell.inputs == gate.cell.inputs),
+            key=lambda cell: cell.delay,
+        )
+        c.replace_cell(gate.name, faster)
+        recompiled = compile_circuit(c)
+        assert recompiled is not compiled
+
+    def test_release_driver_invalidates(self, toy_combinational):
+        c = toy_combinational
+        c.topological_order()
+        mutations = c._mutations
+        gate = next(iter(c.gates.values()))
+        c.release_driver(gate.output)
+        assert c._mutations > mutations
+        c._claim_driver(gate.output, gate.name)  # restore for validate()
+
+
+class TestCompiledCache:
+    def test_compile_is_memoized(self, toy_sequential):
+        assert compile_circuit(toy_sequential) is compile_circuit(
+            toy_sequential
+        )
+
+    def test_edit_invalidates_compiled(self, toy_combinational):
+        c = toy_combinational
+        compiled = compile_circuit(c)
+        n = c.new_net("extra")
+        c.add_gate(c.new_gate_name("buf"), "BUF_X1", {"A": c.inputs[0]}, n)
+        assert compile_circuit(c) is not compiled
+
+    def test_circuit_compiled_accessor(self, toy_combinational):
+        assert toy_combinational.compiled() is compile_circuit(
+            toy_combinational
+        )
+
+    def test_clone_does_not_share_cache(self, toy_combinational):
+        compiled = compile_circuit(toy_combinational)
+        clone = toy_combinational.clone()
+        assert compile_circuit(clone) is not compiled
+
+    def test_stale_compiled_never_served(self):
+        b = Builder("stale")
+        a, bb = b.inputs("a", "b")
+        b.po(b.and2(a, bb), "y")
+        c = b.circuit
+        assert evaluate_combinational(c, {"a": 1, "b": 1})["y"] == 1
+        # Invert 'a' on the AND's pin through public mutators only: the
+        # cached compiled form must not survive the edit.
+        inverted = c.new_net("na")
+        c.add_gate(c.new_gate_name("inv"), "INV_X1", {"A": a}, inverted)
+        gate = next(g for g in c.gates.values() if g.function == "AND2")
+        c.reconnect_pin(gate.name, "A", inverted)
+        assert evaluate_combinational(c, {"a": 1, "b": 1})["y"] == 0
+
+
+class TestPickle:
+    def test_compiled_roundtrip(self, toy_sequential):
+        compiled = compile_circuit(toy_sequential)
+        clone = pickle.loads(pickle.dumps(compiled))
+        assert isinstance(clone, CompiledCircuit)
+        assert clone.net_names == compiled.net_names
+        assert clone.evaluate({"a": 1, "b": 0}) == compiled.evaluate(
+            {"a": 1, "b": 0}
+        )
+
+    def test_circuit_pickle_carries_compiled_cache(self, toy_sequential):
+        compile_circuit(toy_sequential)
+        clone = pickle.loads(pickle.dumps(toy_sequential))
+        cached = clone._compiled_cache
+        assert cached is not None and cached[0] == clone._mutations
+        # The carried cache is served, not recompiled.
+        assert compile_circuit(clone) is cached[1]
+
+    def test_unpickled_circuit_still_evaluates(self, toy_combinational):
+        compile_circuit(toy_combinational)
+        clone = pickle.loads(pickle.dumps(toy_combinational))
+        assert evaluate_combinational(
+            clone, {"a": 1, "b": 1, "c": 1}
+        )["y"] == 0
+
+
+class TestStrictAssignments:
+    CASES = [evaluate_combinational, evaluate_combinational_interpreted]
+
+    @pytest.mark.parametrize("evaluate", CASES,
+                             ids=["compiled", "interpreted"])
+    def test_unknown_extra_rejected(self, evaluate):
+        circuit = build_toy_combinational()
+        with pytest.raises(NetlistError, match="unknown net 'nope'"):
+            evaluate(circuit, {"a": 0, "b": 1, "c": 0, "nope": 1})
+
+    @pytest.mark.parametrize("evaluate", CASES,
+                             ids=["compiled", "interpreted"])
+    def test_missing_input_rejected(self, evaluate):
+        circuit = build_toy_combinational()
+        with pytest.raises(NetlistError, match="no value supplied"):
+            evaluate(circuit, {"a": 0, "b": 1})
+
+    @pytest.mark.parametrize("evaluate", CASES,
+                             ids=["compiled", "interpreted"])
+    def test_known_extra_net_accepted(self, evaluate):
+        # A floating (undriven but read) net is a real net: an extra
+        # assignment supplies its value; omitting it means X.
+        from repro.netlist import Circuit
+
+        circuit = Circuit("floaty")
+        circuit.add_input("a")
+        circuit.add_gate("g", "AND2_X1", {"A": "a", "B": "hang"}, "y")
+        circuit.add_output("y")
+        values = evaluate(circuit, {"a": 1, "hang": 1})
+        assert values["hang"] == 1 and values["y"] == 1
+        assert evaluate(circuit, {"a": 1})["y"] is None
+
+    @pytest.mark.parametrize("evaluate", CASES,
+                             ids=["compiled", "interpreted"])
+    def test_garbage_value_rejected(self, evaluate):
+        circuit = build_toy_combinational()
+        with pytest.raises(ValueError, match="not a logic value"):
+            evaluate(circuit, {"a": 0, "b": 2, "c": 0})
+
+    @pytest.mark.parametrize("evaluate", CASES,
+                             ids=["compiled", "interpreted"])
+    def test_garbage_extra_value_rejected(self, evaluate):
+        circuit = build_toy_combinational()
+        # 'y' is driven (its value gets overwritten) but garbage is
+        # still rejected at the boundary.
+        with pytest.raises(ValueError, match="not a logic value"):
+            evaluate(circuit, {"a": 0, "b": 1, "c": 0, "y": "zero"})
+
+
+class TestCompiledStructure:
+    def test_schedule_matches_topological_order(self, toy_sequential):
+        compiled = compile_circuit(toy_sequential)
+        order = toy_sequential.topological_order()
+        assert compiled.gate_names == tuple(g.name for g in order)
+        assert compiled.out_names == tuple(g.output for g in order)
+        assert compiled.fanin_name_tuples == tuple(
+            g.input_nets() for g in order
+        )
+
+    def test_levels_monotone_along_fanin(self, s1238):
+        compiled = compile_circuit(s1238.circuit)
+        level_of = dict(zip(compiled.out_ids, compiled.levels))
+        for out_id, fanin in zip(compiled.out_ids, compiled.fanin_tuples):
+            for net_id in fanin:
+                assert level_of.get(net_id, 0) < level_of[out_id]
+
+    def test_sources_precede_gate_outputs(self, toy_sequential):
+        compiled = compile_circuit(toy_sequential)
+        assert all(i >= compiled.num_sources for i in compiled.out_ids)
+        for net in list(toy_sequential.inputs) + [
+            ff.output for ff in toy_sequential.flip_flops()
+        ]:
+            assert compiled.net_ids[net] < compiled.num_sources

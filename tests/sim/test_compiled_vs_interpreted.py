@@ -1,0 +1,171 @@
+"""Differential suite: compiled bit-parallel vs interpreted evaluation.
+
+The interpreted object-graph walk (`evaluate_combinational_interpreted`)
+is the executable specification; the compiled two-plane evaluator must
+agree with it net for net — values *and* result-dict ordering — on
+random circuits under random ternary (0/1/X) stimulus, and on the
+corner cases where ternary semantics are subtle (MUX with an X select,
+LUTs with X inputs).
+"""
+
+import random
+
+import pytest
+
+from repro.bench.generator import GeneratorSpec, random_sequential_circuit
+from repro.netlist import Builder, compile_circuit
+from repro.netlist.transform import extract_combinational
+from repro.sim import (
+    evaluate_combinational,
+    evaluate_combinational_interpreted,
+)
+
+TERNARY = (0, 1, None)
+
+
+def ternary_pattern(nets, rng):
+    return {net: rng.choice(TERNARY) for net in nets}
+
+
+def assert_same_evaluation(circuit, assignment, state=None):
+    got = evaluate_combinational(circuit, assignment, state=state)
+    want = evaluate_combinational_interpreted(circuit, assignment, state=state)
+    assert list(got) == list(want), "result-dict net ordering diverged"
+    for net in want:
+        assert got[net] == want[net], (
+            f"net {net!r}: compiled={got[net]!r} interpreted={want[net]!r} "
+            f"under {assignment!r} state={state!r}"
+        )
+
+
+SPECS = [
+    GeneratorSpec("diff_c1", num_inputs=5, num_outputs=3,
+                  num_flip_flops=0, num_combinational=24, seed=11),
+    GeneratorSpec("diff_c2", num_inputs=8, num_outputs=4,
+                  num_flip_flops=0, num_combinational=60, seed=12),
+    GeneratorSpec("diff_s1", num_inputs=6, num_outputs=3,
+                  num_flip_flops=4, num_combinational=40, seed=13),
+    GeneratorSpec("diff_s2", num_inputs=4, num_outputs=2,
+                  num_flip_flops=6, num_combinational=80, seed=14),
+]
+
+
+class TestRandomCircuits:
+    @pytest.mark.parametrize("spec", SPECS, ids=lambda s: s.name)
+    def test_net_for_net_under_ternary_stimulus(self, spec):
+        circuit = random_sequential_circuit(spec)
+        rng = random.Random(spec.seed * 7919)
+        ffs = [g.name for g in circuit.flip_flops()]
+        for _ in range(25):
+            assignment = ternary_pattern(circuit.inputs, rng)
+            state = ternary_pattern(ffs, rng) if ffs else None
+            assert_same_evaluation(circuit, assignment, state=state)
+
+    @pytest.mark.parametrize("spec", SPECS[2:], ids=lambda s: s.name)
+    def test_extracted_combinational_core(self, spec):
+        comb = extract_combinational(random_sequential_circuit(spec)).circuit
+        rng = random.Random(spec.seed * 104729)
+        for _ in range(25):
+            assert_same_evaluation(comb, ternary_pattern(comb.inputs, rng))
+
+    def test_all_x_inputs_propagate_identically(self):
+        circuit = random_sequential_circuit(SPECS[1])
+        assignment = {net: None for net in circuit.inputs}
+        assert_same_evaluation(circuit, assignment)
+
+    def test_key_inputs_participate(self):
+        b = Builder("keyed")
+        a, c = b.inputs("a", "c")
+        k = b.key_input("k")
+        b.po(b.xor(b.and2(a, k), c), "y")
+        rng = random.Random(5)
+        for _ in range(27):  # all 27 ternary combos worth of sampling
+            assert_same_evaluation(
+                b.circuit, {"a": rng.choice(TERNARY),
+                            "c": rng.choice(TERNARY),
+                            "k": rng.choice(TERNARY)})
+
+
+class TestTernaryCorners:
+    def build_mux(self):
+        b = Builder("muxcase")
+        a, c, s = b.inputs("a", "c", "s")
+        b.po(b.mux2(a, c, s), "y")
+        return b.circuit
+
+    def test_mux_x_select_agreeing_candidates(self):
+        circuit = self.build_mux()
+        values = evaluate_combinational(circuit, {"a": 1, "c": 1, "s": None})
+        assert values["y"] == 1
+        assert_same_evaluation(circuit, {"a": 1, "c": 1, "s": None})
+        assert_same_evaluation(circuit, {"a": 0, "c": 0, "s": None})
+
+    def test_mux_x_select_disagreeing_candidates(self):
+        circuit = self.build_mux()
+        values = evaluate_combinational(circuit, {"a": 0, "c": 1, "s": None})
+        assert values["y"] is None
+        assert_same_evaluation(circuit, {"a": 0, "c": 1, "s": None})
+        assert_same_evaluation(circuit, {"a": None, "c": None, "s": None})
+
+    def test_mux_known_select_passes_x_through(self):
+        circuit = self.build_mux()
+        values = evaluate_combinational(circuit, {"a": None, "c": 1, "s": 0})
+        assert values["y"] is None
+        values = evaluate_combinational(circuit, {"a": None, "c": 1, "s": 1})
+        assert values["y"] == 1
+        assert_same_evaluation(circuit, {"a": None, "c": 1, "s": 0})
+        assert_same_evaluation(circuit, {"a": None, "c": 1, "s": 1})
+
+    def test_mux4_exhaustive_ternary(self):
+        b = Builder("mux4case")
+        nets = b.inputs("a", "b", "c", "d", "s0", "s1")
+        b.po(b.mux4(*nets), "y")
+        rng = random.Random(17)
+        for _ in range(200):
+            assert_same_evaluation(
+                b.circuit, {net: rng.choice(TERNARY) for net in nets})
+
+    @pytest.mark.parametrize("table", [
+        (0, 1, 1, 0),  # XOR
+        (1, 1, 1, 1),  # constant: known even under all-X inputs
+        (0, 0, 1, 1),  # depends on I1 only: X on I0 must not poison it
+    ])
+    def test_lut_exhaustive_ternary(self, table):
+        b = Builder("lutcase")
+        x, y = b.inputs("x", "y")
+        b.po(b.lut([x, y], table), "z")
+        for vx in TERNARY:
+            for vy in TERNARY:
+                assert_same_evaluation(b.circuit, {"x": vx, "y": vy})
+
+    def test_lut3_sampled_ternary(self):
+        rng = random.Random(23)
+        b = Builder("lut3case")
+        nets = b.inputs("x", "y", "w")
+        b.po(b.lut(list(nets), tuple(rng.randint(0, 1) for _ in range(8))),
+             "z")
+        for _ in range(27):
+            assert_same_evaluation(
+                b.circuit, {net: rng.choice(TERNARY) for net in nets})
+
+
+class TestBatchedEvaluation:
+    def test_evaluate_many_matches_per_pattern(self):
+        """>64 patterns forces multiple bit-parallel chunks."""
+        circuit = random_sequential_circuit(SPECS[0])
+        compiled = compile_circuit(circuit)
+        rng = random.Random(99)
+        patterns = [ternary_pattern(circuit.inputs, rng) for _ in range(130)]
+        batched = compiled.evaluate_many(patterns)
+        singles = [compiled.evaluate(p) for p in patterns]
+        assert batched == singles
+
+    def test_query_outputs_matches_full_evaluation(self):
+        circuit = random_sequential_circuit(SPECS[1])
+        compiled = compile_circuit(circuit)
+        rng = random.Random(7)
+        patterns = [ternary_pattern(circuit.inputs, rng) for _ in range(70)]
+        outputs = compiled.query_outputs(patterns)
+        full = compiled.evaluate_many(patterns)
+        for out, values in zip(outputs, full):
+            assert out == {net: values[net] for net in circuit.outputs}

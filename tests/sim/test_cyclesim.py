@@ -39,6 +39,19 @@ class TestEvaluateCombinational:
         )
         assert values["y"] == 1
 
+    def test_unknown_extra_rejected(self, toy_combinational):
+        with pytest.raises(NetlistError, match="unknown net"):
+            evaluate_combinational(
+                toy_combinational, {"a": 1, "b": 1, "c": 0, "ghost": 1}
+            )
+
+    def test_driven_extra_is_overwritten(self, toy_combinational):
+        # Pre-setting a gate output is legal but the schedule wins.
+        values = evaluate_combinational(
+            toy_combinational, {"a": 1, "b": 1, "c": 0, "y": 0}
+        )
+        assert values["y"] == 1
+
 
 class TestCycleSimulator:
     def test_counter_counts(self):

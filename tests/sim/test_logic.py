@@ -5,7 +5,16 @@ import itertools
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.sim.logic import X, and3, eval_function, mux3, not3, or3, xor3
+from repro.sim.logic import (
+    X,
+    and3,
+    check_logic_value,
+    eval_function,
+    mux3,
+    not3,
+    or3,
+    xor3,
+)
 
 TERNARY = st.sampled_from([0, 1, None])
 
@@ -33,9 +42,14 @@ class TestPrimitives:
         assert mux3(0, 1, X) is X
         assert mux3(X, X, X) is X
 
-    def test_invalid_value_rejected(self):
-        with pytest.raises(ValueError, match="not a logic value"):
-            not3(2)
+    def test_invalid_value_rejected_at_boundary(self):
+        """Validation lives at assignment boundaries, not per primitive:
+        check_logic_value rejects garbage and passes real values through."""
+        for bad in (2, -1, "1", 0.5):
+            with pytest.raises(ValueError, match="not a logic value"):
+                check_logic_value(bad)
+        for good in (0, 1, None):
+            assert check_logic_value(good) is good
 
 
 class TestEvalFunction:
