@@ -1,0 +1,131 @@
+"""Throughput of the oracle-serving stack: dynamic batching on vs off.
+
+The scenario the batcher exists for: 64 concurrent clients, each
+looping single-pattern queries against the same served circuit — the
+shape of a distributed SAT attack's DIP loop.  Both regimes run the
+*full* dispatch path (``OracleServer.handle``: decode, validate,
+admission, budget charge, batcher, compiled evaluation):
+
+* ``batching_on`` — ``max_batch=64``: concurrent queries coalesce into
+  64-lane :meth:`CompiledCircuit.query_outputs` passes,
+* ``batching_off`` — ``max_batch=1``: every query flushes alone, the
+  pre-batcher behaviour.
+
+The circuit is a deep generated oracle (``reduce_dangling`` keeps the
+interface at 48 in / 33 out over ~4.6k gates), the regime batching is
+built for: per-pattern cost dominated by logic evaluation rather than
+by interface marshalling.  A paper benchmark (s1238's combinational
+core) rides along as an uasserted secondary datapoint — its shallow,
+interface-heavy shape bounds the gain lower.
+
+Results land in ``benchmarks/BENCH_serve.json``.  Guard: on the deep
+oracle, batching must deliver at least 8x the unbatched throughput.
+Both regimes run on one machine back to back, so the guard is a ratio
+and machine-independent.
+"""
+
+import asyncio
+import json
+import os
+import random
+import time
+
+import pytest
+
+from repro.bench.generator import GeneratorSpec, random_sequential_circuit
+from repro.netlist.transform import extract_combinational
+from repro.serve.admission import AdmissionConfig
+from repro.serve.batcher import BatchConfig
+from repro.serve.server import OracleServer, ServerConfig
+
+_DUMP = os.path.join(os.path.dirname(__file__), "BENCH_serve.json")
+
+MIN_BATCHING_SPEEDUP = 8.0
+CLIENTS = 64
+ROUNDS = 8
+
+#: The serving benchmark's oracle: deep and interface-light, so a lane
+#: carries ~100 gate evaluations per interface net (the generated IWLS
+#: stand-ins sit near 3, which caps what *any* batching can recover).
+DEEP_SPEC = GeneratorSpec(
+    name="deep4k",
+    num_inputs=48,
+    num_outputs=32,
+    num_flip_flops=0,
+    num_combinational=4000,
+    seed=11,
+    reduce_dangling=True,
+)
+
+
+def _throughput(circuit, max_batch):
+    """Patterns/second for 64 concurrent single-pattern clients."""
+
+    async def scenario():
+        server = OracleServer(config=ServerConfig(
+            batch=BatchConfig(max_batch=max_batch, window_s=0.05),
+            admission=AdmissionConfig(max_pending=8192),
+        ))
+        entry = server.registry.register(circuit)
+        rng = random.Random(0x5E4E)
+        requests = [
+            {
+                "op": "query",
+                "circuit": entry.circuit_id,
+                "patterns": [
+                    {net: rng.randint(0, 1) for net in entry.compiled.inputs}
+                ],
+            }
+            for _ in range(CLIENTS)
+        ]
+        conn = server.connect_local()
+
+        async def client(index, rounds):
+            for _ in range(rounds):
+                response = await conn.request(requests[index])
+                assert response["ok"], response
+
+        # Warm pass off the clock: compiled-IR caches, dict shapes.
+        await asyncio.gather(*(client(i, 1) for i in range(CLIENTS)))
+        start = time.perf_counter()
+        await asyncio.gather(*(client(i, ROUNDS) for i in range(CLIENTS)))
+        elapsed = time.perf_counter() - start
+        return CLIENTS * ROUNDS / elapsed, server.batcher.stats()
+
+    return asyncio.run(scenario())
+
+
+@pytest.mark.no_obs
+def test_serve_batching_throughput(s1238):
+    deep = random_sequential_circuit(DEEP_SPEC)
+    shallow = extract_combinational(s1238.circuit).circuit
+
+    results = {"clients": CLIENTS, "rounds": ROUNDS, "circuits": {}}
+    ratios = {}
+    for label, circuit in (("deep4k", deep), ("s1238_comb", shallow)):
+        on_pps, on_stats = _throughput(circuit, max_batch=64)
+        off_pps, off_stats = _throughput(circuit, max_batch=1)
+        ratios[label] = on_pps / off_pps
+        results["circuits"][label] = {
+            "gates": len(circuit.gates),
+            "inputs": len(circuit.inputs),
+            "outputs": len(circuit.outputs),
+            "patterns_per_second": {
+                "batching_on": round(on_pps, 1),
+                "batching_off": round(off_pps, 1),
+            },
+            "speedup": round(on_pps / off_pps, 2),
+            "batches_on": on_stats["batches"],
+            "batches_off": off_stats["batches"],
+            "occupancy_mean_on": on_stats["occupancy_mean"],
+        }
+
+    with open(_DUMP, "w") as stream:
+        json.dump(results, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+    print(f"\nBENCH_serve: {json.dumps({k: round(v, 1) for k, v in ratios.items()})}")
+
+    assert ratios["deep4k"] >= MIN_BATCHING_SPEEDUP, (
+        f"batching delivers only {ratios['deep4k']:.1f}x on the deep "
+        f"oracle (need {MIN_BATCHING_SPEEDUP:.0f}x)"
+    )

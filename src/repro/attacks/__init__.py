@@ -1,6 +1,12 @@
 """Attacks on logic locking: SAT, removal, enhanced removal, TCF, scan."""
 
-from .oracle import CombinationalOracle, TimingOracle, random_pattern
+from .oracle import (
+    CombinationalOracle,
+    OracleProtocol,
+    TimingOracle,
+    TwoVectorOracleProtocol,
+    random_pattern,
+)
 from .sat_attack import SatAttackResult, sat_attack, verify_key_against_oracle
 from .removal import RemovalResult, removal_attack, signal_probabilities
 from .enhanced_removal import (
@@ -10,6 +16,7 @@ from .enhanced_removal import (
     locate_gk_structures,
 )
 from .tcf import (
+    SimulatedTwoVectorOracle,
     TcfAttackResult,
     encode_timed,
     find_delay_test,
@@ -21,13 +28,14 @@ from .appsat import AppSatResult, appsat_attack
 from .unroll import SequentialAttackResult, sequential_sat_attack
 
 __all__ = [
-    "CombinationalOracle", "TimingOracle", "random_pattern",
+    "CombinationalOracle", "OracleProtocol", "TimingOracle",
+    "TwoVectorOracleProtocol", "random_pattern",
     "SatAttackResult", "sat_attack", "verify_key_against_oracle",
     "RemovalResult", "removal_attack", "signal_probabilities",
     "EnhancedRemovalResult", "LocatedGk", "enhanced_removal_attack",
     "locate_gk_structures",
-    "TcfAttackResult", "encode_timed", "find_delay_test", "tcf_attack",
-    "two_vector_response",
+    "SimulatedTwoVectorOracle", "TcfAttackResult", "encode_timed",
+    "find_delay_test", "tcf_attack", "two_vector_response",
     "ScanAttackResult", "ScanChain", "insert_scan_chain", "scan_attack",
     "AppSatResult", "appsat_attack",
     "SequentialAttackResult", "sequential_sat_attack",

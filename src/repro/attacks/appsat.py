@@ -33,7 +33,7 @@ from ..netlist.transform import extract_combinational
 from ..sat.cnf import CNF
 from ..sat.solver import Solver
 from ..sat.tseitin import CircuitEncoder
-from .oracle import CombinationalOracle
+from .oracle import OracleProtocol
 from .sat_attack import _comb_view, _interface_map
 
 __all__ = ["AppSatResult", "appsat_attack"]
@@ -58,7 +58,7 @@ class AppSatResult:
 
 def appsat_attack(
     locked_netlist: Circuit,
-    oracle: CombinationalOracle,
+    oracle: OracleProtocol,
     rng: Optional[random.Random] = None,
     dips_per_round: int = 2,
     queries_per_round: int = 24,

@@ -13,6 +13,22 @@ queries.  Two oracle flavours:
   the *locked* netlist under the correct key.  This is what a
   scan-based launch/capture test (Sec. VI's BIST discussion) actually
   observes, glitches included.
+
+:class:`OracleProtocol` is the structural contract every combinational
+oracle satisfies — the attacks (SAT, AppSAT, key verification) are
+typed against it, so any implementation plugs in: the in-process
+:class:`CombinationalOracle`, the served
+:class:`~repro.serve.client.RemoteOracle`, or a test stub.
+:class:`TwoVectorOracleProtocol` is the analogous seam for the *timed*
+attack surface (TCF's launch/capture measurements).
+
+Both concrete oracles resolve their compiled circuit through the
+process-wide serving registry
+(:func:`repro.serve.registry.default_registry`) **once, at
+construction**, and hold the instance — the same
+lookup-then-hold story the oracle server uses, and the correct
+semantics for an activated chip: it does not change because the Python
+``Circuit`` object it was built from is later mutated.
 """
 
 from __future__ import annotations
@@ -20,18 +36,85 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Mapping, Optional, Sequence
 
+try:  # typing.Protocol is 3.8+; keep the guard cheap and explicit
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover - py<3.8 fallback, never hit in CI
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[misc]
+        return cls
+
 from ..locking.base import LockedCircuit
 from ..netlist.circuit import Circuit, NetlistError
-from ..netlist.compiled import compile_circuit
 from ..netlist.transform import extract_combinational
 from ..sim.harness import SequentialTrace, simulate_sequential
 from ..sim.logic import LogicValue
 
-__all__ = ["CombinationalOracle", "TimingOracle", "random_pattern"]
+__all__ = [
+    "OracleProtocol",
+    "TwoVectorOracleProtocol",
+    "CombinationalOracle",
+    "TimingOracle",
+    "random_pattern",
+]
+
+
+@runtime_checkable
+class OracleProtocol(Protocol):
+    """What the oracle-guided attacks require of an activated chip.
+
+    ``query_count`` counts one per *pattern* regardless of batching —
+    batching is an evaluation optimization, not a cheaper attack model —
+    so query totals are comparable across implementations.
+    """
+
+    inputs: List[str]
+    outputs: List[str]
+    query_count: int
+
+    def query(
+        self, assignment: Mapping[str, LogicValue]
+    ) -> Dict[str, LogicValue]:
+        """Outputs of the activated chip for one input pattern."""
+        ...
+
+    def query_batch(
+        self, assignments: Sequence[Mapping[str, LogicValue]]
+    ) -> List[Dict[str, LogicValue]]:
+        """Outputs for many patterns (counts one query per pattern)."""
+        ...
+
+
+@runtime_checkable
+class TwoVectorOracleProtocol(Protocol):
+    """The at-speed tester interface the timed (TCF) attack queries."""
+
+    query_count: int
+
+    def two_vector(
+        self,
+        v1: Mapping[str, int],
+        v2: Mapping[str, int],
+        sample_time: float,
+    ) -> Dict[str, Optional[int]]:
+        """Sampled primary outputs of one launch/capture test."""
+        ...
 
 
 def random_pattern(nets: Sequence[str], rng: random.Random) -> Dict[str, int]:
     return {net: rng.randint(0, 1) for net in nets}
+
+
+def _registry_compiled(circuit: Circuit):
+    """Compiled instance via the serving registry (one memo story).
+
+    Imported lazily: ``repro.serve`` imports this module for the
+    protocol, so a module-level import would be circular.  At call time
+    (oracle construction) both packages are fully initialized.
+    """
+    from ..serve.registry import default_registry
+
+    return default_registry().compiled_for(circuit)
 
 
 class CombinationalOracle:
@@ -43,6 +126,7 @@ class CombinationalOracle:
         if original.flip_flops():
             original = extract_combinational(original).circuit
         self.circuit = original
+        self._compiled = _registry_compiled(original)
         self.inputs: List[str] = list(original.inputs)
         self.outputs: List[str] = list(original.outputs)
         self.query_count = 0
@@ -50,7 +134,7 @@ class CombinationalOracle:
     def query(self, assignment: Mapping[str, LogicValue]) -> Dict[str, LogicValue]:
         """Outputs of the activated chip for one input pattern."""
         self.query_count += 1
-        return compile_circuit(self.circuit).query_outputs([assignment])[0]
+        return self._compiled.query_outputs([assignment])[0]
 
     def query_batch(
         self, assignments: Sequence[Mapping[str, LogicValue]]
@@ -61,7 +145,7 @@ class CombinationalOracle:
         optimization, not a cheaper attack model.
         """
         self.query_count += len(assignments)
-        return compile_circuit(self.circuit).query_outputs(assignments)
+        return self._compiled.query_outputs(assignments)
 
 
 class TimingOracle:
@@ -76,6 +160,10 @@ class TimingOracle:
         self.locked = locked
         self.clock_period = clock_period
         self.delay_mode = delay_mode
+        # Same memoization story as CombinationalOracle: the compiled
+        # instance the event simulator's settle pass needs is resolved
+        # through the registry up front, not re-derived per run.
+        self._compiled = _registry_compiled(locked.circuit)
         self.run_count = 0
 
     def run(

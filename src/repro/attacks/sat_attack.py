@@ -31,7 +31,7 @@ from ..obs.spans import trace_span
 from ..sat.cnf import CNF
 from ..sat.solver import Solver
 from ..sat.tseitin import CircuitEncoder
-from .oracle import CombinationalOracle
+from .oracle import OracleProtocol
 
 __all__ = ["IterationStats", "SatAttackResult", "sat_attack",
            "verify_key_against_oracle"]
@@ -82,7 +82,7 @@ def _comb_view(locked_netlist: Circuit) -> Circuit:
     return locked_netlist
 
 
-def _interface_map(comb: Circuit, oracle: CombinationalOracle) -> Dict[str, str]:
+def _interface_map(comb: Circuit, oracle: OracleProtocol) -> Dict[str, str]:
     """Locked-netlist output net -> oracle output net.
 
     Locking may rename a flip-flop's D net (a GK splices its MUX in
@@ -100,7 +100,7 @@ def _interface_map(comb: Circuit, oracle: CombinationalOracle) -> Dict[str, str]
 
 def sat_attack(
     locked_netlist: Circuit,
-    oracle: CombinationalOracle,
+    oracle: OracleProtocol,
     max_iterations: int = 256,
 ) -> SatAttackResult:
     """Run the DIP loop against *locked_netlist* using *oracle*.
@@ -217,7 +217,7 @@ def sat_attack(
 
 def verify_key_against_oracle(
     locked_netlist: Circuit,
-    oracle: CombinationalOracle,
+    oracle: OracleProtocol,
     key: Mapping[str, int],
     samples: int = 64,
     rng: Optional[random.Random] = None,

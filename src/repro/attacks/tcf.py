@@ -31,9 +31,11 @@ from ..netlist.circuit import Circuit, NetlistError
 from ..sat.cnf import CNF
 from ..sat.solver import Solver
 from ..sat.tseitin import encode_gate_function
+from .oracle import TwoVectorOracleProtocol
 
 __all__ = ["TimedCopy", "encode_timed", "TcfAttackResult", "tcf_attack",
-           "two_vector_response", "find_delay_test"]
+           "two_vector_response", "SimulatedTwoVectorOracle",
+           "find_delay_test"]
 
 
 @dataclass
@@ -166,6 +168,42 @@ def two_vector_response(
     }
 
 
+class SimulatedTwoVectorOracle:
+    """The activated chip on an at-speed tester, as an oracle object.
+
+    Implements :class:`~repro.attacks.oracle.TwoVectorOracleProtocol`
+    by event-simulating *circuit* (under *key*, if it has key inputs)
+    per launch/capture test — the default oracle :func:`tcf_attack`
+    builds when handed a bare circuit.  Swap in any other
+    implementation (a recorded trace, a served tester) the same way
+    :class:`~repro.serve.client.RemoteOracle` swaps in for
+    :class:`~repro.attacks.oracle.CombinationalOracle`.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        key: Optional[Mapping[str, int]] = None,
+        delay_mode: str = "transport",
+    ) -> None:
+        self.circuit = circuit
+        self.key = key
+        self.delay_mode = delay_mode
+        self.query_count = 0
+
+    def two_vector(
+        self,
+        v1: Mapping[str, int],
+        v2: Mapping[str, int],
+        sample_time: float,
+    ) -> Dict[str, Optional[int]]:
+        self.query_count += 1
+        return two_vector_response(
+            self.circuit, v1, v2, sample_time,
+            key=self.key, delay_mode=self.delay_mode,
+        )
+
+
 @dataclass
 class TcfAttackResult:
     completed: bool = False
@@ -177,20 +215,31 @@ class TcfAttackResult:
 
 def tcf_attack(
     locked: Circuit,
-    oracle_circuit: Circuit,
-    oracle_key: Optional[Mapping[str, int]],
-    sample_time: float,
+    oracle_circuit: Optional[Circuit] = None,
+    oracle_key: Optional[Mapping[str, int]] = None,
+    sample_time: float = 0.0,
     dt: float = 0.05,
     max_iterations: int = 64,
+    oracle: Optional[TwoVectorOracleProtocol] = None,
 ) -> TcfAttackResult:
     """The timed SAT attack: DIP loop over two-vector tests.
 
     *locked* is the attacker's (combinational) netlist with static key
-    inputs; the oracle is the activated chip (*oracle_circuit* under
-    *oracle_key*, possibly keyless), measured at speed by
-    :func:`two_vector_response`.  Succeeds on delay locking (TDK);
+    inputs; the oracle is the activated chip measured at speed — either
+    any :class:`~repro.attacks.oracle.TwoVectorOracleProtocol`
+    implementation passed as *oracle*, or the default
+    :class:`SimulatedTwoVectorOracle` built from *oracle_circuit* under
+    *oracle_key* (possibly keyless).  Succeeds on delay locking (TDK);
     finds no DIP on glitch locking.
     """
+    if oracle is None:
+        if oracle_circuit is None:
+            raise NetlistError("pass either `oracle` or `oracle_circuit`")
+        oracle = SimulatedTwoVectorOracle(oracle_circuit, oracle_key)
+    elif oracle_circuit is not None:
+        raise NetlistError("pass `oracle` or `oracle_circuit`, not both")
+    if sample_time <= 0:
+        raise NetlistError("sample_time must be positive")
     ticks = int(round(sample_time / dt))
     solver = Solver()
 
@@ -223,9 +272,7 @@ def tcf_attack(
         v2 = {net: int(model[copy1.v2[net]]) for net in locked.inputs}
         result.dips.append((v1, v2))
         result.iterations += 1
-        response = two_vector_response(
-            oracle_circuit, v1, v2, sample_time, key=oracle_key
-        )
+        response = oracle.two_vector(v1, v2, sample_time)
         for copy in (copy1, copy2):
             pin = CNF(num_vars=solver.num_vars)
             constrained = encode_timed(

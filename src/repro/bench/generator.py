@@ -63,6 +63,14 @@ class GeneratorSpec:
     #: endpoint arrival times skew high — this is what makes some FFs
     #: unavailable for GK insertion (Table I).
     ff_depth_bias: float = 2.0
+    #: fold leftover dangling nets into an XOR reduction tree ending in
+    #: one extra primary output, instead of promoting each to its own
+    #: PO.  Keeps the interface narrow (``num_outputs + 1`` POs) for
+    #: deep oracle circuits where per-pattern cost should be dominated
+    #: by logic evaluation, not output marshalling — the regime the
+    #: serving benchmark measures.  XOR preserves sensitivity: a flip on
+    #: any folded net flips the tree output, so no logic goes dead.
+    reduce_dangling: bool = False
 
     @property
     def num_cells(self) -> int:
@@ -207,9 +215,34 @@ def random_sequential_circuit(
         circuit.add_output(net)
         fanout_count[net] = fanout_count.get(net, 0) + 1
     # Any still-dangling nets become extra POs so the netlist carries no
-    # dead logic (a synthesized design would have swept it).
-    for net in produced:
-        if fanout_count.get(net, 0) == 0 and not net.startswith(("pi", "ffq")):
+    # dead logic (a synthesized design would have swept it).  With
+    # ``reduce_dangling`` they are XOR-folded down to one extra PO
+    # instead; the tree gates sit outside the seeded draw sequence, so
+    # the flag cannot perturb existing seeded netlists.
+    dangling = [
+        net for net in produced
+        if fanout_count.get(net, 0) == 0 and not net.startswith(("pi", "ffq"))
+    ]
+    if spec.reduce_dangling and len(dangling) > 1:
+        xor_cell = library.cheapest("XOR2")
+        frontier = dangling
+        index = 0
+        while len(frontier) > 1:
+            folded: List[str] = []
+            for j in range(0, len(frontier) - 1, 2):
+                out = f"red{index}"
+                circuit.add_gate(
+                    f"rg{index}", xor_cell.name,
+                    {"A": frontier[j], "B": frontier[j + 1]}, out,
+                )
+                index += 1
+                folded.append(out)
+            if len(frontier) % 2:
+                folded.append(frontier[-1])
+            frontier = folded
+        circuit.add_output(frontier[0])
+    else:
+        for net in dangling:
             circuit.add_output(net)
 
     circuit.validate()

@@ -27,11 +27,26 @@ from typing import Any, Dict, Mapping, Optional
 
 from .matrix import canonical_json
 
-__all__ = ["CACHE_VERSION", "NetlistCache"]
+__all__ = ["CACHE_VERSION", "NetlistCache", "content_key"]
 
 #: Bump to invalidate every cached artifact (e.g. when the generator,
 #: a locking flow, or the delay model changes shape).
 CACHE_VERSION = 2
+
+
+def content_key(**fields: Any) -> str:
+    """SHA-256 content hash of canonical parameter JSON.
+
+    The one hashing function behind every content-addressed artifact in
+    the repo: campaign cache entries *and* the serving layer's circuit
+    registry (:mod:`repro.serve.registry`) key with it, so a circuit
+    registered on a server and a netlist cached by a campaign derive
+    their identities the same way (including :data:`CACHE_VERSION`
+    salting — a flow change invalidates both).
+    """
+    payload = dict(fields)
+    payload["__cache_version__"] = CACHE_VERSION
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
 
 
 class NetlistCache:
@@ -57,9 +72,7 @@ class NetlistCache:
 
     @staticmethod
     def key(**fields: Any) -> str:
-        payload = dict(fields)
-        payload["__cache_version__"] = CACHE_VERSION
-        return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+        return content_key(**fields)
 
     def _path(self, key: str) -> Path:
         assert self.root is not None

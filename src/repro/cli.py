@@ -7,6 +7,11 @@ Gives the library's main flows a tool-like surface operating on
 * ``lock``     — encrypt a design (gk / xor / sarlock / antisat / tdk /
   hybrid), writing the locked netlist and the key
 * ``attack``   — run the SAT attack against a locked netlist + oracle
+  (in-process, or served: ``--remote HOST:PORT`` queries an oracle
+  server instead)
+* ``serve``    — host activated-chip oracles on the asyncio server
+  (dynamic 64-lane batching, admission control; see
+  :mod:`repro.serve`)
 * ``profile``  — run the whole pipeline under the observability
   harness and print the span tree + metrics table
 * ``table1`` / ``table2`` — regenerate the paper's tables (fanned out
@@ -39,6 +44,7 @@ import random
 import sys
 from typing import Dict, Optional
 
+from . import __version__
 from .attacks.oracle import CombinationalOracle
 from .attacks.sat_attack import sat_attack, verify_key_against_oracle
 from .bench.iwls import BENCHMARKS, iwls_benchmark
@@ -150,10 +156,34 @@ def cmd_lock(args: argparse.Namespace) -> int:
     return 0
 
 
+def _attack_oracle(args: argparse.Namespace):
+    """The activated chip: in-process, or a served RemoteOracle."""
+    if getattr(args, "remote", None):
+        from .serve import RemoteOracle
+
+        if getattr(args, "circuit", None):
+            if args.oracle:
+                raise SystemExit(
+                    "pass an oracle netlist or --circuit, not both"
+                )
+            oracle = RemoteOracle(args.remote, circuit_id=args.circuit)
+        elif args.oracle:
+            oracle = RemoteOracle(args.remote, circuit=_load(args.oracle))
+        else:
+            raise SystemExit(
+                "--remote needs an oracle netlist to register or "
+                "--circuit ID of an already-served one"
+            )
+        _emit(f"oracle: {args.remote} circuit {oracle.circuit_id[:16]}...")
+        return oracle
+    if not args.oracle:
+        raise SystemExit("attack needs an oracle netlist (or --remote)")
+    return CombinationalOracle(_load(args.oracle))
+
+
 def cmd_attack(args: argparse.Namespace) -> int:
     locked = _load(args.locked)
-    original = _load(args.oracle)
-    oracle = CombinationalOracle(original)
+    oracle = _attack_oracle(args)
     result = sat_attack(locked, oracle, max_iterations=args.max_iterations)
     _emit(f"completed              : {result.completed}", result=True)
     _emit(f"DIP iterations         : {result.iterations}", result=True)
@@ -379,6 +409,74 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve import (
+        AdmissionConfig,
+        BatchConfig,
+        OracleServer,
+        ServerConfig,
+    )
+
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        batch=BatchConfig(
+            max_batch=args.max_batch,
+            window_s=args.window_ms / 1000.0,
+        ),
+        admission=AdmissionConfig(max_pending=args.max_pending),
+        default_budget=args.budget,
+    )
+    server = OracleServer(config=config)
+    circuits = [(_load(path), path) for path in args.netlists]
+
+    async def run() -> None:
+        for circuit, path in circuits:
+            entry = server.registry.register(
+                _oracle_view(circuit), budget=args.budget
+            )
+            _emit(f"{entry.circuit_id}  {path} "
+                  f"({len(entry.compiled.inputs)} in, "
+                  f"{len(entry.compiled.outputs)} out)", result=True)
+        host, port = await server.start()
+        _emit(f"serving {len(circuits)} circuit(s) on {host}:{port} "
+              f"(batch<= {args.max_batch}, window {args.window_ms}ms)",
+              result=True)
+        try:
+            if args.serve_seconds is not None:
+                await asyncio.sleep(args.serve_seconds)
+            else:
+                await server.serve_forever()
+        finally:
+            await server.drain()
+            stats = server.batcher.stats()
+            _emit(f"drained: {stats['batches']} batches, "
+                  f"{stats['lanes_total']} queries, occupancy mean "
+                  f"{stats['occupancy_mean']}", err=True)
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        _emit("interrupted; drained", err=True)
+    return 0
+
+
+def _oracle_view(circuit: Circuit):
+    """Same normalization the server applies to registered netlists."""
+    from .netlist.transform import extract_combinational
+
+    if circuit.key_inputs:
+        raise SystemExit(
+            f"{circuit.name}: refusing to serve a locked netlist — an "
+            f"oracle wraps the original (keyless) design"
+        )
+    if circuit.flip_flops():
+        return extract_combinational(circuit).circuit
+    return circuit
+
+
 def cmd_figures(args: argparse.Namespace) -> int:
     from .reporting.figures import (
         figure4_gk_waveform,
@@ -428,6 +526,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Glitch Key-gate logic locking — paper reproduction CLI",
+        epilog=f"repro version {__version__}",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -452,10 +554,42 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("attack", help="SAT-attack a locked netlist",
                        parents=[obs_flags])
     p.add_argument("locked", help="locked netlist (key inputs present)")
-    p.add_argument("oracle", help="original netlist (the activated chip)")
+    p.add_argument("oracle", nargs="?",
+                   help="original netlist (the activated chip); optional "
+                        "with --remote --circuit")
     p.add_argument("--max-iterations", type=int, default=256)
     p.add_argument("--verify-samples", type=int, default=64)
+    p.add_argument("--remote", metavar="HOST:PORT",
+                   help="query a served oracle instead of an in-process "
+                        "one (see `repro serve`)")
+    p.add_argument("--circuit", metavar="ID",
+                   help="content hash of an already-served circuit "
+                        "(skips registering the oracle netlist)")
     p.set_defaults(func=cmd_attack)
+
+    p = sub.add_parser(
+        "serve",
+        help="host activated-chip oracles (64-lane dynamic batching)",
+        parents=[obs_flags],
+    )
+    p.add_argument("netlists", nargs="+", metavar="NETLIST",
+                   help=".bench/.v file or iwls:<name> — the *original* "
+                        "(keyless) designs to serve")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (0 = ephemeral, printed on startup)")
+    p.add_argument("--max-batch", type=int, default=64, metavar="N",
+                   help="lanes per batch; 1 disables coalescing")
+    p.add_argument("--window-ms", type=float, default=2.0, metavar="MS",
+                   help="max latency a lone query waits for co-batching")
+    p.add_argument("--max-pending", type=int, default=1024, metavar="N",
+                   help="admission bound on queued patterns")
+    p.add_argument("--budget", type=int, metavar="N",
+                   help="per-circuit query budget (refuse queries beyond)")
+    p.add_argument("--serve-seconds", type=float, metavar="SEC",
+                   help="run for SEC seconds then drain (CI smoke mode; "
+                        "default: serve until interrupted)")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
         "profile",

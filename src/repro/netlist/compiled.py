@@ -409,6 +409,16 @@ class CompiledCircuit:
                     f"in circuit {self.name!r}"
                 )
 
+    def validate_assignment(self, assignment: Mapping) -> None:
+        """Public form of the evaluator's boundary check.
+
+        Lets callers that *batch independent requests* (the serving
+        layer) reject one bad assignment up front instead of letting it
+        abort a whole co-batched ``query_outputs`` pass.  Checks net
+        names only; values are validated during packing.
+        """
+        self._check_assignment(assignment)
+
     def _pack(
         self,
         assignments: Sequence[Mapping],

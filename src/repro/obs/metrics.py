@@ -16,6 +16,7 @@ trajectories between PRs.
 from __future__ import annotations
 
 import bisect
+import math
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from . import context as _obs
@@ -97,6 +98,33 @@ class Histogram:
     @property
     def mean(self) -> Optional[float]:
         return self.sum / self.count if self.count else None
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Upper-bound estimate of the *q*-quantile (Prometheus-style).
+
+        Walks the cumulative bucket counts and reports the boundary of
+        the bucket containing the target rank, clamped to the observed
+        min/max so degenerate distributions (all observations in one
+        bucket) stay honest.  None while empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        if not self.count:
+            return None
+        target = max(1, math.ceil(q * self.count))
+        cumulative = 0
+        for bound, bucket_count in zip(self.bounds, self.counts):
+            cumulative += bucket_count
+            if cumulative >= target:
+                estimate = bound
+                break
+        else:
+            estimate = self.max
+        if self.max is not None and estimate > self.max:
+            estimate = self.max
+        if self.min is not None and estimate < self.min:
+            estimate = self.min
+        return estimate
 
 
 class MetricsRegistry:

@@ -1,0 +1,60 @@
+"""repro.serve — async oracle serving with dynamic 64-lane batching.
+
+The paper's threat model is an attacker querying an *activated chip* as
+a black box; at system scale that chip is a service under heavy query
+pressure from many concurrent clients.  This package hosts circuits
+behind an asyncio server and serves oracle queries over a
+length-prefixed JSON protocol, with:
+
+* a **dynamic batcher** coalescing concurrent single-pattern queries
+  into 64-lane bit-parallel evaluations (:mod:`repro.serve.batcher`);
+* a content-addressed **circuit registry** with an LRU of compiled
+  instances, shared with the in-process oracles
+  (:mod:`repro.serve.registry`);
+* **admission control** — bounded queueing, per-request deadlines,
+  typed backpressure errors, graceful drain
+  (:mod:`repro.serve.admission`);
+* a synchronous :class:`RemoteOracle` client that drops in wherever a
+  :class:`~repro.attacks.oracle.CombinationalOracle` goes
+  (:mod:`repro.serve.client`).
+
+Quick taste::
+
+    from repro.serve import OracleServer, RemoteOracle, ThreadedServer
+
+    with ThreadedServer(OracleServer()) as (host, port):
+        oracle = RemoteOracle((host, port), circuit=original)
+        result = sat_attack(locked, oracle)   # identical key + counts
+"""
+
+from .admission import AdmissionConfig, AdmissionController
+from .batcher import BatchConfig, DynamicBatcher
+from .client import RemoteOracle, ServeConnection, parse_address
+from .protocol import (
+    DeadlineExceededError,
+    OverloadedError,
+    ProtocolError,
+    QueryBudgetExceededError,
+    ServeError,
+    ShuttingDownError,
+    UnknownCircuitError,
+)
+from .registry import (
+    CircuitRegistry,
+    RegisteredCircuit,
+    circuit_content_id,
+    default_registry,
+)
+from .server import LocalConnection, OracleServer, ServerConfig, ThreadedServer
+
+__all__ = [
+    "AdmissionConfig", "AdmissionController",
+    "BatchConfig", "DynamicBatcher",
+    "RemoteOracle", "ServeConnection", "parse_address",
+    "ServeError", "ProtocolError", "OverloadedError", "ShuttingDownError",
+    "DeadlineExceededError", "UnknownCircuitError",
+    "QueryBudgetExceededError",
+    "CircuitRegistry", "RegisteredCircuit", "circuit_content_id",
+    "default_registry",
+    "OracleServer", "ServerConfig", "LocalConnection", "ThreadedServer",
+]

@@ -1,0 +1,213 @@
+"""Clients: a blocking protocol connection and the ``RemoteOracle``.
+
+:class:`RemoteOracle` is a drop-in substitute for
+:class:`~repro.attacks.oracle.CombinationalOracle` — it satisfies
+:class:`~repro.attacks.oracle.OracleProtocol` (``inputs`` / ``outputs``
+/ ``query`` / ``query_batch`` / ``query_count``), so the SAT attack,
+AppSAT, and key verification run against a served chip unchanged.  The
+transport is deliberately *synchronous* (plain blocking socket, one
+request in flight): the attacks are sequential query loops, and a
+blocking client keeps them byte-for-byte deterministic against the
+in-process oracle.
+
+``query_count`` mirrors the in-process semantics exactly: one count per
+pattern, counted locally, so an attack's reported query totals are
+identical whether the oracle is local or served.  The *server's*
+cumulative count for the circuit (which also feeds budget enforcement,
+and aggregates across every client) rides along on each response as
+:attr:`RemoteOracle.server_query_count`.
+
+Typed server errors are re-raised client-side as the same
+:mod:`repro.serve.protocol` exception classes, so backpressure handling
+(``except OverloadedError: retry``) is transport-agnostic.
+"""
+
+from __future__ import annotations
+
+import io
+import socket
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..netlist.bench_io import write_bench
+from ..netlist.circuit import Circuit
+from ..netlist.transform import extract_combinational
+from .protocol import (
+    ProtocolError,
+    error_from_payload,
+    recv_frame,
+    send_frame,
+)
+
+__all__ = ["ServeConnection", "RemoteOracle", "parse_address"]
+
+Address = Union[str, Tuple[str, int]]
+
+
+def parse_address(address: Address) -> Tuple[str, int]:
+    """``"host:port"`` or ``(host, port)`` -> ``(host, port)``."""
+    if isinstance(address, tuple):
+        host, port = address
+        return str(host), int(port)
+    host, sep, port_text = address.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"address {address!r} is not host:port")
+    return host, int(port_text)
+
+
+class ServeConnection:
+    """One blocking protocol connection (request/response in lockstep)."""
+
+    def __init__(self, address: Address, timeout_s: float = 30.0) -> None:
+        self.address = parse_address(address)
+        self.timeout_s = timeout_s
+        self._sock: Optional[socket.socket] = None
+
+    # ------------------------------------------------------------------
+
+    def _socket(self) -> socket.socket:
+        if self._sock is None:
+            sock = socket.create_connection(
+                self.address, timeout=self.timeout_s
+            )
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._sock = sock
+        return self._sock
+
+    def request(self, obj: Mapping[str, Any]) -> Dict[str, Any]:
+        """Send one request; return the success payload or raise typed."""
+        sock = self._socket()
+        try:
+            send_frame(sock, dict(obj))
+            response = recv_frame(sock)
+        except (OSError, socket.timeout):
+            self.close()
+            raise
+        if response is None:
+            self.close()
+            raise ProtocolError("server closed the connection mid-request")
+        if not response.get("ok"):
+            raise error_from_payload(response.get("error", {}))
+        return response
+
+    def ping(self) -> bool:
+        return bool(self.request({"op": "ping"}).get("pong"))
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request({"op": "stats"})
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def __enter__(self) -> "ServeConnection":
+        self._socket()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class RemoteOracle:
+    """A served activated chip, with the in-process oracle's interface.
+
+    Construct from either a :class:`Circuit` (registered with the
+    server, content-addressed and idempotent) or the ``circuit_id`` of
+    an already-hosted design::
+
+        oracle = RemoteOracle(("127.0.0.1", 9007), circuit=original)
+        result = sat_attack(locked, oracle)          # unchanged
+    """
+
+    def __init__(
+        self,
+        address: Address,
+        circuit: Optional[Circuit] = None,
+        circuit_id: Optional[str] = None,
+        *,
+        budget: Optional[int] = None,
+        deadline_ms: Optional[float] = None,
+        timeout_s: float = 30.0,
+    ) -> None:
+        if (circuit is None) == (circuit_id is None):
+            raise ValueError("pass exactly one of circuit / circuit_id")
+        self.connection = ServeConnection(address, timeout_s)
+        self.deadline_ms = deadline_ms
+        if circuit is not None:
+            # Register the *oracle view* (combinational core), extracted
+            # client-side — the same normalization CombinationalOracle
+            # applies.  Serializing the sequential shell instead would
+            # let the server's re-parse regenerate FF gate names and
+            # reorder the pseudo-PO list, breaking the positional
+            # output mapping the SAT attack builds against its own
+            # extraction of the locked netlist.
+            if circuit.flip_flops():
+                circuit = extract_combinational(circuit).circuit
+            text = io.StringIO()
+            write_bench(circuit, text)
+            info = self.connection.request({
+                "op": "register",
+                "netlist": text.getvalue(),
+                "name": circuit.name,
+                "budget": budget,
+            })
+        else:
+            info = self.connection.request(
+                {"op": "describe", "circuit": circuit_id}
+            )
+        self.circuit_id: str = info["circuit"]
+        self.inputs: List[str] = list(info["inputs"])
+        self.outputs: List[str] = list(info["outputs"])
+        self.budget: Optional[int] = info.get("budget")
+        #: local per-pattern count — CombinationalOracle semantics
+        self.query_count = 0
+        #: the server's cumulative count for this circuit (all clients)
+        self.server_query_count: int = int(info.get("query_count", 0))
+
+    # ------------------------------------------------------------------
+
+    def query(self, assignment: Mapping[str, Any]) -> Dict[str, Any]:
+        """Outputs of the served chip for one input pattern."""
+        return self.query_batch([assignment])[0]
+
+    def query_batch(
+        self, assignments: Sequence[Mapping[str, Any]]
+    ) -> List[Dict[str, Any]]:
+        """Outputs for many patterns in one request (one server batch)."""
+        if not assignments:
+            return []
+        request: Dict[str, Any] = {
+            "op": "query",
+            "circuit": self.circuit_id,
+            "patterns": [dict(a) for a in assignments],
+        }
+        if self.deadline_ms is not None:
+            request["deadline_ms"] = self.deadline_ms
+        response = self.connection.request(request)
+        self.query_count += len(assignments)
+        self.server_query_count = int(
+            response.get("query_count", self.server_query_count)
+        )
+        return response["outputs"]
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        return self.connection.stats()
+
+    def close(self) -> None:
+        self.connection.close()
+
+    def __enter__(self) -> "RemoteOracle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        host, port = self.connection.address
+        return (f"RemoteOracle({host}:{port}, "
+                f"circuit={self.circuit_id[:12]}..., "
+                f"queries={self.query_count})")

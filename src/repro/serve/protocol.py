@@ -1,0 +1,217 @@
+"""Wire protocol of the oracle-serving subsystem.
+
+One frame = a 4-byte big-endian length prefix + a UTF-8 JSON object.
+Requests carry an ``op`` field (``ping`` / ``register`` / ``describe``
+/ ``query`` / ``stats``); responses carry ``ok: true`` plus op-specific
+payload, or ``ok: false`` plus a typed error record::
+
+    {"ok": false, "error": {"code": "overloaded", "message": "..."}}
+
+The ``code`` strings are stable — they are the contract that lets a
+client re-raise the *same* exception class the server raised (see
+:func:`error_to_payload` / :func:`error_from_payload`), so callers can
+catch :class:`OverloadedError` for backpressure retry loops without
+string-matching messages.
+
+Logic values travel as JSON ``0`` / ``1`` / ``null`` (``null`` = X),
+matching :mod:`repro.sim.logic`'s ternary domain, and patterns travel
+as plain ``{net: value}`` objects — exactly the dicts
+:class:`~repro.attacks.oracle.CombinationalOracle` consumes, so the
+client needs no translation layer.
+
+Both transports share these helpers: the asyncio server reads frames
+with :func:`read_frame_async`, the blocking client with
+:func:`recv_frame`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "ServeError",
+    "ProtocolError",
+    "OverloadedError",
+    "ShuttingDownError",
+    "DeadlineExceededError",
+    "UnknownCircuitError",
+    "QueryBudgetExceededError",
+    "error_to_payload",
+    "error_from_payload",
+    "encode_frame",
+    "read_frame_async",
+    "write_frame_async",
+    "send_frame",
+    "recv_frame",
+]
+
+#: Hard ceiling on one frame's JSON body.  Generous enough for any
+#: benchmark netlist registration; small enough that a corrupt length
+#: prefix cannot make the server buffer gigabytes.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+
+
+# ----------------------------------------------------------------------
+# Typed errors
+# ----------------------------------------------------------------------
+
+class ServeError(Exception):
+    """Base of every serving-layer failure; ``code`` is the wire name."""
+
+    code = "serve-error"
+    #: whether a client may retry the identical request later
+    retryable = False
+
+
+class ProtocolError(ServeError):
+    """Malformed frame, unknown op, or missing/invalid fields."""
+
+    code = "protocol-error"
+
+
+class OverloadedError(ServeError):
+    """Admission control rejected the request: the queue is full."""
+
+    code = "overloaded"
+    retryable = True
+
+
+class ShuttingDownError(ServeError):
+    """The server is draining and accepts no new work."""
+
+    code = "shutting-down"
+    retryable = True
+
+
+class DeadlineExceededError(ServeError):
+    """The request's deadline expired before its batch was evaluated."""
+
+    code = "deadline-exceeded"
+    retryable = True
+
+
+class UnknownCircuitError(ServeError):
+    """No registered circuit under this ID (never registered/evicted)."""
+
+    code = "unknown-circuit"
+
+
+class QueryBudgetExceededError(ServeError):
+    """The circuit's query budget is spent; further queries are refused."""
+
+    code = "budget-exhausted"
+
+
+_ERROR_TYPES = {
+    cls.code: cls
+    for cls in (
+        ServeError, ProtocolError, OverloadedError, ShuttingDownError,
+        DeadlineExceededError, UnknownCircuitError,
+        QueryBudgetExceededError,
+    )
+}
+
+
+def error_to_payload(exc: BaseException) -> Dict[str, Any]:
+    """The ``error`` object of a failure response."""
+    code = getattr(exc, "code", "serve-error")
+    retryable = bool(getattr(exc, "retryable", False))
+    return {"code": code, "message": str(exc), "retryable": retryable}
+
+
+def error_from_payload(payload: Dict[str, Any]) -> ServeError:
+    """Reconstruct the typed exception a failure response describes."""
+    if not isinstance(payload, dict):
+        return ServeError("malformed error payload")
+    cls = _ERROR_TYPES.get(payload.get("code"), ServeError)
+    return cls(payload.get("message", "unknown server error"))
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+
+def encode_frame(obj: Dict[str, Any]) -> bytes:
+    """Length-prefixed JSON encoding of one message."""
+    body = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(body)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    return _LEN.pack(len(body)) + body
+
+
+def _decode_body(body: bytes) -> Dict[str, Any]:
+    try:
+        obj = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame body: {exc}") from None
+    if not isinstance(obj, dict):
+        raise ProtocolError("frame body must be a JSON object")
+    return obj
+
+
+def _check_length(length: int) -> None:
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"peer announced a {length}-byte frame "
+            f"(limit {MAX_FRAME_BYTES})"
+        )
+
+
+async def read_frame_async(reader) -> Optional[Dict[str, Any]]:
+    """Next message from an asyncio stream; None on clean EOF."""
+    try:
+        prefix = await reader.readexactly(_LEN.size)
+    except (asyncio.IncompleteReadError, ConnectionError):
+        return None
+    (length,) = _LEN.unpack(prefix)
+    _check_length(length)
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise ProtocolError("connection closed mid-frame") from None
+    return _decode_body(body)
+
+
+async def write_frame_async(writer, obj: Dict[str, Any]) -> None:
+    writer.write(encode_frame(obj))
+    await writer.drain()
+
+
+def send_frame(sock: socket.socket, obj: Dict[str, Any]) -> None:
+    """Blocking transport (the synchronous client)."""
+    sock.sendall(encode_frame(obj))
+
+
+def _recv_exactly(sock: socket.socket, n: int) -> Optional[bytes]:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Optional[Dict[str, Any]]:
+    """Next message from a blocking socket; None on clean EOF."""
+    prefix = _recv_exactly(sock, _LEN.size)
+    if prefix is None:
+        return None
+    (length,) = _LEN.unpack(prefix)
+    _check_length(length)
+    body = _recv_exactly(sock, length)
+    if body is None:
+        raise ProtocolError("connection closed mid-frame")
+    return _decode_body(body)

@@ -1,0 +1,395 @@
+"""The oracle server: asyncio TCP front-end over registry + batcher.
+
+Layering, from the wire inward:
+
+* a TCP listener (:meth:`OracleServer.start`) framing requests with the
+  length-prefixed JSON protocol; one asyncio task per connection,
+  requests on a connection answered in order, connections served
+  concurrently — which is what lets the batcher coalesce across
+  clients;
+* a transport-independent dispatcher (:meth:`OracleServer.handle`)
+  mapping ``op`` fields onto the registry / batcher / admission
+  trio and typed errors onto failure payloads.  The **in-process
+  transport** (:meth:`OracleServer.connect_local`) calls it directly —
+  the full serving semantics minus sockets, which is what the batcher
+  tests and the batching benchmark drive;
+* :class:`ThreadedServer`, a small harness running the server on a
+  dedicated event-loop thread so blocking clients (the synchronous
+  :class:`~repro.serve.client.RemoteOracle`, a pytest process, the SAT
+  attack) can talk to a live server in the same process.
+
+Ops: ``ping``, ``register`` (host a ``.bench`` netlist, normalized to
+its combinational oracle view), ``describe``, ``query`` (the batched
+hot path), ``stats``.  Shutdown is a drain: admission stops accepting,
+in-flight batches flush and complete, then the listener closes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..netlist.bench_io import parse_bench
+from ..netlist.transform import extract_combinational
+from ..obs import metrics as _metrics
+from ..obs.spans import trace_span
+from .admission import AdmissionConfig, AdmissionController
+from .batcher import BatchConfig, DynamicBatcher
+from .protocol import (
+    ProtocolError,
+    ServeError,
+    error_to_payload,
+    read_frame_async,
+    write_frame_async,
+)
+from .registry import CircuitRegistry
+
+__all__ = ["ServerConfig", "OracleServer", "LocalConnection",
+           "ThreadedServer"]
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Everything an :class:`OracleServer` needs beyond its registry."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; the bound port is in ``address``
+    batch: BatchConfig = field(default_factory=BatchConfig)
+    admission: AdmissionConfig = field(default_factory=AdmissionConfig)
+    #: budget applied to circuits registered without one (None = unlimited)
+    default_budget: Optional[int] = None
+
+
+def _decode_pattern(raw: Any, index: int) -> Dict[str, Optional[int]]:
+    """One wire pattern -> oracle assignment; typed error on junk."""
+    if not isinstance(raw, dict):
+        raise ProtocolError(f"pattern #{index} is not an object")
+    pattern: Dict[str, Optional[int]] = {}
+    for net, value in raw.items():
+        if value is None or value == 0 or value == 1:
+            pattern[net] = value
+        else:
+            raise ProtocolError(
+                f"pattern #{index}: net {net!r} carries {value!r} "
+                f"(expected 0, 1, or null)"
+            )
+    return pattern
+
+
+class OracleServer:
+    """Transport-independent dispatcher plus the asyncio TCP front-end."""
+
+    def __init__(
+        self,
+        registry: Optional[CircuitRegistry] = None,
+        config: Optional[ServerConfig] = None,
+    ) -> None:
+        self.config = config or ServerConfig()
+        self.registry = registry if registry is not None else CircuitRegistry()
+        self.admission = AdmissionController(self.config.admission)
+        self.batcher = DynamicBatcher(
+            self.registry, self.admission, self.config.batch
+        )
+        from ..obs.metrics import DEFAULT_TIME_BUCKETS, Histogram
+
+        self.latency = Histogram("serve.request.seconds",
+                                 DEFAULT_TIME_BUCKETS)
+        self.requests = 0
+        self.errors = 0
+        self.connections_total = 0
+        self._open_connections = 0
+        self._started_at = time.time()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.address: Optional[Tuple[str, int]] = None
+
+    # ------------------------------------------------------------------
+    # Dispatch (shared by TCP and the in-process transport)
+    # ------------------------------------------------------------------
+
+    async def handle(self, request: Mapping[str, Any]) -> Dict[str, Any]:
+        """Answer one request object; never raises — errors are payloads."""
+        op = request.get("op")
+        t0 = time.perf_counter()
+        self.requests += 1
+        try:
+            with trace_span("serve.request", op=str(op)):
+                if op == "ping":
+                    response: Dict[str, Any] = {"ok": True, "pong": True}
+                elif op == "register":
+                    response = self._op_register(request)
+                elif op == "describe":
+                    response = self._op_describe(request)
+                elif op == "query":
+                    response = await self._op_query(request)
+                elif op == "stats":
+                    response = self._op_stats()
+                else:
+                    raise ProtocolError(f"unknown op {op!r}")
+        except ServeError as exc:
+            self.errors += 1
+            response = {"ok": False, "error": error_to_payload(exc)}
+        except Exception as exc:  # noqa: BLE001 - fail the request, not the server
+            self.errors += 1
+            wrapped = ServeError(f"{type(exc).__name__}: {exc}")
+            response = {"ok": False, "error": error_to_payload(wrapped)}
+        took = time.perf_counter() - t0
+        self.latency.observe(took)
+        _metrics.observe("serve.request.seconds", took)
+        return response
+
+    def _op_register(self, request: Mapping[str, Any]) -> Dict[str, Any]:
+        netlist = request.get("netlist")
+        if not isinstance(netlist, str) or not netlist.strip():
+            raise ProtocolError("register needs a non-empty 'netlist' field")
+        fmt = request.get("format", "bench")
+        if fmt != "bench":
+            raise ProtocolError(f"unsupported netlist format {fmt!r}")
+        try:
+            circuit = parse_bench(netlist, name=request.get("name", "served"))
+        except Exception as exc:
+            raise ProtocolError(f"unparseable netlist: {exc}") from None
+        # The server hosts *oracles*: the activated chip's combinational
+        # view.  Same normalization as CombinationalOracle.
+        if circuit.key_inputs:
+            raise ProtocolError(
+                "refusing to serve a locked netlist: an oracle wraps the "
+                "original (keyless) design"
+            )
+        if circuit.flip_flops():
+            circuit = extract_combinational(circuit).circuit
+        budget = request.get("budget", self.config.default_budget)
+        if budget is not None and (not isinstance(budget, int) or budget < 0):
+            raise ProtocolError(f"invalid budget {budget!r}")
+        entry = self.registry.register(circuit, budget=budget)
+        payload = entry.describe()
+        payload.update(
+            ok=True,
+            budget=self.registry.budget(entry.circuit_id),
+            query_count=self.registry.query_count(entry.circuit_id),
+        )
+        return payload
+
+    def _op_describe(self, request: Mapping[str, Any]) -> Dict[str, Any]:
+        circuit_id = request.get("circuit")
+        if not isinstance(circuit_id, str):
+            raise ProtocolError("describe needs a 'circuit' field")
+        entry = self.registry.get(circuit_id)
+        payload = entry.describe()
+        payload.update(
+            ok=True,
+            budget=self.registry.budget(circuit_id),
+            query_count=self.registry.query_count(circuit_id),
+        )
+        return payload
+
+    async def _op_query(self, request: Mapping[str, Any]) -> Dict[str, Any]:
+        circuit_id = request.get("circuit")
+        if not isinstance(circuit_id, str):
+            raise ProtocolError("query needs a 'circuit' field")
+        raw_patterns = request.get("patterns")
+        if not isinstance(raw_patterns, list) or not raw_patterns:
+            raise ProtocolError("query needs a non-empty 'patterns' list")
+        entry = self.registry.get(circuit_id)
+        patterns: List[Dict[str, Optional[int]]] = []
+        for index, raw in enumerate(raw_patterns):
+            pattern = _decode_pattern(raw, index)
+            # Validate per request, before admission: one client's typo
+            # must not poison the co-batched evaluation of 63 others.
+            try:
+                entry.compiled.validate_assignment(pattern)
+            except Exception as exc:
+                raise ProtocolError(f"pattern #{index}: {exc}") from None
+            patterns.append(pattern)
+        deadline_ms = request.get("deadline_ms")
+        if deadline_ms is not None and not isinstance(deadline_ms, (int, float)):
+            raise ProtocolError(f"invalid deadline_ms {deadline_ms!r}")
+        outputs = await self.batcher.submit(circuit_id, patterns, deadline_ms)
+        return {
+            "ok": True,
+            "outputs": outputs,
+            "query_count": self.registry.query_count(circuit_id),
+        }
+
+    def _op_stats(self) -> Dict[str, Any]:
+        return {
+            "ok": True,
+            "uptime_s": round(time.time() - self._started_at, 3),
+            "requests": self.requests,
+            "errors": self.errors,
+            "connections": {
+                "open": self._open_connections,
+                "total": self.connections_total,
+            },
+            "latency": {
+                "count": self.latency.count,
+                "mean_s": self.latency.mean,
+                "p50_s": self.latency.quantile(0.5),
+                "p99_s": self.latency.quantile(0.99),
+                "max_s": self.latency.max,
+            },
+            "registry": self.registry.stats(),
+            "batcher": self.batcher.stats(),
+            "admission": self.admission.stats(),
+        }
+
+    # ------------------------------------------------------------------
+    # In-process transport
+    # ------------------------------------------------------------------
+
+    def connect_local(self) -> "LocalConnection":
+        """A transport that dispatches straight into :meth:`handle`."""
+        return LocalConnection(self)
+
+    # ------------------------------------------------------------------
+    # TCP front-end
+    # ------------------------------------------------------------------
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and listen; returns the bound ``(host, port)``."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._server = await asyncio.start_server(
+            self._on_client, self.config.host, self.config.port
+        )
+        sock = self._server.sockets[0]
+        self.address = sock.getsockname()[:2]
+        return self.address
+
+    async def _on_client(self, reader: asyncio.StreamReader,
+                         writer: asyncio.StreamWriter) -> None:
+        self.connections_total += 1
+        self._open_connections += 1
+        _metrics.inc("serve.connections", 1)
+        try:
+            while True:
+                try:
+                    request = await read_frame_async(reader)
+                except ProtocolError as exc:
+                    # Framing is out of sync: answer once, then hang up.
+                    await write_frame_async(
+                        writer, {"ok": False, "error": error_to_payload(exc)}
+                    )
+                    break
+                if request is None:
+                    break
+                response = await self.handle(request)
+                try:
+                    await write_frame_async(writer, response)
+                except ConnectionError:
+                    break
+        except asyncio.CancelledError:
+            # Loop shutdown cancelled this connection task (the drain
+            # closed the listener while a peer kept its socket open).
+            # Exit quietly: re-raising would only spam the loop's
+            # exception handler on the way down.
+            pass
+        finally:
+            # No await here: at loop shutdown this task may already be
+            # cancelled, and awaiting wait_closed() would re-raise into
+            # the transport's close callback.
+            self._open_connections -= 1
+            try:
+                writer.close()
+            except (ConnectionError, RuntimeError):
+                pass
+
+    async def drain(self, timeout_s: float = 5.0) -> bool:
+        """Graceful shutdown: refuse new work, finish in-flight batches.
+
+        Returns the batcher's drain verdict (False only if in-flight
+        work failed to complete within *timeout_s*).
+        """
+        self.admission.begin_drain()
+        settled = await self.batcher.drain(timeout_s)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        return settled
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+
+
+class LocalConnection:
+    """In-process transport: the protocol semantics without sockets."""
+
+    def __init__(self, server: OracleServer) -> None:
+        self.server = server
+
+    async def request(self, obj: Mapping[str, Any]) -> Dict[str, Any]:
+        return await self.server.handle(obj)
+
+
+class ThreadedServer:
+    """An :class:`OracleServer` on its own event-loop thread.
+
+    For synchronous callers — the blocking client, tests, the CLI's
+    ``--serve-seconds`` smoke mode — that need a live TCP endpoint in
+    the current process::
+
+        with ThreadedServer(OracleServer()) as (host, port):
+            oracle = RemoteOracle((host, port), circuit=original)
+
+    Exiting the context drains the server (in-flight batches complete)
+    and joins the thread.
+    """
+
+    def __init__(self, server: Optional[OracleServer] = None) -> None:
+        self.server = server if server is not None else OracleServer()
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._startup_error: Optional[BaseException] = None
+
+    def start(self, timeout_s: float = 10.0) -> Tuple[str, int]:
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout_s):
+            raise RuntimeError("oracle server failed to start in time")
+        if self._startup_error is not None:
+            raise self._startup_error
+        assert self.server.address is not None
+        return self.server.address
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        try:
+            await self.server.start()
+        except BaseException as exc:  # bind failure, bad config, ...
+            self._startup_error = exc
+            self._started.set()
+            return
+        self._started.set()
+        await self._stop.wait()
+        await self.server.drain()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=10.0)
+        self._thread = None
+
+    def __enter__(self) -> Tuple[str, int]:
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

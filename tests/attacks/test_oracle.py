@@ -49,3 +49,48 @@ class TestTimingOracle:
         trace = oracle.run(seq)
         assert len(trace.outputs) == 3
         assert oracle.run_count == 1
+
+
+class TestOracleProtocol:
+    def test_concrete_oracles_satisfy_the_protocols(self, toy_combinational,
+                                                    s1238):
+        from repro.attacks import (
+            OracleProtocol,
+            SimulatedTwoVectorOracle,
+            TwoVectorOracleProtocol,
+        )
+
+        assert isinstance(CombinationalOracle(toy_combinational),
+                          OracleProtocol)
+        assert isinstance(SimulatedTwoVectorOracle(toy_combinational),
+                          TwoVectorOracleProtocol)
+
+    def test_minimal_stub_satisfies_the_protocol(self):
+        from repro.attacks import OracleProtocol
+
+        class Stub:
+            inputs = ["a"]
+            outputs = ["y"]
+            query_count = 0
+
+            def query(self, assignment):
+                return {"y": 0}
+
+            def query_batch(self, assignments):
+                return [{"y": 0} for _ in assignments]
+
+        assert isinstance(Stub(), OracleProtocol)
+        assert not isinstance(object(), OracleProtocol)
+
+    def test_oracles_share_one_registry_compiled_instance(
+            self, toy_combinational):
+        """Satellite of the serving PR: both oracles resolve their
+        compiled circuit through the process default registry, so two
+        oracles over the same design share one compiled instance."""
+        from repro.serve.registry import default_registry
+
+        first = CombinationalOracle(toy_combinational)
+        second = CombinationalOracle(toy_combinational)
+        assert first._compiled is second._compiled
+        assert first._compiled is default_registry().compiled_for(
+            toy_combinational)

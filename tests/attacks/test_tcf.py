@@ -134,3 +134,53 @@ class TestTcfAttackOnGk:
         assert result.completed
         assert result.iterations >= 1  # a timed DIP existed
         assert result.key == {"k": 0}
+
+
+class TestTwoVectorOracleSeam:
+    """The timed attack's oracle is pluggable, mirroring the untimed
+    attack's OracleProtocol seam."""
+
+    def delay_locked(self):
+        b = Builder("dl2")
+        a = b.input("a")
+        k = b.key_input("k")
+        from repro.synth import insert_delay_chain
+
+        chain = insert_delay_chain(b.circuit, a, 0.5, prefix="slow")
+        b.po(b.mux2(a, chain.output_net, k), "y")
+        return b.circuit
+
+    def test_explicit_oracle_matches_default_path(self):
+        from repro.attacks import SimulatedTwoVectorOracle
+
+        locked = self.delay_locked()
+        baseline = tcf_attack(locked, locked, {"k": 0}, sample_time=0.3,
+                              dt=0.05, max_iterations=16)
+        oracle = SimulatedTwoVectorOracle(locked, {"k": 0})
+        explicit = tcf_attack(locked, sample_time=0.3, dt=0.05,
+                              max_iterations=16, oracle=oracle)
+        assert explicit.completed and baseline.completed
+        assert explicit.key == baseline.key == {"k": 0}
+        assert explicit.dips == baseline.dips
+        assert oracle.query_count == explicit.iterations
+
+    def test_oracle_and_circuit_are_mutually_exclusive(self):
+        from repro.attacks import SimulatedTwoVectorOracle
+        from repro.netlist import NetlistError
+
+        locked = self.delay_locked()
+        oracle = SimulatedTwoVectorOracle(locked, {"k": 0})
+        with pytest.raises(NetlistError, match="not both"):
+            tcf_attack(locked, locked, {"k": 0}, sample_time=0.3,
+                       oracle=oracle)
+        with pytest.raises(NetlistError, match="either"):
+            tcf_attack(locked, sample_time=0.3)
+
+    def test_simulated_oracle_needs_key_for_keyed_circuit(self):
+        from repro.attacks import SimulatedTwoVectorOracle
+        from repro.netlist import NetlistError
+
+        locked = self.delay_locked()
+        oracle = SimulatedTwoVectorOracle(locked)  # key withheld
+        with pytest.raises(NetlistError, match="key"):
+            oracle.two_vector({"a": 0}, {"a": 1}, 0.3)

@@ -96,3 +96,15 @@ def test_json_and_object_entries_do_not_collide(tmp_path):
     cache.put_object(key, {"pickle": True})
     assert cache.get(key) == {"json": True}
     assert cache.get_object(key) == {"pickle": True}
+
+
+def test_content_key_is_the_shared_hashing_story():
+    """``content_key`` backs both the netlist cache and the serving
+    registry's circuit IDs: order-insensitive, version-salted SHA-256."""
+    from repro.campaign.cache import content_key
+
+    assert content_key(a=1, b=2) == content_key(b=2, a=1)
+    assert content_key(a=1) != content_key(a=2)
+    assert len(content_key(a=1)) == 64
+    assert content_key(kind="x", value=1) == NetlistCache.key(
+        kind="x", value=1)

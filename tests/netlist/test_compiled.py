@@ -198,3 +198,24 @@ class TestCompiledStructure:
             ff.output for ff in toy_sequential.flip_flops()
         ]:
             assert compiled.net_ids[net] < compiled.num_sources
+
+
+class TestValidateAssignment:
+    """The serving layer's pre-batching boundary check."""
+
+    def test_accepts_complete_assignment(self):
+        compiled = compile_circuit(build_toy_combinational())
+        compiled.validate_assignment({"a": 0, "b": 1, "c": 0})  # no raise
+
+    def test_rejects_missing_and_unknown_nets(self):
+        compiled = compile_circuit(build_toy_combinational())
+        with pytest.raises(NetlistError, match="no value supplied"):
+            compiled.validate_assignment({"a": 0, "b": 1})
+        with pytest.raises(NetlistError, match="unknown net"):
+            compiled.validate_assignment({"a": 0, "b": 1, "c": 0, "zz": 1})
+
+    def test_checks_names_only_not_values(self):
+        # Values are validated later, during packing; the cheap name
+        # check is what co-batched requests are screened with.
+        compiled = compile_circuit(build_toy_combinational())
+        compiled.validate_assignment({"a": 0, "b": 2, "c": "junk"})

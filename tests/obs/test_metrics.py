@@ -90,3 +90,34 @@ class TestRegistry:
         assert snap["g"] == {"kind": "gauge", "value": 1.5}
         assert snap["h"]["count"] == 1
         assert snap["h"]["counts"] == [1, 0]
+
+
+class TestHistogramQuantile:
+    def filled(self):
+        h = Histogram("lat", bounds=(1.0, 10.0, 100.0))
+        for value in (0.5, 5.0, 5.0, 50.0, 500.0):
+            h.observe(value)
+        return h
+
+    def test_empty_is_none(self):
+        assert Histogram("lat").quantile(0.5) is None
+
+    def test_median_lands_on_bucket_bound(self):
+        assert self.filled().quantile(0.5) == 10.0
+
+    def test_extremes_resolve_to_bucket_bound_or_observed_max(self):
+        h = self.filled()
+        assert h.quantile(0.0) == 1.0  # bound of the smallest bucket
+        assert h.quantile(1.0) == 500.0  # overflow bucket resolves to max
+
+    def test_single_observation(self):
+        h = Histogram("lat", bounds=(1.0, 10.0))
+        h.observe(3.0)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert h.quantile(q) == 3.0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            self.filled().quantile(1.5)
+        with pytest.raises(ValueError):
+            self.filled().quantile(-0.1)

@@ -1,0 +1,37 @@
+"""Shared helpers for the serving-subsystem tests."""
+
+import pytest
+
+from repro.netlist import Builder
+from repro.serve import (
+    AdmissionConfig,
+    AdmissionController,
+    BatchConfig,
+    CircuitRegistry,
+    DynamicBatcher,
+)
+
+
+def build_chain(name="chain", length=3):
+    """An inverter chain — cheap, and ``length`` makes circuits distinct."""
+    b = Builder(name)
+    (net,) = b.inputs("a")
+    for _ in range(length):
+        net = b.inv(net)
+    b.po(net, "y")
+    b.circuit.validate()
+    return b.circuit
+
+
+@pytest.fixture
+def registry():
+    return CircuitRegistry()
+
+
+def make_batcher(registry, max_batch=64, window_s=0.01, **admission_kwargs):
+    """A batcher over *registry* with its own admission controller."""
+    admission = AdmissionController(AdmissionConfig(**admission_kwargs))
+    batcher = DynamicBatcher(
+        registry, admission, BatchConfig(max_batch=max_batch, window_s=window_s)
+    )
+    return batcher, admission

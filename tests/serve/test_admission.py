@@ -1,0 +1,93 @@
+"""Backpressure, deadlines, and drain semantics of admission control."""
+
+import pytest
+
+from repro.serve import (
+    AdmissionConfig,
+    AdmissionController,
+    OverloadedError,
+    ShuttingDownError,
+)
+
+
+class FakeClock:
+    def __init__(self, now=100.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+class TestLedger:
+    def test_admit_release_and_peak(self):
+        ctl = AdmissionController(AdmissionConfig(max_pending=10))
+        ctl.admit(4)
+        ctl.admit(3)
+        assert ctl.pending == 7 and ctl.peak_pending == 7
+        ctl.release(4)
+        assert ctl.pending == 3 and ctl.peak_pending == 7
+        ctl.release(3)
+        assert ctl.idle
+        assert ctl.admitted == 7 and ctl.completed == 7
+
+    def test_queue_overflow_refused_whole(self):
+        ctl = AdmissionController(AdmissionConfig(max_pending=4))
+        ctl.admit(3)
+        with pytest.raises(OverloadedError, match="queue full"):
+            ctl.admit(2)  # 3 + 2 > 4: nothing admitted
+        assert ctl.pending == 3
+        assert ctl.rejected_overload == 1
+        ctl.admit(1)  # exactly at the bound is fine
+        assert ctl.pending == 4
+
+    def test_per_request_pattern_limit(self):
+        ctl = AdmissionController(
+            AdmissionConfig(max_pending=100, max_patterns_per_request=8)
+        )
+        with pytest.raises(OverloadedError, match="limit 8"):
+            ctl.admit(9)
+        assert ctl.pending == 0
+
+
+class TestDeadlines:
+    def test_no_deadline_by_default(self):
+        ctl = AdmissionController()
+        assert ctl.deadline_for(None) is None
+
+    def test_server_default_deadline_applies(self):
+        clock = FakeClock()
+        ctl = AdmissionController(
+            AdmissionConfig(default_deadline_s=2.0), clock=clock
+        )
+        assert ctl.deadline_for(None) == pytest.approx(102.0)
+
+    def test_client_deadline_converted_and_capped(self):
+        clock = FakeClock()
+        ctl = AdmissionController(
+            AdmissionConfig(max_deadline_s=1.0), clock=clock
+        )
+        assert ctl.deadline_for(500) == pytest.approx(100.5)
+        assert ctl.deadline_for(60_000) == pytest.approx(101.0)  # capped
+        assert ctl.deadline_for(-5) == pytest.approx(100.0)  # clamped to now
+
+
+class TestDrain:
+    def test_drain_refuses_new_work_only(self):
+        ctl = AdmissionController()
+        ctl.admit(2)
+        ctl.begin_drain()
+        with pytest.raises(ShuttingDownError):
+            ctl.admit(1)
+        assert ctl.rejected_draining == 1
+        ctl.release(2)  # in-flight work still completes
+        assert ctl.idle
+
+    def test_stats_snapshot(self):
+        ctl = AdmissionController(AdmissionConfig(max_pending=16))
+        ctl.admit(5)
+        ctl.note_expired(2)
+        stats = ctl.stats()
+        assert stats["pending"] == 5
+        assert stats["max_pending"] == 16
+        assert stats["expired"] == 2
+        assert stats["draining"] is False

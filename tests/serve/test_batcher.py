@@ -1,0 +1,217 @@
+"""Dynamic batching edge cases: windows, width splits, deadlines, drain.
+
+Each test drives the batcher directly over the in-process registry —
+no sockets — inside its own ``asyncio.run`` event loop.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.serve import (
+    DeadlineExceededError,
+    OverloadedError,
+    QueryBudgetExceededError,
+    UnknownCircuitError,
+)
+
+from tests.serve.conftest import build_chain, make_batcher
+
+
+def expected_outputs(entry, patterns):
+    """Reference answers straight from the compiled evaluator."""
+    return entry.compiled.query_outputs(patterns)
+
+
+def test_single_request_flushes_at_window_deadline(registry):
+    """A lone request must not wait for a full batch: the window flushes it."""
+    entry = registry.register(build_chain())
+    batcher, _ = make_batcher(registry, max_batch=64, window_s=0.01)
+
+    async def scenario():
+        return await batcher.submit(entry.circuit_id, [{"a": 1}])
+
+    outputs = asyncio.run(scenario())
+    assert outputs == expected_outputs(entry, [{"a": 1}])
+    assert batcher.batches == 1
+    assert batcher.window_batches == 1
+    assert batcher.full_batches == 0
+
+
+def test_65_concurrent_requests_split_64_plus_1(registry):
+    """Width trigger: lane 65 starts a second batch, flushed by its window."""
+    entry = registry.register(build_chain())
+    batcher, admission = make_batcher(registry, max_batch=64, window_s=0.02)
+    patterns = [{"a": i % 2} for i in range(65)]
+
+    async def scenario():
+        tasks = [
+            asyncio.create_task(batcher.submit(entry.circuit_id, [p]))
+            for p in patterns
+        ]
+        return await asyncio.gather(*tasks)
+
+    results = asyncio.run(scenario())
+    flat = [r for result in results for r in result]
+    assert flat == expected_outputs(entry, patterns)
+    assert batcher.batches == 2
+    assert batcher.full_batches == 1
+    assert batcher.window_batches == 1
+    assert batcher.occupancy.max == 64
+    assert batcher.lanes_total == 65
+    assert admission.idle
+
+
+def test_mixed_circuits_are_never_cobatched(registry):
+    """Queries against different circuits keep separate pending queues."""
+    first = registry.register(build_chain("first", 2))
+    second = registry.register(build_chain("second", 3))
+    assert first.circuit_id != second.circuit_id
+    batcher, _ = make_batcher(registry, max_batch=64, window_s=0.01)
+
+    async def scenario():
+        tasks = []
+        for i in range(3):  # interleave the two circuits
+            tasks.append(asyncio.create_task(
+                batcher.submit(first.circuit_id, [{"a": i % 2}])))
+            tasks.append(asyncio.create_task(
+                batcher.submit(second.circuit_id, [{"a": i % 2}])))
+        return await asyncio.gather(*tasks)
+
+    results = asyncio.run(scenario())
+    # chain(2) buffers, chain(3) inverts: co-batching would corrupt one.
+    for i in range(3):
+        assert results[2 * i][0]["y"] == i % 2
+        assert results[2 * i + 1][0]["y"] == 1 - i % 2
+    assert batcher.batches == 2  # one flush per circuit, never merged
+    assert batcher.occupancy.max == 3
+
+
+def test_expired_request_rejected_with_typed_error(registry):
+    """A deadline that lapses before the flush costs no evaluation."""
+    entry = registry.register(build_chain())
+    batcher, admission = make_batcher(registry, max_batch=64, window_s=0.05)
+
+    async def scenario():
+        with pytest.raises(DeadlineExceededError):
+            await batcher.submit(entry.circuit_id, [{"a": 0}], deadline_ms=1)
+
+    asyncio.run(scenario())
+    assert batcher.rejected_expired == 1
+    assert batcher.lanes_total == 0  # nothing was evaluated
+    assert admission.expired == 1
+    assert admission.idle  # the slot was released despite the rejection
+
+
+def test_drain_completes_inflight_requests(registry):
+    """Shutdown flushes pending batches instead of abandoning them."""
+    entry = registry.register(build_chain())
+    # A window long enough that only drain() can flush these.
+    batcher, admission = make_batcher(registry, max_batch=64, window_s=30.0)
+
+    async def scenario():
+        tasks = [
+            asyncio.create_task(batcher.submit(entry.circuit_id, [{"a": v}]))
+            for v in (0, 1, 0)
+        ]
+        await asyncio.sleep(0)  # let every submit enqueue
+        assert batcher.pending_lanes == 3
+        settled = await batcher.drain(timeout_s=5.0)
+        return settled, await asyncio.gather(*tasks)
+
+    settled, results = asyncio.run(scenario())
+    assert settled is True
+    flat = [r for result in results for r in result]
+    assert flat == expected_outputs(entry, [{"a": 0}, {"a": 1}, {"a": 0}])
+    assert admission.idle
+    assert batcher.pending_lanes == 0
+
+
+def test_budget_charged_in_arrival_order(registry):
+    """The request that crosses the budget is refused; earlier ones answer."""
+    entry = registry.register(build_chain(), budget=2)
+    batcher, _ = make_batcher(registry, max_batch=64, window_s=0.01)
+
+    async def scenario():
+        tasks = [
+            asyncio.create_task(batcher.submit(entry.circuit_id, [{"a": 1}]))
+            for _ in range(3)
+        ]
+        return await asyncio.gather(*tasks, return_exceptions=True)
+
+    results = asyncio.run(scenario())
+    assert isinstance(results[0], list) and isinstance(results[1], list)
+    assert isinstance(results[2], QueryBudgetExceededError)
+    assert registry.query_count(entry.circuit_id) == 2
+
+
+def test_multi_pattern_request_fills_lanes(registry):
+    """A request's lane footprint is its pattern count, not one."""
+    entry = registry.register(build_chain())
+    batcher, _ = make_batcher(registry, max_batch=4, window_s=5.0)
+
+    async def scenario():
+        first = asyncio.create_task(
+            batcher.submit(entry.circuit_id, [{"a": 0}, {"a": 1}]))
+        second = asyncio.create_task(
+            batcher.submit(entry.circuit_id, [{"a": 1}, {"a": 0}]))
+        return await asyncio.gather(first, second)
+
+    results = asyncio.run(scenario())
+    assert batcher.batches == 1  # 2 + 2 lanes hit max_batch=4: width flush
+    assert batcher.full_batches == 1
+    assert [r["y"] for r in results[0]] == [1, 0]
+    assert [r["y"] for r in results[1]] == [0, 1]
+
+
+def test_unknown_circuit_fails_before_admission(registry):
+    batcher, admission = make_batcher(registry)
+
+    async def scenario():
+        with pytest.raises(UnknownCircuitError):
+            await batcher.submit("no-such-circuit", [{"a": 0}])
+
+    asyncio.run(scenario())
+    assert admission.admitted == 0
+
+
+def test_overload_rejects_before_enqueue(registry):
+    entry = registry.register(build_chain())
+    batcher, admission = make_batcher(registry, max_pending=2)
+
+    async def scenario():
+        with pytest.raises(OverloadedError):
+            await batcher.submit(entry.circuit_id, [{"a": 0}] * 3)
+
+    asyncio.run(scenario())
+    assert batcher.pending_lanes == 0
+    assert admission.rejected_overload == 1
+
+
+def test_empty_request_is_a_noop(registry):
+    entry = registry.register(build_chain())
+    batcher, admission = make_batcher(registry)
+
+    async def scenario():
+        return await batcher.submit(entry.circuit_id, [])
+
+    assert asyncio.run(scenario()) == []
+    assert admission.admitted == 0
+    assert batcher.batches == 0
+
+
+def test_stats_shape(registry):
+    entry = registry.register(build_chain())
+    batcher, _ = make_batcher(registry, max_batch=8, window_s=0.005)
+
+    async def scenario():
+        await batcher.submit(entry.circuit_id, [{"a": 1}])
+
+    asyncio.run(scenario())
+    stats = batcher.stats()
+    assert stats["batches"] == 1
+    assert stats["lanes_total"] == 1
+    assert stats["occupancy_mean"] == 1.0
+    assert stats["occupancy_p50"] == 1.0
+    assert stats["max_batch"] == 8
+    assert stats["window_ms"] == pytest.approx(5.0)

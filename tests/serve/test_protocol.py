@@ -1,0 +1,155 @@
+"""Framing and typed-error round-trips of the wire protocol."""
+
+import asyncio
+import socket
+import struct
+
+import pytest
+
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    DeadlineExceededError,
+    OverloadedError,
+    ProtocolError,
+    QueryBudgetExceededError,
+    ServeError,
+    ShuttingDownError,
+    UnknownCircuitError,
+    encode_frame,
+    error_from_payload,
+    error_to_payload,
+    read_frame_async,
+    recv_frame,
+    send_frame,
+)
+
+ERROR_CLASSES = [
+    ServeError,
+    ProtocolError,
+    OverloadedError,
+    ShuttingDownError,
+    DeadlineExceededError,
+    UnknownCircuitError,
+    QueryBudgetExceededError,
+]
+
+
+class TestFraming:
+    def test_blocking_roundtrip_over_socketpair(self):
+        a, b = socket.socketpair()
+        try:
+            message = {"op": "query", "patterns": [{"a": 1, "b": None}]}
+            send_frame(a, message)
+            assert recv_frame(b) == message
+        finally:
+            a.close()
+            b.close()
+
+    def test_clean_eof_is_none(self):
+        a, b = socket.socketpair()
+        a.close()
+        try:
+            assert recv_frame(b) is None
+        finally:
+            b.close()
+
+    def test_torn_frame_raises(self):
+        a, b = socket.socketpair()
+        try:
+            # Announce 100 bytes, deliver 3, hang up.
+            a.sendall(struct.pack(">I", 100) + b"abc")
+            a.close()
+            with pytest.raises(ProtocolError, match="mid-frame"):
+                recv_frame(b)
+        finally:
+            b.close()
+
+    def test_announced_length_beyond_limit_rejected(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+            with pytest.raises(ProtocolError, match="limit"):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_non_object_body_rejected(self):
+        a, b = socket.socketpair()
+        try:
+            body = b"[1, 2, 3]"
+            a.sendall(struct.pack(">I", len(body)) + body)
+            with pytest.raises(ProtocolError, match="JSON object"):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_undecodable_body_rejected(self):
+        a, b = socket.socketpair()
+        try:
+            body = b"{not json"
+            a.sendall(struct.pack(">I", len(body)) + body)
+            with pytest.raises(ProtocolError, match="undecodable"):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_async_reader_roundtrip_and_eof(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(encode_frame({"op": "ping"}))
+            reader.feed_data(encode_frame({"op": "stats"}))
+            reader.feed_eof()
+            first = await read_frame_async(reader)
+            second = await read_frame_async(reader)
+            third = await read_frame_async(reader)
+            return first, second, third
+
+        first, second, third = asyncio.run(scenario())
+        assert first == {"op": "ping"}
+        assert second == {"op": "stats"}
+        assert third is None
+
+    def test_async_reader_torn_frame(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(struct.pack(">I", 64) + b"partial")
+            reader.feed_eof()
+            with pytest.raises(ProtocolError, match="mid-frame"):
+                await read_frame_async(reader)
+
+        asyncio.run(scenario())
+
+
+class TestTypedErrors:
+    @pytest.mark.parametrize("cls", ERROR_CLASSES)
+    def test_payload_roundtrip_preserves_class(self, cls):
+        payload = error_to_payload(cls("boom"))
+        rebuilt = error_from_payload(payload)
+        assert type(rebuilt) is cls
+        assert str(rebuilt) == "boom"
+        assert payload["retryable"] == cls.retryable
+
+    def test_codes_are_unique(self):
+        codes = [cls.code for cls in ERROR_CLASSES]
+        assert len(set(codes)) == len(codes)
+
+    def test_backpressure_errors_are_retryable(self):
+        for cls in (OverloadedError, ShuttingDownError, DeadlineExceededError):
+            assert cls.retryable
+        for cls in (ProtocolError, UnknownCircuitError,
+                    QueryBudgetExceededError):
+            assert not cls.retryable
+
+    def test_unknown_code_degrades_to_base(self):
+        rebuilt = error_from_payload({"code": "martian", "message": "m"})
+        assert type(rebuilt) is ServeError
+
+    def test_malformed_payload_degrades_to_base(self):
+        assert isinstance(error_from_payload(None), ServeError)
+
+    def test_oversized_frame_refused_at_encode(self):
+        with pytest.raises(ProtocolError, match="exceeds"):
+            encode_frame({"blob": "x" * (MAX_FRAME_BYTES + 1)})

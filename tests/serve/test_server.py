@@ -1,0 +1,224 @@
+"""The dispatcher (in-process transport) and the TCP front-end."""
+
+import asyncio
+import io
+
+import pytest
+
+from repro.netlist.bench_io import write_bench
+from repro.serve import OracleServer, ServeConnection, ThreadedServer
+from repro.serve.registry import circuit_content_id
+
+from tests.conftest import build_toy_sequential
+from tests.serve.conftest import build_chain
+
+
+def bench_text(circuit):
+    text = io.StringIO()
+    write_bench(circuit, text)
+    return text.getvalue()
+
+
+def dispatch(server, *requests):
+    """Run one or more requests through the in-process transport."""
+    async def scenario():
+        connection = server.connect_local()
+        return [await connection.request(r) for r in requests]
+
+    responses = asyncio.run(scenario())
+    return responses[0] if len(responses) == 1 else responses
+
+
+class TestDispatch:
+    def test_ping(self):
+        assert dispatch(OracleServer(), {"op": "ping"})["pong"] is True
+
+    def test_register_describe_query(self):
+        server = OracleServer()
+        circuit = build_chain()
+        registered, described, queried = dispatch(
+            server,
+            {"op": "register", "netlist": bench_text(circuit),
+             "name": circuit.name},
+            {"op": "describe", "circuit": circuit_content_id(circuit)},
+            {"op": "query", "circuit": circuit_content_id(circuit),
+             "patterns": [{"a": 0}, {"a": 1}]},
+        )
+        assert registered["ok"] and registered["circuit"] == described["circuit"]
+        assert registered["inputs"] == ["a"]
+        assert registered["outputs"] == ["y"]
+        assert queried["ok"]
+        assert [p["y"] for p in queried["outputs"]] == [1, 0]  # 3 inverters
+        assert queried["query_count"] == 2
+
+    def test_register_is_idempotent(self):
+        server = OracleServer()
+        circuit = build_chain()
+        request = {"op": "register", "netlist": bench_text(circuit),
+                   "name": circuit.name}
+        first, second = dispatch(server, request, dict(request))
+        assert first["circuit"] == second["circuit"]
+        assert len(server.registry) == 1
+
+    def test_register_normalizes_sequential_to_oracle_view(self):
+        server = OracleServer()
+        sequential = build_toy_sequential()
+        response = dispatch(server, {
+            "op": "register", "netlist": bench_text(sequential),
+            "name": sequential.name,
+        })
+        assert response["ok"]
+        # FFs become pseudo-PIs/POs: more ports than the sequential shell.
+        assert len(response["inputs"]) > len(sequential.inputs)
+
+    def test_register_refuses_locked_netlist(self):
+        text = ("INPUT(a)\nINPUT(keyin0)\nOUTPUT(y)\n"
+                "y = XOR(a, keyin0)\n")
+        response = dispatch(OracleServer(), {"op": "register", "netlist": text})
+        assert not response["ok"]
+        assert response["error"]["code"] == "protocol-error"
+        assert "locked" in response["error"]["message"]
+
+    def test_register_rejects_garbage(self):
+        server = OracleServer()
+        for netlist in ("", "widget(", 42):
+            response = dispatch(server, {"op": "register", "netlist": netlist})
+            assert not response["ok"]
+            assert response["error"]["code"] == "protocol-error"
+
+    def test_unknown_op_and_unknown_circuit(self):
+        server = OracleServer()
+        bad_op, bad_circuit = dispatch(
+            server,
+            {"op": "defragment"},
+            {"op": "query", "circuit": "missing", "patterns": [{"a": 0}]},
+        )
+        assert bad_op["error"]["code"] == "protocol-error"
+        assert bad_circuit["error"]["code"] == "unknown-circuit"
+
+    def test_bad_pattern_value_rejected_per_request(self):
+        server = OracleServer()
+        circuit = build_chain()
+        cid = circuit_content_id(circuit)
+        register = {"op": "register", "netlist": bench_text(circuit),
+                    "name": circuit.name}
+        two, unknown_net, missing = dispatch(
+            server,
+            register,
+            {"op": "query", "circuit": cid, "patterns": [{"a": 2}]},
+            {"op": "query", "circuit": cid, "patterns": [{"a": 0, "zz": 1}]},
+            {"op": "query", "circuit": cid, "patterns": [{}]},
+        )[1:]
+        for response in (two, unknown_net, missing):
+            assert not response["ok"]
+            assert response["error"]["code"] == "protocol-error"
+        # Rejected before admission/batching: nothing was evaluated.
+        assert server.batcher.lanes_total == 0
+
+    def test_x_propagates_as_null(self):
+        server = OracleServer()
+        circuit = build_chain()
+        responses = dispatch(
+            server,
+            {"op": "register", "netlist": bench_text(circuit),
+             "name": circuit.name},
+            {"op": "query", "circuit": circuit_content_id(circuit),
+             "patterns": [{"a": None}]},
+        )
+        assert responses[1]["outputs"][0]["y"] is None
+
+    def test_stats_shape(self):
+        server = OracleServer()
+        circuit = build_chain()
+        responses = dispatch(
+            server,
+            {"op": "register", "netlist": bench_text(circuit),
+             "name": circuit.name},
+            {"op": "query", "circuit": circuit_content_id(circuit),
+             "patterns": [{"a": 1}]},
+            {"op": "stats"},
+        )
+        stats = responses[2]
+        assert stats["ok"]
+        assert stats["requests"] == 3
+        assert stats["errors"] == 0
+        assert stats["latency"]["count"] == 2  # stats op not yet recorded
+        assert stats["registry"]["size"] == 1
+        assert stats["batcher"]["lanes_total"] == 1
+        assert stats["admission"]["admitted"] == 1
+
+    def test_unexpected_exception_fails_request_not_server(self):
+        server = OracleServer()
+
+        def boom():
+            raise RuntimeError("kaput")
+
+        server._op_stats = boom
+        response = dispatch(server, {"op": "stats"})
+        assert not response["ok"]
+        assert response["error"]["code"] == "serve-error"
+        assert "kaput" in response["error"]["message"]
+        assert dispatch(server, {"op": "ping"})["ok"]  # server survived
+
+
+class TestTcp:
+    def test_threaded_server_roundtrip(self):
+        circuit = build_chain()
+        with ThreadedServer() as (host, port):
+            with ServeConnection((host, port)) as connection:
+                assert connection.ping()
+                registered = connection.request({
+                    "op": "register", "netlist": bench_text(circuit),
+                    "name": circuit.name,
+                })
+                answer = connection.request({
+                    "op": "query", "circuit": registered["circuit"],
+                    "patterns": [{"a": 0}],
+                })
+                assert answer["outputs"][0]["y"] == 1
+                stats = connection.stats()
+                assert stats["connections"]["total"] == 1
+
+    def test_concurrent_connections_share_one_batch(self):
+        """Clients on separate sockets coalesce into one compiled pass."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.serve import BatchConfig, ServerConfig
+
+        circuit = build_chain()
+        # A generous window so thread-startup jitter cannot stagger the
+        # eight arrivals across separate windows and flake the assert.
+        server = OracleServer(config=ServerConfig(
+            batch=BatchConfig(max_batch=64, window_s=0.25)
+        ))
+        with ThreadedServer(server) as (host, port):
+            with ServeConnection((host, port)) as setup:
+                cid = setup.request({
+                    "op": "register", "netlist": bench_text(circuit),
+                    "name": circuit.name,
+                })["circuit"]
+
+            def one_query(value):
+                with ServeConnection((host, port)) as connection:
+                    return connection.request({
+                        "op": "query", "circuit": cid,
+                        "patterns": [{"a": value}],
+                    })["outputs"][0]["y"]
+
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                answers = list(pool.map(one_query, [i % 2 for i in range(8)]))
+        assert answers == [1 - i % 2 for i in range(8)]
+        assert server.batcher.lanes_total == 8
+        # Windowed coalescing across sockets: fewer flushes than queries.
+        assert server.batcher.batches < 8
+
+    def test_drain_on_shutdown_leaves_no_pending_work(self):
+        server = OracleServer()
+        with ThreadedServer(server) as (host, port):
+            with ServeConnection((host, port)) as connection:
+                connection.request({
+                    "op": "register",
+                    "netlist": bench_text(build_chain()),
+                })
+        assert server.admission.draining
+        assert server.admission.idle

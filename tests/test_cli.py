@@ -162,3 +162,62 @@ class TestObservabilityFlags:
         assert args.seed == 3
         assert args.max_iterations == 64
         assert args.sim_cycles == 8
+
+
+class TestVersion:
+    def test_version_flag_prints_and_exits_zero(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_help_epilog_names_the_version(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        assert f"repro version {__version__}" in capsys.readouterr().out
+
+
+class TestServe:
+    def test_serve_smoke_registers_and_drains(self, bench_file, capsys):
+        assert main(["serve", bench_file, "--port", "0",
+                     "--serve-seconds", "0.05"]) == 0
+        captured = capsys.readouterr()
+        assert "serving 1 circuit(s)" in captured.out
+        assert "drained" in captured.err
+
+    def test_serve_refuses_locked_netlist(self, bench_file, tmp_path):
+        locked_path = str(tmp_path / "locked.bench")
+        main(["lock", bench_file, "--scheme", "xor", "--key-bits", "2",
+              "-o", locked_path])
+        with pytest.raises(SystemExit, match="locked"):
+            main(["serve", locked_path, "--serve-seconds", "0.05"])
+
+
+class TestAttackRemoteFlags:
+    def test_remote_without_oracle_or_circuit_rejected(
+            self, bench_file, tmp_path):
+        locked_path = str(tmp_path / "locked.bench")
+        main(["lock", bench_file, "--scheme", "xor", "--key-bits", "2",
+              "-o", locked_path])
+        with pytest.raises(SystemExit, match="--remote needs"):
+            main(["attack", locked_path, "--remote", "127.0.0.1:1"])
+
+    def test_remote_circuit_id_conflicts_with_netlist(
+            self, bench_file, tmp_path):
+        locked_path = str(tmp_path / "locked.bench")
+        main(["lock", bench_file, "--scheme", "xor", "--key-bits", "2",
+              "-o", locked_path])
+        with pytest.raises(SystemExit, match="not both"):
+            main(["attack", locked_path, bench_file,
+                  "--remote", "127.0.0.1:1", "--circuit", "abc"])
+
+    def test_attack_without_any_oracle_rejected(self, bench_file, tmp_path):
+        locked_path = str(tmp_path / "locked.bench")
+        main(["lock", bench_file, "--scheme", "xor", "--key-bits", "2",
+              "-o", locked_path])
+        with pytest.raises(SystemExit, match="needs an oracle"):
+            main(["attack", locked_path])
