@@ -18,27 +18,61 @@ by interface marshalling.  A paper benchmark (s1238's combinational
 core) rides along as an uasserted secondary datapoint — its shallow,
 interface-heavy shape bounds the gain lower.
 
-Results land in ``benchmarks/BENCH_serve.json``.  Guard: on the deep
-oracle, batching must deliver at least 8x the unbatched throughput.
-Both regimes run on one machine back to back, so the guard is a ratio
-and machine-independent.
+A second benchmark measures the *multi-process* backend: the same
+concurrent-client workload against a 4-worker sharded server versus the
+single-process threaded server.  Workers evaluate in parallel on
+separate cores, so on a multi-core machine the sharded fleet must
+sustain at least 3x the single-process throughput; on fewer cores than
+workers the ratio is recorded but not asserted (process parallelism
+cannot beat serial execution on one core).
+
+Results land in ``benchmarks/BENCH_serve.json`` (one section per
+benchmark, merged).  Guard: on the deep oracle, batching must deliver
+at least 8x the unbatched throughput.  Both regimes run on one machine
+back to back, so the guards are ratios and machine-independent.
 """
 
 import asyncio
 import json
 import os
 import random
+import threading
 import time
+from io import StringIO
 
 import pytest
 
 from repro.bench.generator import GeneratorSpec, random_sequential_circuit
+from repro.netlist import write_bench
 from repro.netlist.transform import extract_combinational
+from repro.serve import (
+    RemoteOracle,
+    ShardConfig,
+    ShardSupervisor,
+    ThreadedServer,
+    ThreadedShardServer,
+)
 from repro.serve.admission import AdmissionConfig
 from repro.serve.batcher import BatchConfig
-from repro.serve.server import OracleServer, ServerConfig
+from repro.serve.registry import circuit_content_id
+from repro.serve.server import OracleServer, ServerConfig, registration_view
+from repro.serve.shard import HashRing
 
 _DUMP = os.path.join(os.path.dirname(__file__), "BENCH_serve.json")
+
+
+def _merge_dump(section, payload):
+    """Update one section of BENCH_serve.json, keeping the others."""
+    data = {}
+    if os.path.exists(_DUMP):
+        with open(_DUMP) as stream:
+            data = json.load(stream)
+        if "circuits" in data:  # pre-sectioned flat layout
+            data = {"batching": data}
+    data[section] = payload
+    with open(_DUMP, "w") as stream:
+        json.dump(data, stream, indent=2, sort_keys=True)
+        stream.write("\n")
 
 MIN_BATCHING_SPEEDUP = 8.0
 CLIENTS = 64
@@ -120,12 +154,140 @@ def test_serve_batching_throughput(s1238):
             "occupancy_mean_on": on_stats["occupancy_mean"],
         }
 
-    with open(_DUMP, "w") as stream:
-        json.dump(results, stream, indent=2, sort_keys=True)
-        stream.write("\n")
+    _merge_dump("batching", results)
     print(f"\nBENCH_serve: {json.dumps({k: round(v, 1) for k, v in ratios.items()})}")
 
     assert ratios["deep4k"] >= MIN_BATCHING_SPEEDUP, (
         f"batching delivers only {ratios['deep4k']:.1f}x on the deep "
         f"oracle (need {MIN_BATCHING_SPEEDUP:.0f}x)"
     )
+
+
+# ----------------------------------------------------------------------
+# Sharded vs single-process throughput
+# ----------------------------------------------------------------------
+
+MIN_SHARD_SPEEDUP = 3.0
+SHARD_WORKERS = 4
+SHARD_PER_WORKER = 2        # circuits per worker: 8 concurrent clients
+SHARD_ROUNDS = 6
+SHARD_PATTERNS = 32         # lanes per request: evaluation dominates framing
+
+
+def _bench_text(circuit):
+    buffer = StringIO()
+    write_bench(circuit, buffer)
+    return buffer.getvalue()
+
+
+def _balanced_circuits(workers, per_worker):
+    """Deterministic deep circuits whose ring owners balance exactly
+    across *workers* — the workload saturates the whole fleet instead
+    of whichever workers random seeds happen to hash to.  The ring and
+    the generator are both seed-deterministic, so the scan always
+    selects the same circuits."""
+    ring = HashRing(workers)
+    found = {w: [] for w in range(workers)}
+    for seed in range(1, 400):
+        spec = GeneratorSpec(
+            name=f"shard{seed}",
+            num_inputs=24,
+            num_outputs=16,
+            num_flip_flops=0,
+            num_combinational=1500,
+            seed=seed,
+            reduce_dangling=True,
+        )
+        circuit = random_sequential_circuit(spec)
+        view, _ = registration_view(
+            {"netlist": _bench_text(circuit), "name": circuit.name}
+        )
+        owner = ring.owner(circuit_content_id(view))
+        if len(found[owner]) < per_worker:
+            found[owner].append(circuit)
+        if all(len(group) >= per_worker for group in found.values()):
+            return [c for group in found.values() for c in group]
+    raise AssertionError(f"could not balance {workers} workers")
+
+
+def _socket_throughput(address, circuits):
+    """Patterns/second: one thread per circuit, multi-pattern requests
+    over real sockets — identical client code for both backends."""
+    oracles = [RemoteOracle(address, circuit=c) for c in circuits]
+    rng = random.Random(0x5A4D)
+    batches = [
+        [
+            {net: rng.randint(0, 1) for net in oracle.inputs}
+            for _ in range(SHARD_PATTERNS)
+        ]
+        for oracle in oracles
+    ]
+    try:
+        # Warm pass off the clock: registration, compiled-IR caches.
+        for oracle, batch in zip(oracles, batches):
+            assert len(oracle.query_batch(batch)) == SHARD_PATTERNS
+
+        barrier = threading.Barrier(len(oracles) + 1)
+
+        def client(oracle, batch):
+            barrier.wait()
+            for _ in range(SHARD_ROUNDS):
+                outputs = oracle.query_batch(batch)
+                assert len(outputs) == SHARD_PATTERNS
+
+        threads = [
+            threading.Thread(target=client, args=(oracle, batch))
+            for oracle, batch in zip(oracles, batches)
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        start = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - start
+    finally:
+        for oracle in oracles:
+            oracle.close()
+    return len(oracles) * SHARD_ROUNDS * SHARD_PATTERNS / elapsed
+
+
+@pytest.mark.no_obs
+def test_sharded_vs_single_process_throughput():
+    circuits = _balanced_circuits(SHARD_WORKERS, SHARD_PER_WORKER)
+    batch = BatchConfig(max_batch=SHARD_PATTERNS, window_s=0.001)
+    admission = AdmissionConfig(max_pending=8192)
+
+    with ThreadedServer(OracleServer(config=ServerConfig(
+            batch=batch, admission=admission))) as address:
+        single_pps = _socket_throughput(address, circuits)
+
+    supervisor = ShardSupervisor(ShardConfig(
+        workers=SHARD_WORKERS, batch=batch, admission=admission))
+    with ThreadedShardServer(supervisor) as address:
+        sharded_pps = _socket_throughput(address, circuits)
+    assert supervisor.respawned_total == 0
+
+    speedup = sharded_pps / single_pps
+    cores = os.cpu_count() or 1
+    _merge_dump("sharded", {
+        "workers": SHARD_WORKERS,
+        "clients": len(circuits),
+        "rounds": SHARD_ROUNDS,
+        "patterns_per_request": SHARD_PATTERNS,
+        "cores": cores,
+        "patterns_per_second": {
+            "single_process": round(single_pps, 1),
+            "sharded": round(sharded_pps, 1),
+        },
+        "speedup": round(speedup, 2),
+        "speedup_asserted": cores >= SHARD_WORKERS,
+    })
+    print(f"\nBENCH_serve sharded: {single_pps:.0f} -> {sharded_pps:.0f} "
+          f"patterns/s ({speedup:.2f}x, {cores} cores)")
+
+    if cores >= SHARD_WORKERS:
+        assert speedup >= MIN_SHARD_SPEEDUP, (
+            f"{SHARD_WORKERS} workers deliver only {speedup:.2f}x the "
+            f"single-process throughput (need {MIN_SHARD_SPEEDUP:.0f}x)"
+        )

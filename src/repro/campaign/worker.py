@@ -291,13 +291,44 @@ def _run_attack(params: Dict[str, Any], cache: NetlistCache) -> Dict[str, Any]:
             if "gks" in locked.metadata
             else locked.circuit
         )
-        oracle = CombinationalOracle(instance.circuit)
-        result = sat_attack(target, oracle, max_iterations=max_iterations)
-        accuracy = None
-        if result.key is not None:
-            accuracy = verify_key_against_oracle(
-                target, oracle, result.key, samples=32
+        # params["oracle"] = "host:port" routes the DIP loop through a
+        # served oracle pool (e.g. `repro serve --workers N`) instead
+        # of an in-process one.  The cache key deliberately excludes
+        # the address: the differential suite pins served answers as
+        # bit-identical to local ones, so both runs share one cell.
+        oracle_address = params.get("oracle")
+        if oracle_address:
+            from ..serve import RemoteOracle, ServeError
+
+            try:
+                oracle = RemoteOracle(oracle_address,
+                                      circuit=instance.circuit)
+            except (OSError, ServeError) as exc:
+                raise TransientJobError(
+                    f"oracle {oracle_address}: {exc}"
+                ) from exc
+        else:
+            oracle = CombinationalOracle(instance.circuit)
+        try:
+            result = sat_attack(
+                target, oracle, max_iterations=max_iterations
             )
+            accuracy = None
+            if result.key is not None:
+                accuracy = verify_key_against_oracle(
+                    target, oracle, result.key, samples=32
+                )
+        except Exception as exc:
+            # A dead pool is infrastructure, not a wrong answer.
+            if oracle_address and (getattr(exc, "retryable", False)
+                                   or isinstance(exc, OSError)):
+                raise TransientJobError(
+                    f"oracle {oracle_address}: {exc}"
+                ) from exc
+            raise
+        finally:
+            if oracle_address:
+                oracle.close()
         base.update(
             completed=result.completed,
             iterations=result.iterations,

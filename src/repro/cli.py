@@ -419,18 +419,26 @@ def cmd_serve(args: argparse.Namespace) -> int:
         ServerConfig,
     )
 
+    if args.workers < 1:
+        raise SystemExit("--workers must be >= 1")
+    batch = BatchConfig(
+        max_batch=args.max_batch,
+        window_s=args.window_ms / 1000.0,
+    )
+    admission = AdmissionConfig(max_pending=args.max_pending)
+    circuits = [(_load(path), path) for path in args.netlists]
+
+    if args.workers > 1:
+        return _serve_sharded(args, batch, admission, circuits)
+
     config = ServerConfig(
         host=args.host,
         port=args.port,
-        batch=BatchConfig(
-            max_batch=args.max_batch,
-            window_s=args.window_ms / 1000.0,
-        ),
-        admission=AdmissionConfig(max_pending=args.max_pending),
+        batch=batch,
+        admission=admission,
         default_budget=args.budget,
     )
     server = OracleServer(config=config)
-    circuits = [(_load(path), path) for path in args.netlists]
 
     async def run() -> None:
         for circuit, path in circuits:
@@ -455,6 +463,69 @@ def cmd_serve(args: argparse.Namespace) -> int:
             _emit(f"drained: {stats['batches']} batches, "
                   f"{stats['lanes_total']} queries, occupancy mean "
                   f"{stats['occupancy_mean']}", err=True)
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        _emit("interrupted; drained", err=True)
+    return 0
+
+
+def _serve_sharded(args: argparse.Namespace, batch, admission,
+                   circuits) -> int:
+    """``repro serve --workers N``: the multi-process backend."""
+    import asyncio
+    import io
+
+    from .netlist.bench_io import write_bench
+    from .serve import ShardConfig, ShardSupervisor
+
+    def _bench_text(circuit) -> str:
+        stream = io.StringIO()
+        write_bench(circuit, stream)
+        return stream.getvalue()
+
+    supervisor = ShardSupervisor(ShardConfig(
+        workers=args.workers,
+        host=args.host,
+        port=args.port,
+        batch=batch,
+        admission=admission,
+        default_budget=args.budget,
+    ))
+
+    async def run() -> None:
+        host, port = await supervisor.start()
+        try:
+            # Register through the supervisor itself, so each netlist
+            # lands on (and is restored to) the worker the ring assigns.
+            for circuit, path in circuits:
+                request = {
+                    "op": "register",
+                    "netlist": _bench_text(_oracle_view(circuit)),
+                    "name": circuit.name,
+                }
+                if args.budget is not None:
+                    request["budget"] = args.budget
+                response = await supervisor.handle(request)
+                if not response.get("ok"):
+                    raise SystemExit(f"{path}: {response.get('error')}")
+                owner = supervisor.owner_index(response["circuit"])
+                _emit(f"{response['circuit']}  {path} "
+                      f"(worker {owner})", result=True)
+            _emit(f"serving {len(circuits)} circuit(s) on {host}:{port} "
+                  f"({args.workers} workers, batch<= {args.max_batch}, "
+                  f"window {args.window_ms}ms)", result=True)
+            if args.serve_seconds is not None:
+                await asyncio.sleep(args.serve_seconds)
+            else:
+                await supervisor.serve_forever()
+        finally:
+            # The drain covers registration failures too: workers are
+            # real child processes and must not outlive a SystemExit.
+            await supervisor.drain()
+            _emit(f"drained: {supervisor.requests} requests, "
+                  f"{supervisor.respawned_total} respawns", err=True)
 
     try:
         asyncio.run(run())
@@ -584,6 +655,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="max latency a lone query waits for co-batching")
     p.add_argument("--max-pending", type=int, default=1024, metavar="N",
                    help="admission bound on queued patterns")
+    p.add_argument("--workers", type=int, default=1, metavar="N",
+                   help="worker processes; >1 shards circuits across a "
+                        "supervised fleet by consistent hash (each "
+                        "circuit owned by exactly one worker)")
     p.add_argument("--budget", type=int, metavar="N",
                    help="per-circuit query budget (refuse queries beyond)")
     p.add_argument("--serve-seconds", type=float, metavar="SEC",

@@ -16,7 +16,13 @@ length-prefixed JSON protocol, with:
   (:mod:`repro.serve.admission`);
 * a synchronous :class:`RemoteOracle` client that drops in wherever a
   :class:`~repro.attacks.oracle.CombinationalOracle` goes
-  (:mod:`repro.serve.client`).
+  (:mod:`repro.serve.client`);
+* a **sharded backend** — :class:`ShardSupervisor` routes each request
+  to the one worker *process* that owns the circuit (consistent hash
+  of its content ID), with liveness heartbeats, bounded per-worker
+  in-flight ledgers, crash respawn with registration replay and
+  transparent retry, and graceful drain (:mod:`repro.serve.shard`,
+  :mod:`repro.serve.supervisor`, :mod:`repro.serve.worker`).
 
 Quick taste::
 
@@ -38,6 +44,7 @@ from .protocol import (
     ServeError,
     ShuttingDownError,
     UnknownCircuitError,
+    WorkerCrashedError,
 )
 from .registry import (
     CircuitRegistry,
@@ -45,7 +52,16 @@ from .registry import (
     circuit_content_id,
     default_registry,
 )
-from .server import LocalConnection, OracleServer, ServerConfig, ThreadedServer
+from .server import (
+    LocalConnection,
+    OracleServer,
+    ServerConfig,
+    ThreadedServer,
+    registration_view,
+)
+from .shard import HashRing, ShardConfig
+from .supervisor import ShardSupervisor, ThreadedShardServer, WorkerHandle
+from .worker import spawn_worker, worker_main
 
 __all__ = [
     "AdmissionConfig", "AdmissionController",
@@ -53,8 +69,12 @@ __all__ = [
     "RemoteOracle", "ServeConnection", "parse_address",
     "ServeError", "ProtocolError", "OverloadedError", "ShuttingDownError",
     "DeadlineExceededError", "UnknownCircuitError",
-    "QueryBudgetExceededError",
+    "QueryBudgetExceededError", "WorkerCrashedError",
     "CircuitRegistry", "RegisteredCircuit", "circuit_content_id",
     "default_registry",
     "OracleServer", "ServerConfig", "LocalConnection", "ThreadedServer",
+    "registration_view",
+    "HashRing", "ShardConfig",
+    "ShardSupervisor", "ThreadedShardServer", "WorkerHandle",
+    "spawn_worker", "worker_main",
 ]

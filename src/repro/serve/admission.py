@@ -28,9 +28,10 @@ active.
 
 from __future__ import annotations
 
+import asyncio
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 from ..obs import metrics as _metrics
 from .protocol import OverloadedError, ShuttingDownError
@@ -67,6 +68,9 @@ class AdmissionController:
         self.rejected_draining = 0
         self.expired = 0
         self.draining = False
+        # Futures resolved the moment the ledger reaches idle — the
+        # event-based alternative to polling `idle` in a sleep loop.
+        self._idle_waiters: List["asyncio.Future"] = []
 
     # ------------------------------------------------------------------
 
@@ -114,6 +118,28 @@ class AdmissionController:
         self.completed += patterns
         assert self.pending >= 0, "admission ledger went negative"
         _metrics.set_gauge("serve.queue.depth", self.pending)
+        if self.pending == 0 and self._idle_waiters:
+            waiters, self._idle_waiters = self._idle_waiters, []
+            for waiter in waiters:
+                if not waiter.done():
+                    waiter.set_result(True)
+
+    async def wait_idle(self, timeout_s: Optional[float] = None) -> bool:
+        """Resolve when every admitted pattern has been released.
+
+        Event-based: :meth:`release` wakes the waiter the instant the
+        ledger hits zero — no sleep-loop polling, no wall-clock
+        coupling.  Returns False only if *timeout_s* elapsed first.
+        """
+        if self.idle:
+            return True
+        waiter = asyncio.get_running_loop().create_future()
+        self._idle_waiters.append(waiter)
+        try:
+            await asyncio.wait_for(waiter, timeout_s)
+        except asyncio.TimeoutError:
+            return False
+        return True
 
     def note_expired(self, patterns: int) -> None:
         self.expired += patterns

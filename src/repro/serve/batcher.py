@@ -227,14 +227,11 @@ class DynamicBatcher:
         Returns True when the admission ledger reached idle within
         *timeout_s* (it always should: flushing resolves every future,
         and the awaiting coroutines release their slots on wakeup).
+        The wait is event-based — the ledger's release path wakes us —
+        so drain latency is scheduling latency, not a polling interval.
         """
         self.flush_all()
-        deadline = self.admission.clock() + timeout_s
-        while not self.admission.idle:
-            if self.admission.clock() > deadline:
-                return False
-            await asyncio.sleep(0.001)
-        return True
+        return await self.admission.wait_idle(timeout_s)
 
     # ------------------------------------------------------------------
 

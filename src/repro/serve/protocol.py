@@ -41,11 +41,16 @@ __all__ = [
     "DeadlineExceededError",
     "UnknownCircuitError",
     "QueryBudgetExceededError",
+    "WorkerCrashedError",
     "error_to_payload",
     "error_from_payload",
     "encode_frame",
+    "encode_raw_frame",
+    "decode_body",
     "read_frame_async",
+    "read_raw_frame_async",
     "write_frame_async",
+    "write_raw_frame_async",
     "send_frame",
     "recv_frame",
 ]
@@ -109,12 +114,25 @@ class QueryBudgetExceededError(ServeError):
     code = "budget-exhausted"
 
 
+class WorkerCrashedError(ServeError):
+    """A shard worker died with this request in flight and it could not
+    (or may not) be retried transparently — the request was marked
+    ``no_retry``, or the supervisor's retry budget for it is spent.
+
+    Retryable: the supervisor respawns crashed workers, so the same
+    request sent again later lands on a fresh worker.
+    """
+
+    code = "worker-crashed"
+    retryable = True
+
+
 _ERROR_TYPES = {
     cls.code: cls
     for cls in (
         ServeError, ProtocolError, OverloadedError, ShuttingDownError,
         DeadlineExceededError, UnknownCircuitError,
-        QueryBudgetExceededError,
+        QueryBudgetExceededError, WorkerCrashedError,
     )
 }
 
@@ -149,7 +167,18 @@ def encode_frame(obj: Dict[str, Any]) -> bytes:
     return _LEN.pack(len(body)) + body
 
 
-def _decode_body(body: bytes) -> Dict[str, Any]:
+def encode_raw_frame(body: bytes) -> bytes:
+    """Length-prefix pre-encoded *body* bytes (supervisor passthrough)."""
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(body)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    return _LEN.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> Dict[str, Any]:
+    """JSON body bytes -> request/response object; typed error on junk."""
     try:
         obj = json.loads(body.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -157,6 +186,9 @@ def _decode_body(body: bytes) -> Dict[str, Any]:
     if not isinstance(obj, dict):
         raise ProtocolError("frame body must be a JSON object")
     return obj
+
+
+_decode_body = decode_body  # the historical (private) name
 
 
 def _check_length(length: int) -> None:
@@ -167,8 +199,14 @@ def _check_length(length: int) -> None:
         )
 
 
-async def read_frame_async(reader) -> Optional[Dict[str, Any]]:
-    """Next message from an asyncio stream; None on clean EOF."""
+async def read_raw_frame_async(reader) -> Optional[bytes]:
+    """Next frame's *body bytes* from an asyncio stream; None on clean EOF.
+
+    The shard supervisor's hot path: it needs the frame boundary (to
+    match a worker response to its queued request) but not the JSON
+    inside, so responses pass through supervisor -> client without a
+    decode/re-encode round trip.
+    """
     try:
         prefix = await reader.readexactly(_LEN.size)
     except (asyncio.IncompleteReadError, ConnectionError):
@@ -179,11 +217,30 @@ async def read_frame_async(reader) -> Optional[Dict[str, Any]]:
         body = await reader.readexactly(length)
     except asyncio.IncompleteReadError:
         raise ProtocolError("connection closed mid-frame") from None
-    return _decode_body(body)
+    return body
+
+
+async def read_frame_async(reader) -> Optional[Dict[str, Any]]:
+    """Next message from an asyncio stream; None on clean EOF."""
+    body = await read_raw_frame_async(reader)
+    if body is None:
+        return None
+    return decode_body(body)
 
 
 async def write_frame_async(writer, obj: Dict[str, Any]) -> None:
     writer.write(encode_frame(obj))
+    await writer.drain()
+
+
+async def write_raw_frame_async(writer, body: bytes) -> None:
+    """Frame pre-encoded *body* bytes (the supervisor's passthrough)."""
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(body)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    writer.write(_LEN.pack(len(body)) + body)
     await writer.drain()
 
 

@@ -48,7 +48,7 @@ from .protocol import (
 from .registry import CircuitRegistry
 
 __all__ = ["ServerConfig", "OracleServer", "LocalConnection",
-           "ThreadedServer"]
+           "ThreadedServer", "registration_view"]
 
 
 @dataclass(frozen=True)
@@ -61,6 +61,50 @@ class ServerConfig:
     admission: AdmissionConfig = field(default_factory=AdmissionConfig)
     #: budget applied to circuits registered without one (None = unlimited)
     default_budget: Optional[int] = None
+    #: requests one connection may have in flight before reads pause.
+    #: Pipelining lets a single connection (the shard supervisor
+    #: multiplexing many clients) keep enough queries in flight to fill
+    #: 64-lane batches; responses still go out in request order.
+    pipeline_depth: int = 1024
+
+
+def registration_view(
+    request: Mapping[str, Any],
+    default_budget: Optional[int] = None,
+):
+    """Validate a ``register`` request and return ``(circuit, budget)``.
+
+    The *oracle view* the server hosts: the netlist parsed, refused if
+    locked, and normalized to its combinational core.  Shared between
+    :class:`OracleServer` (which registers the result) and the shard
+    supervisor (which runs the identical pipeline on the identical text
+    purely to learn the circuit's content ID for routing — ``.bench``
+    serialization is not a re-parse fixed point, so the supervisor must
+    hash what the worker will hash, not a re-serialization of it).
+    """
+    netlist = request.get("netlist")
+    if not isinstance(netlist, str) or not netlist.strip():
+        raise ProtocolError("register needs a non-empty 'netlist' field")
+    fmt = request.get("format", "bench")
+    if fmt != "bench":
+        raise ProtocolError(f"unsupported netlist format {fmt!r}")
+    try:
+        circuit = parse_bench(netlist, name=request.get("name", "served"))
+    except Exception as exc:
+        raise ProtocolError(f"unparseable netlist: {exc}") from None
+    # The server hosts *oracles*: the activated chip's combinational
+    # view.  Same normalization as CombinationalOracle.
+    if circuit.key_inputs:
+        raise ProtocolError(
+            "refusing to serve a locked netlist: an oracle wraps the "
+            "original (keyless) design"
+        )
+    if circuit.flip_flops():
+        circuit = extract_combinational(circuit).circuit
+    budget = request.get("budget", default_budget)
+    if budget is not None and (not isinstance(budget, int) or budget < 0):
+        raise ProtocolError(f"invalid budget {budget!r}")
+    return circuit, budget
 
 
 def _decode_pattern(raw: Any, index: int) -> Dict[str, Optional[int]]:
@@ -141,29 +185,19 @@ class OracleServer:
         return response
 
     def _op_register(self, request: Mapping[str, Any]) -> Dict[str, Any]:
-        netlist = request.get("netlist")
-        if not isinstance(netlist, str) or not netlist.strip():
-            raise ProtocolError("register needs a non-empty 'netlist' field")
-        fmt = request.get("format", "bench")
-        if fmt != "bench":
-            raise ProtocolError(f"unsupported netlist format {fmt!r}")
-        try:
-            circuit = parse_bench(netlist, name=request.get("name", "served"))
-        except Exception as exc:
-            raise ProtocolError(f"unparseable netlist: {exc}") from None
-        # The server hosts *oracles*: the activated chip's combinational
-        # view.  Same normalization as CombinationalOracle.
-        if circuit.key_inputs:
-            raise ProtocolError(
-                "refusing to serve a locked netlist: an oracle wraps the "
-                "original (keyless) design"
-            )
-        if circuit.flip_flops():
-            circuit = extract_combinational(circuit).circuit
-        budget = request.get("budget", self.config.default_budget)
-        if budget is not None and (not isinstance(budget, int) or budget < 0):
-            raise ProtocolError(f"invalid budget {budget!r}")
+        circuit, budget = registration_view(
+            request, self.config.default_budget
+        )
         entry = self.registry.register(circuit, budget=budget)
+        # Crash-restore hook (shard supervision): replaying a
+        # registration may carry the cumulative query count observed
+        # before the worker died.  Ratchet-only, so it can never refund
+        # spent budget.
+        floor = request.get("min_query_count")
+        if floor is not None:
+            if not isinstance(floor, int) or floor < 0:
+                raise ProtocolError(f"invalid min_query_count {floor!r}")
+            self.registry.ratchet_query_count(entry.circuit_id, floor)
         payload = entry.describe()
         payload.update(
             ok=True,
@@ -260,9 +294,37 @@ class OracleServer:
 
     async def _on_client(self, reader: asyncio.StreamReader,
                          writer: asyncio.StreamWriter) -> None:
+        """One connection: pipelined requests, responses in order.
+
+        Requests are dispatched as soon as they are read — up to
+        ``pipeline_depth`` in flight — instead of read-handle-write
+        lockstep.  A single connection can therefore keep many queries
+        pending at once, which is what lets the shard supervisor
+        multiplex every client over one data connection per worker
+        without destroying cross-client batching.  A writer coroutine
+        sends responses strictly in request order, preserving the
+        protocol's FIFO contract for clients that do pipeline.
+        """
         self.connections_total += 1
         self._open_connections += 1
         _metrics.inc("serve.connections", 1)
+        responses: "asyncio.Queue[Optional[asyncio.Task]]" = asyncio.Queue()
+        depth = asyncio.Semaphore(max(1, self.config.pipeline_depth))
+
+        async def _dispatch(request: Mapping[str, Any]) -> Dict[str, Any]:
+            try:
+                return await self.handle(request)
+            finally:
+                depth.release()
+
+        async def _pump() -> None:
+            while True:
+                task = await responses.get()
+                if task is None:
+                    return
+                await write_frame_async(writer, await task)
+
+        pump = asyncio.get_running_loop().create_task(_pump())
         try:
             while True:
                 try:
@@ -275,18 +337,25 @@ class OracleServer:
                     break
                 if request is None:
                     break
-                response = await self.handle(request)
-                try:
-                    await write_frame_async(writer, response)
-                except ConnectionError:
-                    break
-        except asyncio.CancelledError:
-            # Loop shutdown cancelled this connection task (the drain
-            # closed the listener while a peer kept its socket open).
-            # Exit quietly: re-raising would only spam the loop's
-            # exception handler on the way down.
+                await depth.acquire()
+                responses.put_nowait(
+                    asyncio.get_running_loop().create_task(
+                        _dispatch(request)
+                    )
+                )
+            responses.put_nowait(None)
+            await pump  # flush every queued response before closing
+        except (ConnectionError, asyncio.CancelledError):
+            # Peer vanished mid-write, or loop shutdown cancelled this
+            # connection task (the drain closed the listener while a
+            # peer kept its socket open).  Exit quietly: re-raising
+            # would only spam the loop's exception handler on the way
+            # down.  In-flight dispatch tasks resolve (or are torn down
+            # with the loop) on their own; their responses are dropped.
             pass
         finally:
+            if not pump.done():
+                pump.cancel()
             # No await here: at loop shutdown this task may already be
             # cancelled, and awaiting wait_closed() would re-raise into
             # the transport's close callback.

@@ -1,0 +1,115 @@
+"""Sharding policy: consistent hashing of circuits onto worker processes.
+
+One compiled circuit is *owned* by exactly one worker process.  The
+supervisor routes every request that names a circuit — by content ID
+for ``query``/``describe``, by normalizing the netlist for
+``register`` — to the owner, so a circuit's compiled instance, its LRU
+slot, and its query-budget ledger live in one process and need no
+cross-process coherence protocol.  That is the whole sharding
+invariant, and everything else (supervision, crash restore, stats
+rollup) is built not to violate it.
+
+Ownership comes from a classic consistent-hash ring
+(:class:`HashRing`): each worker contributes ``virtual_nodes`` points
+on a 64-bit ring (SHA-256 of ``"worker:vnode"``), and a circuit ID is
+owned by the first point clockwise of its own hash.  Virtual nodes
+smooth the per-worker share of the *key space*; with the worker count
+fixed the ring is equivalent to a hash-mod table, but it keeps the
+mapping stable under future elastic resizing (only ``~1/N`` of
+circuits move when a worker is added) and it is deliberately
+deterministic across processes and platforms — the supervisor, a test,
+and a client-side planner all compute the same owner for the same
+circuit ID.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from .admission import AdmissionConfig
+from .batcher import BatchConfig
+
+__all__ = ["HashRing", "ShardConfig"]
+
+
+def _ring_hash(text: str) -> int:
+    """Stable 64-bit ring position (prefix of SHA-256, platform-free)."""
+    return int.from_bytes(
+        hashlib.sha256(text.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class HashRing:
+    """Consistent assignment of string keys to ``workers`` slots."""
+
+    def __init__(self, workers: int, virtual_nodes: int = 64) -> None:
+        if workers < 1:
+            raise ValueError("a hash ring needs at least one worker")
+        if virtual_nodes < 1:
+            raise ValueError("virtual_nodes must be >= 1")
+        self.workers = workers
+        self.virtual_nodes = virtual_nodes
+        points: List[Tuple[int, int]] = []
+        for worker in range(workers):
+            for vnode in range(virtual_nodes):
+                points.append((_ring_hash(f"{worker}:{vnode}"), worker))
+        points.sort()
+        self._points = [point for point, _ in points]
+        self._owners = [owner for _, owner in points]
+
+    def owner(self, key: str) -> int:
+        """The worker index owning *key* (first ring point clockwise)."""
+        position = _ring_hash(key)
+        index = bisect.bisect_right(self._points, position)
+        if index == len(self._points):  # wrap past 2^64 - 1
+            index = 0
+        return self._owners[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"HashRing(workers={self.workers}, "
+                f"vnodes={self.virtual_nodes})")
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Everything the supervisor needs to run a worker fleet."""
+
+    #: worker processes (each its own registry/batcher/admission stack)
+    workers: int = 4
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; the bound port is in ``address``
+    #: per-worker batching policy (forwarded into each worker's config)
+    batch: BatchConfig = field(default_factory=BatchConfig)
+    #: per-worker admission policy (the worker-side pending bound)
+    admission: AdmissionConfig = field(default_factory=AdmissionConfig)
+    #: budget applied to circuits registered without one (None = unlimited)
+    default_budget: Optional[int] = None
+    #: virtual nodes per worker on the ownership ring
+    virtual_nodes: int = 64
+    #: supervisor-side bound on patterns in flight *per worker*; beyond
+    #: it new requests for that worker are refused with ``overloaded``
+    max_inflight: int = 1024
+    #: seconds between supervisor liveness probes of each worker
+    heartbeat_s: float = 0.5
+    #: consecutive missed heartbeats before a worker is declared dead
+    heartbeat_misses: int = 4
+    #: transparent resends of one in-flight request across crashes
+    retry_limit: int = 2
+    #: respawns allowed per worker before it is abandoned for good
+    max_respawns: int = 8
+    #: seconds to wait for a fresh worker to report its address
+    spawn_timeout_s: float = 30.0
+    #: multiprocessing start method (None = fork where available —
+    #: workers inherit the loaded interpreter — else spawn)
+    start_method: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("a shard needs at least one worker")
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if self.retry_limit < 0:
+            raise ValueError("retry_limit must be >= 0")

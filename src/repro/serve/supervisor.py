@@ -1,0 +1,854 @@
+"""Shard supervisor: one accepting process, N owning workers.
+
+The single-process server leaves 64-lane evaluation throughput capped
+by one CPU core.  :class:`ShardSupervisor` lifts that cap without a
+cache-coherence protocol: it accepts every client connection itself and
+routes each request to the worker process that *owns* the named
+circuit (consistent hash of the circuit's content ID —
+:mod:`repro.serve.shard`), so a circuit's compiled instance, LRU slot,
+and query-budget ledger live in exactly one worker.
+
+Data plane.  Per worker the supervisor keeps one multiplexed **data
+connection**: requests from every client funnel into it (the worker's
+pipelined connection handler keeps them concurrently in flight, so
+cross-client batching still happens) and responses come back strictly
+in request order, which lets the supervisor match them FIFO against its
+in-flight queue — no request IDs on the wire.  The hot path decodes a
+client request once (for routing) and forwards the *original body
+bytes*; responses pass through without any JSON round trip.
+
+Supervision.  Each worker also gets a lockstep **control connection**
+for liveness pings and stats, so health checks never queue behind a
+batching window.  A worker is declared dead on data-channel EOF, a
+dead process, or ``heartbeat_misses`` consecutive ping timeouts; the
+supervisor then respawns it, replays every registration the ring
+assigns to it (ratcheting the query count it had observed, so budget
+enforcement survives the crash without ever refunding spent queries),
+transparently re-sends in-flight retryable requests, and fails the
+rest with the typed, retryable ``worker-crashed`` error.  Per-worker
+in-flight lanes are bounded by an :class:`AdmissionController` ledger;
+shutdown is a drain — refuse new work, let every in-flight request
+settle, then terminate the fleet.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Mapping, Optional, Tuple, Union
+
+from ..obs import metrics as _metrics
+from .admission import AdmissionConfig, AdmissionController
+from .protocol import (
+    ProtocolError,
+    ServeError,
+    ShuttingDownError,
+    WorkerCrashedError,
+    decode_body,
+    encode_raw_frame,
+    error_to_payload,
+    read_raw_frame_async,
+    write_frame_async,
+    write_raw_frame_async,
+)
+from .registry import circuit_content_id
+from .server import LocalConnection, ServerConfig, registration_view
+from .shard import HashRing, ShardConfig
+from .worker import spawn_worker
+
+__all__ = ["ShardSupervisor", "WorkerHandle", "ThreadedShardServer"]
+
+#: ops a worker can answer; anything else is refused at the supervisor
+_FORWARDED_OPS = frozenset({"register", "describe", "query"})
+
+
+class _ConnectionLost(Exception):
+    """Internal marker: the worker connection died mid-recovery."""
+
+
+class _Forwarded:
+    """One request in flight to a worker (the retry unit)."""
+
+    __slots__ = ("body", "future", "lanes", "op", "circuit_id",
+                 "no_retry", "retries")
+
+    def __init__(self, body: bytes, future: "asyncio.Future", lanes: int,
+                 op: str, circuit_id: Optional[str],
+                 no_retry: bool) -> None:
+        self.body = body
+        self.future = future
+        self.lanes = lanes
+        self.op = op
+        self.circuit_id = circuit_id
+        self.no_retry = no_retry
+        self.retries = 0
+
+
+class _Registration:
+    """What the supervisor must remember to resurrect a circuit."""
+
+    __slots__ = ("circuit_id", "netlist", "name", "budget",
+                 "observed_count")
+
+    def __init__(self, circuit_id: str, netlist: str, name: str,
+                 budget: Optional[int]) -> None:
+        self.circuit_id = circuit_id
+        self.netlist = netlist
+        self.name = name
+        self.budget = budget
+        #: highest cumulative query count the supervisor has seen the
+        #: worker report — the ratchet floor replayed after a respawn
+        self.observed_count = 0
+
+    def observe(self, response_body: bytes) -> None:
+        """Ratchet from the ``query_count`` a worker response carries.
+
+        Exact (the worker's own cumulative count), and naturally skips
+        error responses, which carry no count — so a refused query can
+        never inflate the floor and over-charge the restored budget.
+        """
+        count = _extract_query_count(response_body)
+        if count is not None and count > self.observed_count:
+            self.observed_count = count
+
+    def tighten(self, budget: Optional[int]) -> None:
+        """Mirror the registry's only-tighten budget semantics."""
+        if budget is None:
+            return
+        self.budget = budget if self.budget is None else min(self.budget,
+                                                             budget)
+
+    def replay_request(self) -> Dict[str, Any]:
+        request: Dict[str, Any] = {
+            "op": "register",
+            "netlist": self.netlist,
+            "name": self.name,
+            "min_query_count": self.observed_count,
+        }
+        if self.budget is not None:
+            request["budget"] = self.budget
+        return request
+
+
+def _extract_query_count(body: bytes) -> Optional[int]:
+    """Pull ``"query_count": N`` out of a success response body.
+
+    The hot path forwards response bytes without a JSON parse; this
+    keeps crash-restore accounting exact anyway by scanning for the
+    one field it needs.  Gated on the ``{"ok":true`` prefix our own
+    compact serialization always produces, so an error message that
+    happened to mention the key cannot be misread.
+    """
+    if not body.startswith(b'{"ok":true'):
+        return None
+    index = body.rfind(b'"query_count":')
+    if index < 0:
+        return None
+    index += len(b'"query_count":')
+    end = index
+    while end < len(body) and body[end:end + 1].isdigit():
+        end += 1
+    if end == index:
+        return None
+    return int(body[index:end])
+
+
+class WorkerHandle:
+    """Supervisor-side state of one worker process."""
+
+    def __init__(self, index: int, shard_config: ShardConfig) -> None:
+        self.index = index
+        self.shard_config = shard_config
+        self.server_config = ServerConfig(
+            host="127.0.0.1",
+            port=0,
+            batch=shard_config.batch,
+            admission=shard_config.admission,
+            default_budget=shard_config.default_budget,
+        )
+        self.process = None
+        self.address: Optional[Tuple[str, int]] = None
+        self.data_reader = self.data_writer = None
+        self.control_reader = self.control_writer = None
+        self.control_lock = asyncio.Lock()
+        self.inflight: Deque[_Forwarded] = deque()
+        # Bounded in-flight ledger: the same admission machinery the
+        # worker applies to its own queue, reused supervisor-side.
+        self.ledger = AdmissionController(AdmissionConfig(
+            max_pending=shard_config.max_inflight,
+            max_patterns_per_request=(
+                shard_config.admission.max_patterns_per_request
+            ),
+        ))
+        #: cleared while the worker is being (re)spawned; sends park here
+        self.ready = asyncio.Event()
+        self.generation = 0
+        self.respawns = 0
+        self.abandoned = False
+        self.recovering = False
+        self.missed_heartbeats = 0
+        self.retried_requests = 0
+        self.crash_failures = 0
+        self._reader_task: Optional["asyncio.Task"] = None
+        self._on_crash = None  # set by the supervisor
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Spawn the process and open data + control connections."""
+        loop = asyncio.get_running_loop()
+        self.generation += 1
+        self.process, self.address = await loop.run_in_executor(
+            None,
+            lambda: spawn_worker(
+                self.index,
+                self.server_config,
+                self.shard_config.start_method,
+                self.shard_config.spawn_timeout_s,
+            ),
+        )
+        host, port = self.address
+        self.data_reader, self.data_writer = await asyncio.open_connection(
+            host, port)
+        self.control_reader, self.control_writer = (
+            await asyncio.open_connection(host, port))
+        self.missed_heartbeats = 0
+        self._reader_task = loop.create_task(
+            self._read_responses(self.generation))
+        self.ready.set()
+
+    def teardown(self, kill: bool = True) -> None:
+        """Close connections and (optionally) the process, synchronously."""
+        self.ready.clear()
+        if self._reader_task is not None and not self._reader_task.done():
+            self._reader_task.cancel()
+        self._reader_task = None
+        for writer in (self.data_writer, self.control_writer):
+            if writer is not None:
+                try:
+                    writer.close()
+                except (ConnectionError, RuntimeError):
+                    pass
+        self.data_reader = self.data_writer = None
+        self.control_reader = self.control_writer = None
+        if kill and self.process is not None and self.process.is_alive():
+            self.process.kill()
+
+    def join_process(self, timeout_s: float = 5.0) -> None:
+        if self.process is not None:
+            self.process.join(timeout=timeout_s)
+
+    @property
+    def alive(self) -> bool:
+        return (not self.abandoned and self.process is not None
+                and self.process.is_alive())
+
+    @property
+    def pid(self) -> Optional[int]:
+        return None if self.process is None else self.process.pid
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+
+    async def send(self, fwd: _Forwarded) -> bytes:
+        """Forward one request; resolves with the raw response body."""
+        while True:
+            # Park while a respawn is in progress.  Re-check after the
+            # wait resolves: Event.wait() can report a set that was
+            # cleared again before this sender resumed (the recovery
+            # opens the connection, then parks senders once more until
+            # registration replay has finished).
+            await self.ready.wait()
+            if self.abandoned:
+                raise WorkerCrashedError(
+                    f"worker {self.index} exceeded its respawn budget"
+                )
+            if self.ready.is_set():
+                break
+        self.ledger.admit(fwd.lanes)
+        try:
+            self.transmit(fwd)
+            return await fwd.future
+        finally:
+            self.ledger.release(fwd.lanes)
+
+    def transmit(self, fwd: _Forwarded) -> None:
+        """Enqueue + write in one non-awaiting step (keeps FIFO exact)."""
+        self.inflight.append(fwd)
+        try:
+            self.data_writer.write(encode_raw_frame(fwd.body))
+        except Exception:
+            # The reader's EOF (or the crash handler) will collect this
+            # request from the in-flight queue; nothing more to do here.
+            self._crashed()
+
+    async def _read_responses(self, generation: int) -> None:
+        """Match worker responses FIFO against the in-flight queue."""
+        reader = self.data_reader
+        try:
+            while True:
+                body = await read_raw_frame_async(reader)
+                if body is None:
+                    break
+                if self.inflight:
+                    fwd = self.inflight.popleft()
+                    if not fwd.future.done():
+                        fwd.future.set_result(body)
+        except (ConnectionError, ProtocolError):
+            pass
+        if self.generation != generation:
+            return  # a stale reader outlived its connection
+        self._crashed()
+
+    def _crashed(self) -> None:
+        """Funnel every crash signal into the supervisor's recovery."""
+        if self.recovering:
+            # Mid-recovery failure: fail the recovery's own in-flight
+            # (replay) requests so the attempt loop notices and retries.
+            self.fail_inflight(_ConnectionLost("worker connection lost"))
+            return
+        if self._on_crash is not None and not self.abandoned:
+            self._on_crash(self)
+
+    def fail_inflight(self, exc: Exception) -> None:
+        while self.inflight:
+            fwd = self.inflight.popleft()
+            if not fwd.future.done():
+                fwd.future.set_exception(exc)
+
+    # ------------------------------------------------------------------
+    # Control plane
+    # ------------------------------------------------------------------
+
+    async def control_request(self, request: Mapping[str, Any],
+                              timeout_s: float) -> Dict[str, Any]:
+        """Lockstep request on the control connection (ping/stats)."""
+        async with self.control_lock:
+            if self.control_writer is None:
+                raise ConnectionError(f"worker {self.index} has no "
+                                      f"control channel")
+            await write_frame_async(self.control_writer, dict(request))
+            body = await asyncio.wait_for(
+                read_raw_frame_async(self.control_reader), timeout_s)
+        if body is None:
+            raise ConnectionError(f"worker {self.index} closed its "
+                                  f"control channel")
+        return decode_body(body)
+
+    def describe(self) -> Dict[str, Any]:
+        """Supervisor-side view of this worker (no I/O)."""
+        return {
+            "worker": self.index,
+            "pid": self.pid,
+            "alive": self.alive,
+            "abandoned": self.abandoned,
+            "address": list(self.address) if self.address else None,
+            "generation": self.generation,
+            "respawns": self.respawns,
+            "inflight_lanes": self.ledger.pending,
+            "peak_inflight_lanes": self.ledger.peak_pending,
+            "forwarded_lanes": self.ledger.admitted,
+            "retried_requests": self.retried_requests,
+            "crash_failures": self.crash_failures,
+            "rejected_overload": self.ledger.rejected_overload,
+        }
+
+
+class ShardSupervisor:
+    """The accepting front-end over a fleet of owning workers."""
+
+    def __init__(self, config: Optional[ShardConfig] = None) -> None:
+        self.config = config or ShardConfig()
+        self.ring = HashRing(self.config.workers, self.config.virtual_nodes)
+        self.workers: List[WorkerHandle] = [
+            WorkerHandle(index, self.config)
+            for index in range(self.config.workers)
+        ]
+        for worker in self.workers:
+            worker._on_crash = self._schedule_recovery
+        self._catalog: Dict[str, _Registration] = {}
+        self.requests = 0
+        self.errors = 0
+        self.connections_total = 0
+        self._open_connections = 0
+        self.respawned_total = 0
+        self.draining = False
+        self._started_at = time.time()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._heartbeat_task: Optional["asyncio.Task"] = None
+        self._recovery_tasks: List["asyncio.Task"] = []
+        self.address: Optional[Tuple[str, int]] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> Tuple[str, int]:
+        """Spawn the fleet, then bind and listen."""
+        if self._server is not None:
+            raise RuntimeError("supervisor already started")
+        # Sequential on purpose: forking concurrently from several
+        # executor threads is exactly the multi-threaded-fork hazard
+        # CPython warns about (a child can inherit a lock another
+        # thread held mid-fork).  One fork at a time costs a few tens
+        # of milliseconds per worker, once.
+        for worker in self.workers:
+            await worker.start()
+        self._heartbeat_task = asyncio.get_running_loop().create_task(
+            self._heartbeat_loop())
+        self._server = await asyncio.start_server(
+            self._on_client, self.config.host, self.config.port)
+        self.address = self._server.sockets[0].getsockname()[:2]
+        return self.address
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+
+    async def drain(self, timeout_s: float = 10.0) -> bool:
+        """Refuse new work, let in-flight requests settle, stop the fleet."""
+        self.draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        deadline = time.monotonic() + timeout_s
+        settled = True
+        for worker in self.workers:
+            remaining = max(0.0, deadline - time.monotonic())
+            settled = await worker.ledger.wait_idle(remaining) and settled
+        if self._heartbeat_task is not None:
+            self._heartbeat_task.cancel()
+            self._heartbeat_task = None
+        for task in self._recovery_tasks:
+            if not task.done():
+                task.cancel()
+        self._recovery_tasks.clear()
+        loop = asyncio.get_running_loop()
+        for worker in self.workers:
+            worker.teardown(kill=True)
+        await asyncio.gather(*(
+            loop.run_in_executor(None, worker.join_process)
+            for worker in self.workers if worker.process is not None
+        ))
+        return settled
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def owner_index(self, circuit_id: str) -> int:
+        """Which worker owns *circuit_id* (the ownership invariant)."""
+        return self.ring.owner(circuit_id)
+
+    def worker_pids(self) -> List[Optional[int]]:
+        return [worker.pid for worker in self.workers]
+
+    def _worker_for(self, circuit_id: str) -> WorkerHandle:
+        return self.workers[self.ring.owner(circuit_id)]
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def connect_local(self) -> LocalConnection:
+        """In-process transport: same dialect, no sockets (duck-typed
+        against :meth:`OracleServer.connect_local`)."""
+        return LocalConnection(self)
+
+    async def handle(self, request: Mapping[str, Any]) -> Dict[str, Any]:
+        """Answer one request object (the in-process transport)."""
+        response = await self._dispatch(dict(request), body=None)
+        if isinstance(response, (bytes, bytearray)):
+            return decode_body(bytes(response))
+        return response
+
+    async def _dispatch(
+        self, request: Dict[str, Any], body: Optional[bytes],
+    ) -> Union[bytes, Dict[str, Any]]:
+        """Route one request; returns raw worker bytes or a local dict."""
+        op = request.get("op")
+        self.requests += 1
+        try:
+            if op == "ping":
+                return {"ok": True, "pong": True,
+                        "workers": sum(w.alive for w in self.workers)}
+            if op == "stats":
+                return await self._op_stats()
+            if self.draining:
+                raise ShuttingDownError(
+                    "supervisor is draining; retry elsewhere")
+            if op == "register":
+                return await self._forward_register(request, body)
+            if op not in _FORWARDED_OPS:
+                raise ProtocolError(f"unknown op {op!r}")
+            circuit_id = request.get("circuit")
+            if not isinstance(circuit_id, str):
+                raise ProtocolError(f"{op} needs a 'circuit' field")
+            lanes = 1
+            if op == "query":
+                patterns = request.get("patterns")
+                if not isinstance(patterns, list) or not patterns:
+                    raise ProtocolError(
+                        "query needs a non-empty 'patterns' list")
+                lanes = len(patterns)
+            raw = await self._forward(request, body, circuit_id, lanes)
+            if op == "query":
+                registration = self._catalog.get(circuit_id)
+                if registration is not None:
+                    # Ratchet from *answered* responses only: a request
+                    # lost to a crash reports nothing, so its retry is
+                    # not double-counted by the restore floor.
+                    registration.observe(raw)
+            return raw
+        except ServeError as exc:
+            self.errors += 1
+            return {"ok": False, "error": error_to_payload(exc)}
+        except Exception as exc:  # noqa: BLE001 - fail the request, not us
+            self.errors += 1
+            wrapped = ServeError(f"{type(exc).__name__}: {exc}")
+            return {"ok": False, "error": error_to_payload(wrapped)}
+
+    async def _forward(self, request: Dict[str, Any],
+                       body: Optional[bytes], circuit_id: str,
+                       lanes: int) -> bytes:
+        worker = self._worker_for(circuit_id)
+        if body is None:
+            body = json.dumps(request, separators=(",", ":")).encode("utf-8")
+        fwd = _Forwarded(
+            body,
+            asyncio.get_running_loop().create_future(),
+            lanes,
+            str(request.get("op")),
+            circuit_id,
+            bool(request.get("no_retry")),
+        )
+        _metrics.inc("serve.shard.forwarded", lanes)
+        return await worker.send(fwd)
+
+    async def _forward_register(
+        self, request: Dict[str, Any], body: Optional[bytes],
+    ) -> bytes:
+        # Run the worker's exact validate/normalize pipeline on the
+        # exact bytes the worker will see: `.bench` serialization is not
+        # a re-parse fixed point, so hashing a re-serialization here
+        # could disagree with the ID the worker derives.
+        circuit, budget = registration_view(
+            request, self.config.default_budget)
+        circuit_id = circuit_content_id(circuit)
+        registration = self._catalog.get(circuit_id)
+        if registration is None:
+            self._catalog[circuit_id] = registration = _Registration(
+                circuit_id,
+                str(request.get("netlist")),
+                str(request.get("name", "served")),
+                budget,
+            )
+        else:
+            registration.tighten(budget)
+        raw = await self._forward(request, body, circuit_id, lanes=1)
+        registration.observe(raw)
+        return raw
+
+    # ------------------------------------------------------------------
+    # TCP front-end (pipelined, mirroring OracleServer._on_client)
+    # ------------------------------------------------------------------
+
+    async def _on_client(self, reader: asyncio.StreamReader,
+                         writer: asyncio.StreamWriter) -> None:
+        self.connections_total += 1
+        self._open_connections += 1
+        responses: "asyncio.Queue[Optional[asyncio.Task]]" = asyncio.Queue()
+
+        async def _pump() -> None:
+            while True:
+                task = await responses.get()
+                if task is None:
+                    return
+                response = await task
+                if isinstance(response, (bytes, bytearray)):
+                    await write_raw_frame_async(writer, bytes(response))
+                else:
+                    await write_frame_async(writer, response)
+
+        loop = asyncio.get_running_loop()
+        pump = loop.create_task(_pump())
+        try:
+            while True:
+                try:
+                    body = await read_raw_frame_async(reader)
+                    request = None if body is None else decode_body(body)
+                except ProtocolError as exc:
+                    await write_frame_async(
+                        writer, {"ok": False, "error": error_to_payload(exc)}
+                    )
+                    break
+                if request is None:
+                    break
+                responses.put_nowait(
+                    loop.create_task(self._dispatch(request, body)))
+            responses.put_nowait(None)
+            await pump
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            if not pump.done():
+                pump.cancel()
+            self._open_connections -= 1
+            try:
+                writer.close()
+            except (ConnectionError, RuntimeError):
+                pass
+
+    # ------------------------------------------------------------------
+    # Supervision: heartbeats, recovery, replay
+    # ------------------------------------------------------------------
+
+    async def _heartbeat_loop(self) -> None:
+        interval = self.config.heartbeat_s
+        timeout = max(interval, 0.05)
+        while True:
+            await asyncio.sleep(interval)
+            for worker in self.workers:
+                if worker.abandoned or worker.recovering:
+                    continue
+                if worker.process is not None and not worker.process.is_alive():
+                    self._schedule_recovery(worker)
+                    continue
+                try:
+                    await worker.control_request({"op": "ping"}, timeout)
+                except (asyncio.TimeoutError, ConnectionError, OSError,
+                        ProtocolError):
+                    worker.missed_heartbeats += 1
+                    if (worker.missed_heartbeats
+                            >= self.config.heartbeat_misses):
+                        self._schedule_recovery(worker)
+                else:
+                    worker.missed_heartbeats = 0
+
+    def _schedule_recovery(self, worker: WorkerHandle) -> None:
+        if worker.recovering or worker.abandoned:
+            return
+        worker.recovering = True
+        task = asyncio.get_running_loop().create_task(self._recover(worker))
+        self._recovery_tasks.append(task)
+        self._recovery_tasks = [t for t in self._recovery_tasks
+                                if not t.done()]
+
+    async def _recover(self, worker: WorkerHandle) -> None:
+        """Respawn a dead worker, replay its circuits, retry its work."""
+        _metrics.inc("serve.shard.crashes")
+        pending = list(worker.inflight)
+        worker.inflight.clear()
+        try:
+            while True:
+                worker.teardown(kill=True)
+                if worker.respawns >= self.config.max_respawns:
+                    worker.abandoned = True
+                    break
+                worker.respawns += 1
+                self.respawned_total += 1
+                try:
+                    await worker.start()
+                    worker.ready.clear()  # not serving clients yet
+                    await self._replay_registrations(worker)
+                except (ConnectionError, OSError, RuntimeError,
+                        asyncio.TimeoutError, _ConnectionLost, ServeError):
+                    continue  # the fresh worker died too; spawn another
+                break
+        finally:
+            worker.recovering = False
+            worker.ready.set()  # unblock senders even on abandonment
+        if worker.abandoned:
+            for fwd in pending:
+                worker.crash_failures += 1
+                if not fwd.future.done():
+                    fwd.future.set_exception(WorkerCrashedError(
+                        f"worker {worker.index} exceeded its respawn "
+                        f"budget with this request in flight"
+                    ))
+            return
+        for fwd in pending:
+            if fwd.future.done():
+                continue  # client already gave up
+            if fwd.no_retry or fwd.retries >= self.config.retry_limit:
+                worker.crash_failures += 1
+                fwd.future.set_exception(WorkerCrashedError(
+                    f"worker {worker.index} crashed with this "
+                    f"{fwd.op} in flight"
+                    + (" (no_retry)" if fwd.no_retry else
+                       f" (retried {fwd.retries}x)")
+                ))
+                continue
+            fwd.retries += 1
+            worker.retried_requests += 1
+            _metrics.inc("serve.shard.retried")
+            worker.transmit(fwd)
+
+    async def _replay_registrations(self, worker: WorkerHandle) -> None:
+        """Re-register every circuit the ring assigns to *worker*.
+
+        Sent on the (fresh) data channel and awaited before any retried
+        request goes out, so a retried query can never race ahead of
+        the registration that makes its circuit exist.
+        """
+        owned = [registration for registration in self._catalog.values()
+                 if self.ring.owner(registration.circuit_id) == worker.index]
+        if not owned:
+            return
+        loop = asyncio.get_running_loop()
+        replays: List[_Forwarded] = []
+        for registration in owned:
+            body = json.dumps(registration.replay_request(),
+                              separators=(",", ":")).encode("utf-8")
+            replay = _Forwarded(body, loop.create_future(), 1,
+                                "register", registration.circuit_id, True)
+            replays.append(replay)
+            worker.transmit(replay)
+        responses = await asyncio.wait_for(
+            asyncio.gather(*(replay.future for replay in replays)),
+            self.config.spawn_timeout_s,
+        )
+        for registration, body in zip(owned, responses):
+            response = decode_body(body)
+            if not response.get("ok"):
+                raise ServeError(
+                    f"replaying {registration.circuit_id[:12]}... failed: "
+                    f"{response.get('error')}"
+                )
+
+    # ------------------------------------------------------------------
+    # Stats rollup
+    # ------------------------------------------------------------------
+
+    async def _op_stats(self) -> Dict[str, Any]:
+        """Aggregate supervisor + per-worker stats into one response."""
+        per_worker: List[Dict[str, Any]] = []
+        rollup = {
+            "requests": 0, "errors": 0, "batches": 0, "lanes_total": 0,
+            "registry_size": 0, "query_counts": {},
+        }
+        for worker in self.workers:
+            entry = worker.describe()
+            if worker.alive and not worker.recovering:
+                try:
+                    stats = await worker.control_request(
+                        {"op": "stats"}, self.config.heartbeat_s * 2)
+                    entry["server"] = stats
+                    rollup["requests"] += stats.get("requests", 0)
+                    rollup["errors"] += stats.get("errors", 0)
+                    batcher = stats.get("batcher", {})
+                    rollup["batches"] += batcher.get("batches", 0)
+                    rollup["lanes_total"] += batcher.get("lanes_total", 0)
+                    registry = stats.get("registry", {})
+                    rollup["registry_size"] += registry.get("size", 0)
+                    # Ownership is disjoint, so a plain merge is exact.
+                    rollup["query_counts"].update(
+                        registry.get("query_counts", {}))
+                except (asyncio.TimeoutError, ConnectionError, OSError,
+                        ProtocolError):
+                    entry["server"] = None
+            per_worker.append(entry)
+        inflight = sum(worker.ledger.pending for worker in self.workers)
+        alive = sum(worker.alive for worker in self.workers)
+        _metrics.set_gauge("serve.shard.workers_alive", alive)
+        _metrics.set_gauge("serve.shard.inflight", inflight)
+        _metrics.set_gauge("serve.shard.respawns", self.respawned_total)
+        return {
+            "ok": True,
+            "sharded": True,
+            "uptime_s": round(time.time() - self._started_at, 3),
+            "requests": self.requests,
+            "errors": self.errors,
+            "connections": {
+                "open": self._open_connections,
+                "total": self.connections_total,
+            },
+            "supervisor": {
+                "workers": self.config.workers,
+                "workers_alive": alive,
+                "inflight_lanes": inflight,
+                "respawned_total": self.respawned_total,
+                "registered_circuits": len(self._catalog),
+                "draining": self.draining,
+            },
+            "workers": per_worker,
+            "rollup": rollup,
+        }
+
+
+class ThreadedShardServer:
+    """A :class:`ShardSupervisor` on its own event-loop thread.
+
+    The sharded sibling of :class:`~repro.serve.server.ThreadedServer`,
+    for synchronous callers that need a live sharded endpoint in the
+    current process::
+
+        with ThreadedShardServer(ShardSupervisor()) as (host, port):
+            oracle = RemoteOracle((host, port), circuit=original)
+
+    Exiting the context drains the supervisor (in-flight requests
+    settle, the fleet is terminated) and joins the thread.
+    """
+
+    def __init__(self, supervisor: Optional[ShardSupervisor] = None) -> None:
+        self.supervisor = (supervisor if supervisor is not None
+                           else ShardSupervisor())
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._startup_error: Optional[BaseException] = None
+
+    def start(self, timeout_s: float = 60.0) -> Tuple[str, int]:
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve-shard", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout_s):
+            raise RuntimeError("shard supervisor failed to start in time")
+        if self._startup_error is not None:
+            raise self._startup_error
+        assert self.supervisor.address is not None
+        return self.supervisor.address
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        try:
+            await self.supervisor.start()
+        except BaseException as exc:  # spawn failure, bind failure, ...
+            self._startup_error = exc
+            self._started.set()
+            return
+        self._started.set()
+        await self._stop.wait()
+        await self.supervisor.drain()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=30.0)
+        self._thread = None
+
+    def __enter__(self) -> Tuple[str, int]:
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

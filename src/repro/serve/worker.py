@@ -1,0 +1,102 @@
+"""Shard worker: one :class:`OracleServer` in its own process.
+
+A worker is deliberately boring — it is exactly the single-process
+serving stack (registry, dynamic batcher, admission controller, asyncio
+TCP front-end) bound to an ephemeral loopback port, plus a few lines of
+bootstrap handshake.  All sharding intelligence (routing, supervision,
+crash recovery, registration replay) lives in the supervisor; a worker
+neither knows its peers exist nor which slice of the ring it owns.
+
+Bootstrap: the supervisor starts the process with a one-way
+:class:`multiprocessing.connection.Connection`; the worker binds,
+reports ``(host, port)`` through the pipe, closes it, and serves until
+killed.  Everything after the handshake travels over the normal wire
+protocol, so a worker is also directly debuggable with any protocol
+client pointed at its port.
+
+The module is importable under any multiprocessing start method:
+``fork`` (the default where available — workers inherit the loaded
+interpreter and compiled-circuit code for free) and ``spawn``/
+``forkserver`` (the entrypoint and its arguments are all picklable).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional
+
+from .server import OracleServer, ServerConfig
+
+__all__ = ["worker_main", "spawn_worker"]
+
+
+def worker_main(index: int, config: ServerConfig, bootstrap) -> None:
+    """Process entrypoint: serve until the supervisor kills us.
+
+    *bootstrap* is the supervisor's pipe; the bound address goes out
+    through it (or, if binding fails, an error string — the supervisor
+    turns that into a spawn failure instead of a timeout).
+    """
+
+    async def main() -> None:
+        server = OracleServer(config=config)
+        try:
+            host, port = await server.start()
+        except BaseException as exc:  # bind failure, bad config, ...
+            bootstrap.send(("error", f"{type(exc).__name__}: {exc}"))
+            bootstrap.close()
+            return
+        bootstrap.send(("ok", (host, port)))
+        bootstrap.close()
+        await server.serve_forever()
+
+    asyncio.run(main())
+
+
+def spawn_worker(
+    index: int,
+    config: ServerConfig,
+    start_method: Optional[str] = None,
+    spawn_timeout_s: float = 30.0,
+):
+    """Start one worker process; returns ``(process, (host, port))``.
+
+    Synchronous (the supervisor calls it through an executor): blocks
+    until the worker reports its address or *spawn_timeout_s* passes.
+    """
+    import multiprocessing
+
+    if start_method is None:
+        methods = multiprocessing.get_all_start_methods()
+        start_method = "fork" if "fork" in methods else "spawn"
+    context = multiprocessing.get_context(start_method)
+    parent, child = context.Pipe(duplex=False)
+    process = context.Process(
+        target=worker_main,
+        args=(index, config, child),
+        name=f"repro-serve-worker-{index}",
+        daemon=True,
+    )
+    process.start()
+    child.close()  # the worker's end lives in the worker now
+    try:
+        if not parent.poll(spawn_timeout_s):
+            raise RuntimeError(
+                f"worker {index} did not report an address within "
+                f"{spawn_timeout_s}s"
+            )
+        status, payload = parent.recv()
+    except (EOFError, RuntimeError):
+        process.terminate()
+        process.join(timeout=5.0)
+        raise RuntimeError(
+            f"worker {index} died during bootstrap"
+        ) from None
+    finally:
+        parent.close()
+    if status != "ok":
+        process.terminate()
+        process.join(timeout=5.0)
+        raise RuntimeError(f"worker {index} failed to start: {payload}")
+    host, port = payload
+    return process, (str(host), int(port))

@@ -81,3 +81,36 @@ def test_cache_delta_is_per_job(tmp_path):
     cache.get(key)  # pre-existing traffic must not leak into the job
     record = execute_job(JobSpec.make("echo"), cache=cache)
     assert record["cache"] == {"hits": 0, "misses": 0}
+
+
+class TestServedOracleHook:
+    """``params["oracle"]`` routes the attack kind's DIP loop through
+    a served oracle pool instead of an in-process oracle."""
+
+    def test_attack_through_shard_pool_matches_local(self):
+        from repro.serve import ShardConfig, ShardSupervisor, ThreadedShardServer
+
+        spec = dict(benchmark="s1238", scheme="xor", key_bits=2, seed=5)
+        local = execute_job(JobSpec.make("attack", **spec))
+        assert local["status"] == "ok", local["error"]
+
+        supervisor = ShardSupervisor(ShardConfig(workers=2))
+        with ThreadedShardServer(supervisor) as (host, port):
+            served = execute_job(JobSpec.make(
+                "attack", oracle=f"{host}:{port}", **spec
+            ))
+        assert served["status"] == "ok", served["error"]
+        # The differential guarantee, observed end to end: identical
+        # cell payload whichever oracle transport answered the DIPs.
+        assert served["payload"] == local["payload"]
+        assert supervisor.requests > 0  # the queries really went remote
+        assert supervisor.respawned_total == 0
+
+    def test_dead_pool_is_transient_not_a_wrong_answer(self):
+        record = execute_job(JobSpec.make(
+            "attack", benchmark="s1238", scheme="xor", key_bits=2,
+            seed=5, oracle="127.0.0.1:1",
+        ))
+        assert record["status"] == "error"
+        assert record["transient"] is True
+        assert "oracle 127.0.0.1:1" in record["error"]

@@ -15,7 +15,7 @@ from repro.serve import (
     UnknownCircuitError,
 )
 
-from tests.serve.conftest import build_chain, make_batcher
+from tests.serve.conftest import FakeClock, build_chain, make_batcher
 
 
 def expected_outputs(entry, patterns):
@@ -88,13 +88,28 @@ def test_mixed_circuits_are_never_cobatched(registry):
 
 
 def test_expired_request_rejected_with_typed_error(registry):
-    """A deadline that lapses before the flush costs no evaluation."""
+    """A deadline that lapses before the flush costs no evaluation.
+
+    Driven by an injected fake clock: the deadline "passes" because the
+    test advances the controller's clock, not because the test slept —
+    deterministic regardless of scheduler load.
+    """
     entry = registry.register(build_chain())
-    batcher, admission = make_batcher(registry, max_batch=64, window_s=0.05)
+    clock = FakeClock()
+    # Window long enough that only the explicit flush below can fire.
+    batcher, admission = make_batcher(registry, max_batch=64, window_s=60.0,
+                                      clock=clock)
 
     async def scenario():
+        task = asyncio.create_task(
+            batcher.submit(entry.circuit_id, [{"a": 0}], deadline_ms=10)
+        )
+        await asyncio.sleep(0)  # let the submit enqueue
+        assert batcher.pending_lanes == 1
+        clock.advance(0.5)  # sail past the 10ms deadline instantly
+        batcher.flush_all()
         with pytest.raises(DeadlineExceededError):
-            await batcher.submit(entry.circuit_id, [{"a": 0}], deadline_ms=1)
+            await task
 
     asyncio.run(scenario())
     assert batcher.rejected_expired == 1

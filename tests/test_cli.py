@@ -196,6 +196,34 @@ class TestServe:
         with pytest.raises(SystemExit, match="locked"):
             main(["serve", locked_path, "--serve-seconds", "0.05"])
 
+    def test_serve_workers_smoke_spawns_and_drains(self, bench_file,
+                                                   capsys):
+        """`--workers 2` boots the sharded backend: the netlist is
+        registered through the supervisor (its owning worker printed)
+        and shutdown drains the fleet."""
+        assert main(["serve", bench_file, "--workers", "2",
+                     "--serve-seconds", "0.05"]) == 0
+        captured = capsys.readouterr()
+        assert "(worker " in captured.out
+        assert "2 workers" in captured.out
+        assert "drained" in captured.err
+        assert "respawns" in captured.err
+
+    def test_serve_workers_validation(self, bench_file):
+        with pytest.raises(SystemExit, match="workers"):
+            main(["serve", bench_file, "--workers", "0",
+                  "--serve-seconds", "0.05"])
+
+    def test_serve_workers_refuses_locked_netlist(self, bench_file,
+                                                  tmp_path):
+        """The sharded path applies the same oracle-view policy."""
+        locked_path = str(tmp_path / "locked.bench")
+        main(["lock", bench_file, "--scheme", "xor", "--key-bits", "2",
+              "-o", locked_path])
+        with pytest.raises(SystemExit, match="locked"):
+            main(["serve", locked_path, "--workers", "2",
+                  "--serve-seconds", "0.05"])
+
 
 class TestAttackRemoteFlags:
     def test_remote_without_oracle_or_circuit_rejected(
