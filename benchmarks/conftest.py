@@ -55,11 +55,49 @@ def _obs_snapshot(request):
 
 
 def pytest_sessionfinish(session, exitstatus):
+    """Merge this run's snapshots into ``BENCH_obs.json``.
+
+    Merging (not overwriting) keeps the committed artifact stable under
+    partial runs — ``pytest benchmarks/test_obs_overhead.py`` must not
+    wipe the table-regeneration snapshots CI uploaded last time.  The
+    file is versioned (``schema``) and sorted, so a fresh run of the
+    same code produces a byte-identical artifact apart from the metric
+    values themselves.
+    """
     if not _SNAPSHOTS:
         return
+    existing = {}
+    if os.path.exists(_OBS_DUMP):
+        try:
+            with open(_OBS_DUMP) as stream:
+                existing = json.load(stream)
+        except (OSError, ValueError):
+            existing = {}
+    if "snapshots" not in existing:  # pre-schema plain nodeid->snapshot
+        existing = {"schema": 1, "snapshots": existing}
+    existing["schema"] = 1
+    existing["snapshots"].update(_SNAPSHOTS)
     with open(_OBS_DUMP, "w") as stream:
-        json.dump(_SNAPSHOTS, stream, indent=2, sort_keys=True)
+        json.dump(existing, stream, indent=2, sort_keys=True)
         stream.write("\n")
+
+
+try:
+    import pytest_benchmark  # noqa: F401
+except ImportError:
+    # CI's fast image has no pytest-benchmark; a minimal stand-in keeps
+    # the suite collectible — one timed call, no statistics.
+    @pytest.fixture
+    def benchmark():
+        import time
+
+        def run(fn, *args, **kwargs):
+            start = time.perf_counter()
+            result = fn(*args, **kwargs)
+            run.elapsed = time.perf_counter() - start
+            return result
+
+        return run
 
 
 @pytest.fixture(scope="session")

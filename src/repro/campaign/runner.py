@@ -168,10 +168,21 @@ def run_campaign(
     start = time.perf_counter()
     try:
         if todo:
-            if workers == 1:
-                _run_serial(todo, config, finalize)
-            else:
-                _run_pool(todo, config, workers, finalize)
+            # One span for the whole run; its exported context travels
+            # to every job (as a separate argument — never inside the
+            # spec, which would perturb job IDs), so adopted job trees
+            # stitch under it: one campaign, one span tree.
+            from ..obs.propagate import current_context
+            from ..obs.spans import trace_span
+
+            with trace_span("campaign.run", jobs=len(todo),
+                            workers=workers):
+                ctx = current_context()
+                trace_ctx = None if ctx is None else ctx.to_wire()
+                if workers == 1:
+                    _run_serial(todo, config, finalize, trace_ctx)
+                else:
+                    _run_pool(todo, config, workers, finalize, trace_ctx)
     finally:
         if store is not None:
             store.close()
@@ -207,13 +218,15 @@ def _run_serial(
     todo: Sequence[JobSpec],
     config: CampaignConfig,
     finalize: Callable[[Dict[str, Any], int], None],
+    trace_ctx: Optional[Dict[str, Any]] = None,
 ) -> None:
     load_worker_modules(config.worker_modules)
     cache = NetlistCache(config.cache_dir)
     for spec in todo:
         attempt = 1
         while True:
-            record = execute_job(spec, cache=cache, timeout=config.timeout)
+            record = execute_job(spec, cache=cache, timeout=config.timeout,
+                                 trace_ctx=trace_ctx)
             if _retryable(record) and attempt <= config.retries:
                 time.sleep(_backoff_seconds(config, attempt))
                 attempt += 1
@@ -252,6 +265,7 @@ def _run_pool(
     config: CampaignConfig,
     workers: int,
     finalize: Callable[[Dict[str, Any], int], None],
+    trace_ctx: Optional[Dict[str, Any]] = None,
 ) -> None:
     import multiprocessing
 
@@ -342,7 +356,8 @@ def _run_pool(
             # else is submitted until they are resolved.
             def submit(attempt: _Attempt) -> None:
                 future = executor.submit(
-                    pool_execute, attempt.spec.to_dict(), config.timeout
+                    pool_execute, attempt.spec.to_dict(), config.timeout,
+                    trace_ctx,
                 )
                 inflight[future] = (attempt, time.monotonic())
 

@@ -349,14 +349,24 @@ def execute_job(
     spec: Mapping[str, Any],
     cache: Optional[NetlistCache] = None,
     timeout: Optional[float] = None,
+    trace_ctx: Optional[Mapping[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Run one job; always returns a record, never raises.
 
     The record carries the job outcome (``status`` one of ``ok`` /
     ``error`` / ``timeout``), the payload, the worker's span/metric
     snapshot (``obs``), and the cache hit/miss delta for this job.
+
+    *trace_ctx* is the runner's wire-form trace context.  The job span
+    records it, so when the record's ``obs`` payload is adopted back
+    into the runner's session the job tree attaches under the
+    submitting ``campaign.run`` span — one campaign, one span tree,
+    even across pool processes.  It travels as a separate argument,
+    never inside the spec: job IDs and cache keys hash the params, and
+    a trace ID would perturb both.
     """
     from .. import obs
+    from ..obs.propagate import TraceContext, remote_span
     from ..obs.snapshots import capture_payload
 
     job = spec if isinstance(spec, JobSpec) else JobSpec.from_dict(spec)
@@ -376,8 +386,9 @@ def execute_job(
     }
     start = time.perf_counter()
     with obs.capture() as sink:
-        with obs.trace_span("campaign.job", job_id=job.job_id,
-                            kind=job.kind):
+        ctx = TraceContext.from_wire(trace_ctx)
+        with remote_span("campaign.job", ctx, job_id=job.job_id,
+                         kind=job.kind):
             try:
                 if handler is None:
                     raise ValueError(f"unknown job kind {job.kind!r}")
@@ -416,6 +427,9 @@ def init_worker(cache_dir: Optional[str], worker_modules: Iterable[str]) -> None
 
 
 def pool_execute(spec_dict: Dict[str, Any],
-                 timeout: Optional[float]) -> Dict[str, Any]:
+                 timeout: Optional[float],
+                 trace_ctx: Optional[Dict[str, Any]] = None,
+                 ) -> Dict[str, Any]:
     cache = _WORKER_CACHE if _WORKER_CACHE is not None else NetlistCache(None)
-    return execute_job(spec_dict, cache=cache, timeout=timeout)
+    return execute_job(spec_dict, cache=cache, timeout=timeout,
+                       trace_ctx=trace_ctx)

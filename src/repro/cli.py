@@ -181,27 +181,47 @@ def _attack_oracle(args: argparse.Namespace):
     return CombinationalOracle(_load(args.oracle))
 
 
+def _maybe_adopt_remote_trace(args: argparse.Namespace, oracle) -> None:
+    """After a ``--remote`` attack under ``--trace``/``--profile``, pull
+    the server's buffered span trees home so the report shows one
+    stitched tree: client root → route → request → batch flush."""
+    if not getattr(args, "remote", None):
+        return
+    from .obs import context as _obs
+    from .serve import adopt_remote_trace
+
+    if _obs.ACTIVE is None:
+        return
+    adopted = adopt_remote_trace(oracle.connection)
+    if adopted:
+        _emit(f"adopted {adopted} remote span tree(s)", err=True)
+
+
 def cmd_attack(args: argparse.Namespace) -> int:
     locked = _load(args.locked)
     oracle = _attack_oracle(args)
-    result = sat_attack(locked, oracle, max_iterations=args.max_iterations)
-    _emit(f"completed              : {result.completed}", result=True)
-    _emit(f"DIP iterations         : {result.iterations}", result=True)
-    _emit(f"UNSAT at 1st iteration : {result.unsat_at_first_iteration}",
-          result=True)
-    _emit(f"oracle queries         : {result.oracle_queries}")
-    _emit(f"solver decisions       : {result.solver_decisions}")
-    _emit(f"solver conflicts       : {result.solver_conflicts}")
-    if result.key is not None:
-        accuracy = verify_key_against_oracle(
-            locked, oracle, result.key, samples=args.verify_samples
-        )
-        _emit(f"recovered key          : "
-              f"{json.dumps(result.key, sort_keys=True)}", result=True)
-        _emit(f"functional accuracy    : {accuracy:.3f}", result=True)
-        return 0 if accuracy == 1.0 else 1
-    _emit("no consistent key", result=True)
-    return 1
+    try:
+        result = sat_attack(locked, oracle,
+                            max_iterations=args.max_iterations)
+        _emit(f"completed              : {result.completed}", result=True)
+        _emit(f"DIP iterations         : {result.iterations}", result=True)
+        _emit(f"UNSAT at 1st iteration : {result.unsat_at_first_iteration}",
+              result=True)
+        _emit(f"oracle queries         : {result.oracle_queries}")
+        _emit(f"solver decisions       : {result.solver_decisions}")
+        _emit(f"solver conflicts       : {result.solver_conflicts}")
+        if result.key is not None:
+            accuracy = verify_key_against_oracle(
+                locked, oracle, result.key, samples=args.verify_samples
+            )
+            _emit(f"recovered key          : "
+                  f"{json.dumps(result.key, sort_keys=True)}", result=True)
+            _emit(f"functional accuracy    : {accuracy:.3f}", result=True)
+            return 0 if accuracy == 1.0 else 1
+        _emit("no consistent key", result=True)
+        return 1
+    finally:
+        _maybe_adopt_remote_trace(args, oracle)
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
@@ -409,6 +429,67 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fleet_trace_buffer():
+    """Make sure the active session buffers span trees for the ``obs``
+    op (``--fleet-trace``); enables a session when none is active."""
+    from . import obs
+    from .obs import context as _obs
+    from .obs.sinks import SpanBuffer
+
+    buffer = SpanBuffer()
+    session = _obs.ACTIVE
+    if session is None:
+        obs.enable(buffer)
+    else:
+        session.sinks.append(buffer)
+    return buffer
+
+
+def _write_metrics_file(path: str, text: str) -> None:
+    """Atomic replace, so a scraper never reads a half-written dump."""
+    import os
+
+    tmp = f"{path}.tmp"
+    with open(tmp, "w") as stream:
+        stream.write(text)
+    os.replace(tmp, path)
+
+
+def _install_obs_dumper(path: str, interval_s: float, handle):
+    """Periodic (and SIGUSR1-triggered) Prometheus-text dump.
+
+    *handle* is the endpoint's async dispatcher; each dump asks it for
+    the ``obs`` snapshot and rewrites *path* atomically.  Returns the
+    periodic task (or None when the interval is 0) for cancellation.
+    """
+    import asyncio
+    import signal as _signal
+
+    from .obs.export import render_exposition
+
+    loop = asyncio.get_running_loop()
+
+    async def dump() -> None:
+        try:
+            response = await handle({"op": "obs"})
+            _write_metrics_file(path, render_exposition(response))
+        except Exception as exc:  # noqa: BLE001 - keep serving
+            _emit(f"metrics dump failed: {exc}", err=True)
+
+    async def periodic() -> None:
+        while True:
+            await asyncio.sleep(interval_s)
+            await dump()
+
+    if hasattr(_signal, "SIGUSR1"):
+        try:
+            loop.add_signal_handler(
+                _signal.SIGUSR1, lambda: loop.create_task(dump()))
+        except (NotImplementedError, RuntimeError):
+            pass  # platforms/loops without signal handler support
+    return loop.create_task(periodic()) if interval_s > 0 else None
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -437,7 +518,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
         batch=batch,
         admission=admission,
         default_budget=args.budget,
+        trace=args.fleet_trace,
+        slow_log_path=args.slow_log,
+        slow_request_s=args.slow_threshold_ms / 1000.0,
     )
+    if args.fleet_trace:
+        _fleet_trace_buffer()
     server = OracleServer(config=config)
 
     async def run() -> None:
@@ -452,13 +538,24 @@ def cmd_serve(args: argparse.Namespace) -> int:
         _emit(f"serving {len(circuits)} circuit(s) on {host}:{port} "
               f"(batch<= {args.max_batch}, window {args.window_ms}ms)",
               result=True)
+        dumper = None
+        if args.metrics_file:
+            dumper = _install_obs_dumper(
+                args.metrics_file, args.metrics_interval, server.handle)
         try:
             if args.serve_seconds is not None:
                 await asyncio.sleep(args.serve_seconds)
             else:
                 await server.serve_forever()
         finally:
+            if dumper is not None:
+                dumper.cancel()
             await server.drain()
+            if args.metrics_file:
+                response = await server.handle({"op": "obs"})
+                from .obs.export import render_exposition
+                _write_metrics_file(args.metrics_file,
+                                    render_exposition(response))
             stats = server.batcher.stats()
             _emit(f"drained: {stats['batches']} batches, "
                   f"{stats['lanes_total']} queries, occupancy mean "
@@ -492,7 +589,14 @@ def _serve_sharded(args: argparse.Namespace, batch, admission,
         batch=batch,
         admission=admission,
         default_budget=args.budget,
+        trace=args.fleet_trace,
+        slow_log_path=args.slow_log,
+        slow_request_s=args.slow_threshold_ms / 1000.0,
     ))
+    if args.fleet_trace:
+        # The supervisor's own routing spans ship through this buffer
+        # alongside the worker trees its polling loop collects.
+        supervisor.span_buffer = _fleet_trace_buffer()
 
     async def run() -> None:
         host, port = await supervisor.start()
@@ -516,10 +620,19 @@ def _serve_sharded(args: argparse.Namespace, batch, admission,
             _emit(f"serving {len(circuits)} circuit(s) on {host}:{port} "
                   f"({args.workers} workers, batch<= {args.max_batch}, "
                   f"window {args.window_ms}ms)", result=True)
-            if args.serve_seconds is not None:
-                await asyncio.sleep(args.serve_seconds)
-            else:
-                await supervisor.serve_forever()
+            dumper = None
+            if args.metrics_file:
+                dumper = _install_obs_dumper(
+                    args.metrics_file, args.metrics_interval,
+                    supervisor.handle)
+            try:
+                if args.serve_seconds is not None:
+                    await asyncio.sleep(args.serve_seconds)
+                else:
+                    await supervisor.serve_forever()
+            finally:
+                if dumper is not None:
+                    dumper.cancel()
         finally:
             # The drain covers registration failures too: workers are
             # real child processes and must not outlive a SystemExit.
@@ -546,6 +659,34 @@ def _oracle_view(circuit: Circuit):
     if circuit.flip_flops():
         return extract_combinational(circuit).circuit
     return circuit
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live fleet dashboard: plain full redraws, no curses."""
+    import time as _time
+
+    from .obs.export import render_top
+    from .serve import ServeConnection
+
+    connection = ServeConnection(args.address)
+    try:
+        while True:
+            response = connection.fetch_obs()
+            fleet = response.get("fleet") or {}
+            clock_text = _time.strftime("%H:%M:%S")
+            if not args.once:
+                # ANSI clear + home: a dumb full redraw works on any
+                # terminal a CI log might replay, unlike curses.
+                sys.stdout.write("\x1b[2J\x1b[H")
+            _emit(render_top(fleet, clock_text=clock_text), result=True)
+            if args.once:
+                return 0
+            sys.stdout.flush()
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        connection.close()
 
 
 def cmd_figures(args: argparse.Namespace) -> int:
@@ -664,7 +805,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--serve-seconds", type=float, metavar="SEC",
                    help="run for SEC seconds then drain (CI smoke mode; "
                         "default: serve until interrupted)")
+    group = p.add_argument_group("fleet observability")
+    group.add_argument("--metrics-file", metavar="FILE",
+                       help="dump a Prometheus-style text snapshot to "
+                            "FILE (atomic replace) every "
+                            "--metrics-interval seconds and on SIGUSR1")
+    group.add_argument("--metrics-interval", type=float, default=5.0,
+                       metavar="SEC",
+                       help="seconds between --metrics-file dumps "
+                            "(0 = SIGUSR1 only)")
+    group.add_argument("--slow-log", metavar="FILE",
+                       help="always-on JSONL log of slow/refused "
+                            "requests (workers append to FILE.wN)")
+    group.add_argument("--slow-threshold-ms", type=float, default=1000.0,
+                       metavar="MS",
+                       help="answered requests at or above MS are "
+                            "logged as slow (errors always are)")
+    group.add_argument("--fleet-trace", action="store_true",
+                       help="trace inside the serving processes and "
+                            "buffer span trees for the obs op / remote "
+                            "trace adoption")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "top",
+        help="live fleet view of a serve endpoint (plain redraw)",
+        parents=[obs_flags],
+    )
+    p.add_argument("address", metavar="HOST:PORT",
+                   help="a `repro serve` endpoint (single or sharded)")
+    p.add_argument("--interval", type=float, default=2.0, metavar="SEC",
+                   help="seconds between refreshes")
+    p.add_argument("--once", action="store_true",
+                   help="print one snapshot and exit (no redraw)")
+    p.set_defaults(func=cmd_top)
 
     p = sub.add_parser(
         "profile",

@@ -37,6 +37,8 @@ from .sinks import (
     InMemorySink,
     JsonlSink,
     Sink,
+    SlowRequestLog,
+    SpanBuffer,
     TreeSink,
     render_metrics_table,
     render_span_tree,
@@ -44,11 +46,27 @@ from .sinks import (
 from .spans import Span, annotate, current_span, trace_span
 from .instrument import ProfileReport, run_profile, traced
 from .snapshots import (
+    MetricMergeError,
     adopt_payload,
     capture_payload,
     merge_metrics,
     span_tree_from_dict,
     span_tree_to_dict,
+)
+from .propagate import (
+    TraceContext,
+    attach_context,
+    child_context,
+    context_from_request,
+    current_context,
+    remote_span,
+)
+from .aggregate import FleetAggregator
+from .export import (
+    render_exposition,
+    render_fleet_prometheus,
+    render_prometheus,
+    render_top,
 )
 
 __all__ = [
@@ -56,9 +74,15 @@ __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
     "DEFAULT_TIME_BUCKETS", "inc", "observe", "set_gauge", "snapshot",
     "Sink", "InMemorySink", "JsonlSink", "TreeSink",
+    "SpanBuffer", "SlowRequestLog",
     "render_span_tree", "render_metrics_table",
     "Span", "annotate", "current_span", "trace_span",
     "ProfileReport", "run_profile", "traced",
-    "adopt_payload", "capture_payload", "merge_metrics",
+    "MetricMergeError", "adopt_payload", "capture_payload", "merge_metrics",
     "span_tree_from_dict", "span_tree_to_dict",
+    "TraceContext", "attach_context", "child_context",
+    "context_from_request", "current_context", "remote_span",
+    "FleetAggregator",
+    "render_exposition", "render_fleet_prometheus", "render_prometheus",
+    "render_top",
 ]

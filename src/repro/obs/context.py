@@ -14,15 +14,16 @@ allocation, no dictionary lookup, no string formatting.  That cost is
 bounded by the overhead benchmark in ``benchmarks/test_obs_overhead.py``.
 
 :func:`enable` installs an :class:`ObsSession` (sinks + metrics
-registry + span stack); :func:`disable` tears it down and returns it
+registry + trace identity); :func:`disable` tears it down and returns it
 for inspection.  :func:`capture` is the test-friendly context manager
 wrapping both around an in-memory sink.
 """
 
 from __future__ import annotations
 
+import os
 from contextlib import contextmanager
-from typing import Iterator, List, Optional, TYPE_CHECKING
+from typing import Dict, Iterator, List, Optional, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from .metrics import MetricsRegistry
@@ -36,17 +37,52 @@ __all__ = ["ObsSession", "enable", "disable", "current", "is_enabled",
 class ObsSession:
     """Everything one enabled observability window accumulates."""
 
-    __slots__ = ("registry", "sinks", "stack", "roots")
+    __slots__ = ("registry", "sinks", "roots", "trace_id", "node_id",
+                 "exported")
 
     def __init__(self, sinks: List["Sink"], registry: "MetricsRegistry") -> None:
         self.registry = registry
         self.sinks = sinks
-        #: innermost-last stack of open spans (single-threaded by design)
-        self.stack: List["Span"] = []
         #: completed top-level spans, in completion order
         self.roots: List["Span"] = []
+        #: identity of the distributed trace this session roots; every
+        #: context minted from it carries this id downstream
+        self.trace_id: str = os.urandom(8).hex()
+        #: per-process salt keeping exported span tokens globally unique
+        #: (span ids alone restart from 1 in every process)
+        self.node_id: str = os.urandom(4).hex()
+        #: spans this session has handed a cross-process token —
+        #: either exported downstream (so returning child trees can
+        #: find their parent) or adopted from a remote payload (so
+        #: re-delivery is detectable and later trees can stitch onto
+        #: them).  Token -> span.
+        self.exported: Dict[str, "Span"] = {}
 
     # ------------------------------------------------------------------
+
+    @property
+    def stack(self) -> List["Span"]:
+        """Open spans of this session in the *current* context
+        (compatibility view; the real stack is a contextvar so each
+        thread/task owns its branch of the tree)."""
+        from .spans import session_stack
+
+        return session_stack(self)
+
+    def export_span(self, span: "Span") -> str:
+        """Mint (or reuse) *span*'s cross-process token.
+
+        The token is stamped into ``span.attrs["trace_token"]`` so it
+        travels with serialized trees, and registered in
+        :attr:`exported` so adopted children can re-parent under the
+        live span.  Idempotent.
+        """
+        token = span.attrs.get("trace_token")
+        if not isinstance(token, str):
+            token = f"{self.node_id}-{span.span_id:x}"
+            span.attrs["trace_token"] = token
+        self.exported.setdefault(token, span)
+        return token
 
     def span_closed(self, span: "Span") -> None:
         """Called by the span machinery whenever a span completes."""

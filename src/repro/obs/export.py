@@ -1,0 +1,215 @@
+"""Text export of observability state: Prometheus exposition + ``top``.
+
+Two consumers, two formats:
+
+* :func:`render_prometheus` / :func:`render_fleet_prometheus` emit the
+  Prometheus text exposition format (``# TYPE`` headers, cumulative
+  ``_bucket{le=...}`` histogram lines, labeled per-worker/per-circuit
+  series).  ``repro serve --metrics-file`` dumps this periodically and
+  on ``SIGUSR1``; any scraper that reads textfile-collector output can
+  ingest it.
+* :func:`render_top` renders the fleet snapshot as fixed-width tables
+  for the ``repro top`` subcommand — curses-free, deterministic given
+  the snapshot (the golden test relies on that), redrawn by the CLI
+  with a plain ANSI clear.
+
+Everything here is pure text-from-dict: no sockets, no sessions, so it
+is trivially testable and usable from any process that has a snapshot.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Mapping, Optional
+
+__all__ = ["render_prometheus", "render_fleet_prometheus",
+           "render_exposition", "render_top"]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _metric_name(name: str, prefix: str) -> str:
+    return prefix + _NAME_RE.sub("_", name)
+
+
+def _num(value: Any) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "NaN"
+        return format(value, ".10g")
+    return str(value)
+
+
+def render_prometheus(snapshot: Mapping[str, Any],
+                      prefix: str = "repro_") -> str:
+    """Prometheus text exposition of a metrics-registry snapshot."""
+    lines: List[str] = []
+    for name in sorted(snapshot):
+        entry = snapshot[name]
+        metric = _metric_name(name, prefix)
+        kind = entry.get("kind")
+        if kind == "counter":
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {_num(entry.get('value', 0))}")
+        elif kind == "gauge":
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {_num(entry.get('value', 0))}")
+        elif kind == "histogram":
+            lines.append(f"# TYPE {metric} histogram")
+            bounds = entry.get("bounds") or []
+            counts = entry.get("counts") or []
+            cumulative = 0
+            for bound, count in zip(bounds, counts):
+                cumulative += count
+                lines.append(
+                    f'{metric}_bucket{{le="{_num(float(bound))}"}} '
+                    f"{cumulative}"
+                )
+            total = entry.get("count", sum(counts))
+            lines.append(f'{metric}_bucket{{le="+Inf"}} {total}')
+            lines.append(f"{metric}_sum {_num(entry.get('sum', 0.0))}")
+            lines.append(f"{metric}_count {total}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_fleet_prometheus(fleet: Mapping[str, Any],
+                            prefix: str = "repro_serve_") -> str:
+    """Labeled per-worker / per-circuit series from a fleet snapshot."""
+    lines: List[str] = []
+
+    def series(name: str, kind: str, rows) -> None:
+        metric = prefix + name
+        emitted = False
+        for label_kv, value in rows:
+            if value is None:
+                continue
+            if not emitted:
+                lines.append(f"# TYPE {metric} {kind}")
+                emitted = True
+            lines.append(f"{metric}{{{label_kv}}} {_num(value)}")
+
+    workers = fleet.get("workers") or {}
+    for field, kind in (("requests", "counter"), ("errors", "counter"),
+                        ("qps", "gauge"), ("batches", "counter"),
+                        ("lanes_total", "counter"), ("queue_depth", "gauge"),
+                        ("queue_peak", "gauge"), ("occupancy_mean", "gauge")):
+        series(f"worker_{field}", kind,
+               ((f'worker="{wid}"', row.get(field))
+                for wid, row in sorted(workers.items())))
+
+    circuits = fleet.get("circuits") or {}
+    for field, kind in (("query_count", "counter"), ("qps", "gauge"),
+                        ("remaining", "gauge")):
+        series(f"circuit_{field}", kind,
+               ((f'circuit="{cid}"', entry.get(field))
+                for cid, entry in sorted(circuits.items())))
+
+    totals = fleet.get("totals") or {}
+    for field in ("workers", "requests", "errors", "qps", "queue_depth"):
+        value = totals.get(field)
+        if value is not None:
+            metric = f"{prefix}fleet_{field}"
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {_num(value)}")
+
+    latency = fleet.get("latency") or {}
+    for field in ("p50_s", "p95_s", "p99_s", "mean_s", "max_s"):
+        value = latency.get(field)
+        if value is not None:
+            metric = f"{prefix}latency_{field.replace('_s', '_seconds')}"
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {_num(float(value))}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_exposition(obs_response: Mapping[str, Any]) -> str:
+    """Full exposition from one ``obs`` wire-op response: fleet series
+    first (when present), then the raw per-process registry dump."""
+    parts: List[str] = []
+    fleet = obs_response.get("fleet")
+    if fleet:
+        text = render_fleet_prometheus(fleet)
+        if text:
+            parts.append(text)
+    metrics = obs_response.get("metrics")
+    if metrics:
+        text = render_prometheus(metrics)
+        if text:
+            parts.append(text)
+    return "\n".join(parts) if parts else "# no metrics recorded\n"
+
+
+# ----------------------------------------------------------------------
+# repro top
+# ----------------------------------------------------------------------
+
+def _ms(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    return f"{value * 1e3:.1f}"
+
+
+def _short(cid: str, width: int = 16) -> str:
+    return cid if len(cid) <= width else cid[:width - 1] + "…"
+
+
+def render_top(fleet: Mapping[str, Any],
+               clock_text: Optional[str] = None) -> str:
+    """Plain-text dashboard of one fleet snapshot (deterministic)."""
+    totals = fleet.get("totals") or {}
+    latency = fleet.get("latency") or {}
+    header = (
+        f"repro fleet  workers={totals.get('workers', 0)}"
+        f"  requests={totals.get('requests', 0)}"
+        f"  errors={totals.get('errors', 0)}"
+        f"  qps={totals.get('qps', 0.0):g}"
+    )
+    if latency:
+        header += (f"  p50={_ms(latency.get('p50_s'))}ms"
+                   f" p95={_ms(latency.get('p95_s'))}ms"
+                   f" p99={_ms(latency.get('p99_s'))}ms")
+    if clock_text:
+        header += f"  [{clock_text}]"
+    lines = [header, ""]
+
+    workers = fleet.get("workers") or {}
+    lines.append(f"{'worker':<8}{'requests':>10}{'errors':>8}{'qps':>9}"
+                 f"{'batches':>9}{'occ.mean':>10}{'queue':>7}{'circuits':>10}"
+                 f"{'p99_ms':>9}")
+    for wid in sorted(workers):
+        row = workers[wid]
+        occupancy = row.get("occupancy_mean")
+        row_latency = row.get("latency") or {}
+        lines.append(
+            f"{wid:<8}{row.get('requests', 0):>10}{row.get('errors', 0):>8}"
+            f"{row.get('qps', 0.0):>9g}{row.get('batches', 0):>9}"
+            f"{occupancy if occupancy is not None else '-':>10}"
+            f"{row.get('queue_depth', 0):>7}{row.get('circuits', 0):>10}"
+            f"{_ms(row_latency.get('p99_s')):>9}"
+        )
+    if not workers:
+        lines.append("(no workers reporting)")
+    lines.append("")
+
+    circuits = fleet.get("circuits") or {}
+    lines.append(f"{'circuit':<18}{'queries':>9}{'qps':>9}{'budget':>9}"
+                 f"{'remaining':>11}  workers")
+    ordered = sorted(
+        circuits.items(),
+        key=lambda item: (-item[1].get("query_count", 0), item[0]),
+    )
+    for cid, entry in ordered:
+        budget = entry.get("budget")
+        remaining = entry.get("remaining")
+        lines.append(
+            f"{_short(cid):<18}{entry.get('query_count', 0):>9}"
+            f"{entry.get('qps', 0.0):>9g}"
+            f"{budget if budget is not None else '-':>9}"
+            f"{remaining if remaining is not None else '-':>11}"
+            f"  {','.join(entry.get('workers') or ())}"
+        )
+    if not circuits:
+        lines.append("(no circuits registered)")
+    return "\n".join(lines) + "\n"

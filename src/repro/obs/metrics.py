@@ -23,7 +23,7 @@ from . import context as _obs
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
            "DEFAULT_TIME_BUCKETS", "inc", "set_gauge", "observe",
-           "snapshot"]
+           "snapshot", "histogram_snapshot", "histogram_from_snapshot"]
 
 #: Default histogram boundaries for durations in seconds: 100us .. 100s,
 #: roughly 1-2-5 per decade.  The final +inf bucket is implicit.
@@ -166,18 +166,38 @@ class MetricsRegistry:
         for name in sorted(self._instruments):
             inst = self._instruments[name]
             if isinstance(inst, Histogram):
-                out[name] = {
-                    "kind": "histogram",
-                    "count": inst.count,
-                    "sum": inst.sum,
-                    "min": inst.min,
-                    "max": inst.max,
-                    "bounds": list(inst.bounds),
-                    "counts": list(inst.counts),
-                }
+                out[name] = histogram_snapshot(inst)
             else:
                 out[name] = {"kind": inst.kind, "value": inst.value}
         return out
+
+
+def histogram_snapshot(hist: Histogram) -> dict:
+    """JSON-friendly form of one histogram (the registry snapshot entry
+    format; also what the serve layer ships over the wire)."""
+    return {
+        "kind": "histogram",
+        "count": hist.count,
+        "sum": hist.sum,
+        "min": hist.min,
+        "max": hist.max,
+        "bounds": list(hist.bounds),
+        "counts": list(hist.counts),
+    }
+
+
+def histogram_from_snapshot(entry: dict, name: str = "snapshot") -> Histogram:
+    """Rebuild a :class:`Histogram` from its snapshot entry, so merged
+    cross-process data can reuse :meth:`Histogram.quantile`."""
+    hist = Histogram(name, tuple(entry.get("bounds") or ()))
+    counts = list(entry.get("counts") or ())
+    if len(counts) == len(hist.counts):
+        hist.counts = counts
+    hist.count = entry.get("count", 0)
+    hist.sum = entry.get("sum", 0.0)
+    hist.min = entry.get("min")
+    hist.max = entry.get("max")
+    return hist
 
 
 # ----------------------------------------------------------------------

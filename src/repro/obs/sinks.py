@@ -17,11 +17,15 @@ CLI — can format the same data.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, IO, List, Optional
+import threading
+import time
+from collections import deque
+from typing import Any, Deque, Dict, IO, List, Optional
 
 from .spans import Span
 
 __all__ = ["Sink", "InMemorySink", "JsonlSink", "TreeSink",
+           "SpanBuffer", "SlowRequestLog",
            "render_span_tree", "render_metrics_table"]
 
 
@@ -112,6 +116,105 @@ class TreeSink(Sink):
 
     def on_metrics(self, snapshot: dict) -> None:
         self._stream.write(render_metrics_table(snapshot) + "\n")
+
+
+class SpanBuffer(Sink):
+    """Buffers completed *root* trees, serialized, for another process.
+
+    The shipping half of distributed tracing: a serve worker attaches
+    one to its session and the supervisor (or a client's ``obs``
+    request) drains it periodically.  Trees are serialized eagerly at
+    close time so draining is a cheap list handoff and later span
+    mutation cannot race the reader.  Bounded: past *capacity* roots
+    the oldest are dropped and counted, so a fleet nobody polls cannot
+    leak memory.  Thread-safe (spans close on the event loop, drains
+    arrive from control-channel handlers).
+    """
+
+    def __init__(self, capacity: int = 512) -> None:
+        if capacity < 1:
+            raise ValueError("SpanBuffer capacity must be >= 1")
+        self.capacity = capacity
+        self.dropped = 0
+        self._lock = threading.Lock()
+        self._roots: Deque[dict] = deque()
+
+    def on_span(self, span: Span) -> None:
+        if span.parent is not None:
+            return
+        from .snapshots import span_tree_to_dict  # local: import cycle
+
+        tree = span_tree_to_dict(span)
+        with self._lock:
+            self._roots.append(tree)
+            while len(self._roots) > self.capacity:
+                self._roots.popleft()
+                self.dropped += 1
+
+    def drain(self) -> List[dict]:
+        """Hand over (and forget) every buffered tree."""
+        with self._lock:
+            out = list(self._roots)
+            self._roots.clear()
+        return out
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._roots)
+
+
+class SlowRequestLog:
+    """Always-on, threshold-gated JSONL log of slow and failed requests.
+
+    Deliberately *not* a :class:`Sink`: it works with observability
+    disabled (the always-on part) and never touches the span machinery.
+    One JSON object per line, flushed per line so the file is tail-able
+    while serving; ``log`` is thread-safe.  The serve layer writes two
+    event families: ``slow`` / ``reject`` per request (gated on
+    *threshold_s*, errors always logged) and ``deadline-expired`` from
+    the batcher when a queued request dies before its batch flushes.
+    """
+
+    def __init__(self, stream_or_path, threshold_s: float = 1.0) -> None:
+        if isinstance(stream_or_path, str):
+            self._stream: IO[str] = open(stream_or_path, "a")
+            self._owned = True
+        else:
+            self._stream = stream_or_path
+            self._owned = False
+        self.threshold_s = float(threshold_s)
+        self.logged = 0
+        self._lock = threading.Lock()
+
+    def should_log(self, took_s: float, error: Optional[str] = None) -> bool:
+        return error is not None or took_s >= self.threshold_s
+
+    def log(self, event: str, **fields: Any) -> None:
+        record = {"ts": round(time.time(), 6), "event": event}
+        record.update(
+            (k, v) for k, v in fields.items() if v is not None
+        )
+        line = json.dumps(record, default=str, sort_keys=True)
+        with self._lock:
+            self._stream.write(line + "\n")
+            self._stream.flush()
+            self.logged += 1
+
+    def request(self, op: str, took_s: float,
+                error: Optional[str] = None, **fields: Any) -> bool:
+        """Log one finished request if it qualifies; True when logged."""
+        if not self.should_log(took_s, error):
+            return False
+        self.log("reject" if error is not None else "slow",
+                 op=op, took_ms=round(took_s * 1e3, 3), error=error,
+                 **fields)
+        return True
+
+    def close(self) -> None:
+        with self._lock:
+            self._stream.flush()
+            if self._owned:
+                self._stream.close()
 
 
 # ----------------------------------------------------------------------

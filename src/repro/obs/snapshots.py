@@ -11,12 +11,24 @@ whole campaign as if it had run in one process.
 Merge semantics per instrument kind:
 
 * counters add;
-* gauges keep the maximum (every gauge in this repo is a high-water
-  mark — peak queue depth, clause count);
-* histograms with identical bounds merge bucket-wise (the reason the
-  registry uses fixed Prometheus-style buckets in the first place);
-  mismatched bounds fall back to re-observing the remote mean, which
-  preserves count and sum exactly and approximates the shape.
+* gauges keep the **maximum** — every gauge in this repo is a
+  high-water mark (peak admission queue depth, peak clause count), so
+  folding worker snapshots must never let a later, lower reading
+  clobber an earlier peak.  Cross-process last-write semantics would
+  depend on poll order; max does not.
+* histograms merge bucket-wise, which is exact — and only possible —
+  when both sides use identical bucket boundaries (the reason the
+  registry uses fixed Prometheus-style buckets in the first place).
+  Mismatched or missing boundaries raise :class:`MetricMergeError`:
+  silently re-binning would corrupt every quantile derived from the
+  merged histogram, and no caller in this repo legitimately mixes
+  boundary sets under one metric name.
+
+Adoption also *stitches*: a reconstructed tree whose root carries a
+``trace_parent`` attribute naming a span this session exported (see
+:mod:`repro.obs.propagate`) is attached under that span instead of
+becoming a new root, and trees whose root token was already adopted are
+skipped entirely — re-delivering the same payload twice is harmless.
 """
 
 from __future__ import annotations
@@ -24,14 +36,19 @@ from __future__ import annotations
 from typing import Any, Dict, List, Mapping, Optional
 
 from .context import ObsSession
-from .metrics import DEFAULT_TIME_BUCKETS, MetricsRegistry
+from .metrics import MetricsRegistry
 from .sinks import InMemorySink
 from .spans import Span
 
 __all__ = [
+    "MetricMergeError",
     "span_tree_to_dict", "span_tree_from_dict",
     "merge_metrics", "capture_payload", "adopt_payload",
 ]
+
+
+class MetricMergeError(ValueError):
+    """Two snapshots of one metric cannot be merged faithfully."""
 
 
 def span_tree_to_dict(span: Span) -> Dict[str, Any]:
@@ -51,7 +68,7 @@ def span_tree_from_dict(
     """Rebuild a :class:`Span` tree from its JSON form.
 
     The reconstructed spans carry the *original* timestamps and
-    durations; they are inert records (never on any session stack).
+    durations; they are inert records (never on any context stack).
     """
     span = Span(tree["name"], parent, dict(tree.get("attrs") or {}))
     span.wall_start = tree.get("wall_start") or 0.0
@@ -70,7 +87,14 @@ def capture_payload(sink: InMemorySink) -> Dict[str, Any]:
 
 
 def merge_metrics(registry: MetricsRegistry, snapshot: Mapping[str, Any]) -> None:
-    """Fold a worker's metric *snapshot* into *registry*."""
+    """Fold a worker's metric *snapshot* into *registry*.
+
+    Counters add, gauges take the max (high-water marks), histograms
+    merge bucket-exactly.  Raises :class:`MetricMergeError` if a
+    histogram's bucket boundaries disagree with the local instrument's
+    (or are missing) — see the module docstring for why that is an
+    error and not a fallback.
+    """
     for name, entry in snapshot.items():
         kind = entry.get("kind")
         if kind == "counter":
@@ -79,40 +103,83 @@ def merge_metrics(registry: MetricsRegistry, snapshot: Mapping[str, Any]) -> Non
             registry.gauge(name).max(entry.get("value", 0))
         elif kind == "histogram":
             bounds = tuple(entry.get("bounds") or ())
-            local = registry.histogram(name, bounds or DEFAULT_TIME_BUCKETS)
-            if tuple(local.bounds) == bounds and entry.get("counts"):
-                counts: List[int] = entry["counts"]
-                for i, count in enumerate(counts):
-                    local.counts[i] += count
-                local.count += entry.get("count", 0)
-                local.sum += entry.get("sum", 0.0)
-                for bound_key, keep in (("min", min), ("max", max)):
-                    remote = entry.get(bound_key)
-                    if remote is None:
-                        continue
-                    mine = getattr(local, bound_key)
-                    setattr(local, bound_key,
-                            remote if mine is None else keep(mine, remote))
-            else:
-                count = entry.get("count", 0)
-                if count:
-                    mean = entry.get("sum", 0.0) / count
-                    for _ in range(count):
-                        local.observe(mean)
+            if not bounds:
+                raise MetricMergeError(
+                    f"histogram {name!r}: snapshot carries no bucket "
+                    f"boundaries; cannot merge faithfully"
+                )
+            local = registry.histogram(name, bounds)
+            if tuple(local.bounds) != bounds:
+                raise MetricMergeError(
+                    f"histogram {name!r}: bucket boundaries differ "
+                    f"(local {tuple(local.bounds)} vs snapshot {bounds}); "
+                    f"merging would corrupt quantiles"
+                )
+            counts: List[int] = list(entry.get("counts") or ())
+            if len(counts) != len(local.counts):
+                raise MetricMergeError(
+                    f"histogram {name!r}: {len(counts)} bucket counts for "
+                    f"{len(local.counts)} buckets"
+                )
+            for i, count in enumerate(counts):
+                local.counts[i] += count
+            local.count += entry.get("count", 0)
+            local.sum += entry.get("sum", 0.0)
+            for bound_key, keep in (("min", min), ("max", max)):
+                remote = entry.get(bound_key)
+                if remote is None:
+                    continue
+                mine = getattr(local, bound_key)
+                setattr(local, bound_key,
+                        remote if mine is None else keep(mine, remote))
 
 
-def adopt_payload(session: ObsSession, payload: Mapping[str, Any]) -> None:
+def adopt_payload(session: ObsSession, payload: Mapping[str, Any]) -> int:
     """Attach a worker's snapshot to the parent's live session.
 
+    Returns the number of span trees adopted (skipped re-deliveries
+    excluded).
+
     Reconstructed spans are announced to the session's sinks in the
-    order live spans would have closed (children before parents), and
-    roots land in ``session.roots`` just like locally closed spans.
+    order live spans would have closed (children before parents).
+
+    Stitching rules:
+
+    * a tree whose root's ``trace_token`` the session already knows is
+      skipped — it is either a re-delivered payload or a span that is
+      live in this very session (an in-process worker sharing the
+      session), and adopting it again would duplicate the subtree;
+    * every adopted span's token is registered *before* any attachment,
+      so trees arriving out of order (a child tree in one payload, its
+      parent tree in a later one — or earlier in the same list) still
+      find each other;
+    * a root whose ``trace_parent`` resolves to a known span attaches
+      under it as a true child (and therefore does not land in
+      ``session.roots``); anything else becomes a top-level root
+      exactly as before.
     """
     merge_metrics(session.registry, payload.get("metrics") or {})
+    adopted: List[Span] = []
     for tree in payload.get("spans") or ():
         root = span_tree_from_dict(tree)
+        token = root.attrs.get("trace_token")
+        if isinstance(token, str) and token in session.exported:
+            continue
+        adopted.append(root)
+        for span in root.iter_tree():
+            span_token = span.attrs.get("trace_token")
+            if isinstance(span_token, str):
+                session.exported.setdefault(span_token, span)
+    for root in adopted:
+        parent_token = root.attrs.get("trace_parent")
+        parent = (session.exported.get(parent_token)
+                  if isinstance(parent_token, str) else None)
+        if parent is not None and parent is not root:
+            root.parent = parent
+            parent.children.append(root)
         for span in _post_order(root):
             session.span_closed(span)
+    return len(adopted)
 
 
 def _post_order(span: Span):

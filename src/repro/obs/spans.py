@@ -3,9 +3,16 @@
 A :class:`Span` records both clocks — ``time.time()`` for *when* the
 work happened (so JSONL traces can be correlated across runs) and
 ``time.perf_counter()`` for *how long* it took (monotonic, immune to
-clock steps).  Spans nest via a per-session stack; closing a span
-attaches it to its parent (or to the session's root list) and notifies
-every sink.
+clock steps).  Spans nest via a stack held in a :mod:`contextvars`
+variable, so every thread and every asyncio task sees its own branch of
+the tree: a task spawned inside a span inherits that span as parent
+(task creation copies the context), while two concurrent requests on
+the same event loop cannot interleave each other's stacks.  This is
+what lets the serve batcher's ``loop.call_later`` flush land under the
+submitting request's span with no explicit plumbing.
+
+Closing a span attaches it to its parent (or to the session's root
+list) and notifies every sink.
 
 When observability is disabled :func:`trace_span` returns a shared
 no-op singleton — no ``Span`` object, no timestamps, no stack traffic —
@@ -16,7 +23,8 @@ from __future__ import annotations
 
 import itertools
 import time
-from typing import Any, Dict, List, Optional
+from contextvars import ContextVar
+from typing import Any, Dict, List, Optional, Tuple
 
 from . import context as _obs
 
@@ -24,20 +32,33 @@ __all__ = ["Span", "trace_span", "current_span", "annotate"]
 
 _ids = itertools.count(1)
 
+#: The open-span stack for the *current* execution context, innermost
+#: last.  Immutable tuples so ``Token``-based restore on exit is exact:
+#: a mismatched exit (e.g. a generator that never resumed) simply
+#: resets to the stack as it was when the span opened, shedding any
+#: orphans above it.
+_STACK: ContextVar[Tuple["Span", ...]] = ContextVar(
+    "repro_obs_span_stack", default=()
+)
+
 
 class Span:
     """One timed, annotated region of work."""
 
     __slots__ = ("span_id", "name", "wall_start", "t0", "duration",
-                 "parent", "children", "attrs")
+                 "parent", "children", "attrs", "session")
 
     def __init__(self, name: str, parent: Optional["Span"],
-                 attrs: Dict[str, Any]) -> None:
+                 attrs: Dict[str, Any],
+                 session: Optional["_obs.ObsSession"] = None) -> None:
         self.span_id = next(_ids)
         self.name = name
         self.parent = parent
         self.attrs = attrs
         self.children: List["Span"] = []
+        #: the session this span was opened under (None for spans
+        #: reconstructed from snapshots — they are inert records)
+        self.session = session
         self.wall_start = time.time()
         self.duration: Optional[float] = None  # seconds, set on close
         self.t0 = time.perf_counter()
@@ -108,24 +129,52 @@ class _NullSpan:
 _NULL = _NullSpan()
 
 
+def _live_stack(session: "_obs.ObsSession") -> Tuple["Span", ...]:
+    """The context's stack, empty if it belongs to a replaced session.
+
+    ``enable()`` swaps sessions without unwinding spans still open in
+    some context; treating a foreign-session stack as empty makes the
+    stale spans invisible instead of adopting them as parents.
+    """
+    stack = _STACK.get()
+    if stack and stack[-1].session is not session:
+        return ()
+    return stack
+
+
 class _SpanContext:
     """Context manager creating/closing one :class:`Span`."""
 
-    __slots__ = ("_session", "_name", "_attrs", "span")
+    __slots__ = ("_session", "_name", "_attrs", "_parent", "_export",
+                 "_token", "span")
 
     def __init__(self, session: "_obs.ObsSession", name: str,
-                 attrs: Dict[str, Any]) -> None:
+                 attrs: Dict[str, Any],
+                 parent: Optional[Span] = None,
+                 export: bool = False) -> None:
         self._session = session
         self._name = name
         self._attrs = attrs
+        #: explicit parent override (cross-process re-parenting); when
+        #: None the innermost open span in this context is the parent
+        self._parent = parent
+        #: mint the span's cross-process token at open (spans that are
+        #: part of a distributed trace, so shipped copies are
+        #: recognizable on re-delivery)
+        self._export = export
+        self._token = None
         self.span: Optional[Span] = None
 
     def __enter__(self) -> Span:
-        stack = self._session.stack
-        parent = stack[-1] if stack else None
-        span = Span(self._name, parent, self._attrs)
+        stack = _live_stack(self._session)
+        parent = self._parent
+        if parent is None:
+            parent = stack[-1] if stack else None
+        span = Span(self._name, parent, self._attrs, session=self._session)
+        if self._export:
+            self._session.export_span(span)
         self.span = span
-        stack.append(span)
+        self._token = _STACK.set(stack + (span,))
         return span
 
     def __exit__(self, exc_type, exc, tb) -> bool:
@@ -134,13 +183,12 @@ class _SpanContext:
         span.duration = time.perf_counter() - span.t0
         if exc_type is not None:
             span.attrs.setdefault("error", exc_type.__name__)
-        stack = self._session.stack
-        # Unwind defensively: a mismatched exit (e.g. a generator that
-        # never resumed) must not corrupt sibling bookkeeping.
-        while stack and stack[-1] is not span:
-            stack.pop()
-        if stack:
-            stack.pop()
+        try:
+            _STACK.reset(self._token)
+        except ValueError:  # pragma: no cover - token from another context
+            stack = _STACK.get()
+            if span in stack:
+                _STACK.set(stack[:stack.index(span)])
         if span.parent is not None:
             span.parent.children.append(span)
         self._session.span_closed(span)
@@ -160,11 +208,21 @@ def trace_span(name: str, **attrs: Any):
 
 
 def current_span() -> Optional[Span]:
-    """The innermost open span, or None (also None when disabled)."""
+    """The innermost open span of the active session in this context,
+    or None (also None when disabled)."""
     session = _obs.ACTIVE
-    if session is None or not session.stack:
+    if session is None:
         return None
-    return session.stack[-1]
+    stack = _STACK.get()
+    if not stack or stack[-1].session is not session:
+        return None
+    return stack[-1]
+
+
+def session_stack(session: "_obs.ObsSession") -> List[Span]:
+    """This context's open spans belonging to *session* (for debugging
+    and the :attr:`ObsSession.stack` compatibility view)."""
+    return [span for span in _STACK.get() if span.session is session]
 
 
 def annotate(**attrs: Any) -> None:

@@ -35,7 +35,12 @@ Quick taste::
 
 from .admission import AdmissionConfig, AdmissionController
 from .batcher import BatchConfig, DynamicBatcher
-from .client import RemoteOracle, ServeConnection, parse_address
+from .client import (
+    RemoteOracle,
+    ServeConnection,
+    adopt_remote_trace,
+    parse_address,
+)
 from .protocol import (
     DeadlineExceededError,
     OverloadedError,
@@ -67,6 +72,7 @@ __all__ = [
     "AdmissionConfig", "AdmissionController",
     "BatchConfig", "DynamicBatcher",
     "RemoteOracle", "ServeConnection", "parse_address",
+    "adopt_remote_trace",
     "ServeError", "ProtocolError", "OverloadedError", "ShuttingDownError",
     "DeadlineExceededError", "UnknownCircuitError",
     "QueryBudgetExceededError", "WorkerCrashedError",

@@ -97,10 +97,15 @@ class DynamicBatcher:
         registry: CircuitRegistry,
         admission: AdmissionController,
         config: Optional[BatchConfig] = None,
+        slow_log=None,
     ) -> None:
         self.registry = registry
         self.admission = admission
         self.config = config or BatchConfig()
+        #: optional :class:`~repro.obs.sinks.SlowRequestLog`; deadline
+        #: expiries are logged here at flush time with their lateness,
+        #: which the request-level log upstream cannot know
+        self.slow_log = slow_log
         self._pending: Dict[str, _PendingBatch] = {}
         # Local instruments: always-on (obs-independent), cheap, and the
         # source for the ``stats`` op; mirrored into the active obs
@@ -176,8 +181,15 @@ class DynamicBatcher:
             if request.deadline is not None and now > request.deadline:
                 self.admission.note_expired(len(request.patterns))
                 self.rejected_expired += 1
+                late_ms = (now - request.deadline) * 1e3
+                if self.slow_log is not None:
+                    self.slow_log.log(
+                        "deadline-expired", circuit=circuit_id[:16],
+                        late_ms=round(late_ms, 3),
+                        lanes=len(request.patterns),
+                    )
                 request.future.set_exception(DeadlineExceededError(
-                    f"request expired {(now - request.deadline) * 1e3:.1f}ms "
+                    f"request expired {late_ms:.1f}ms "
                     f"before its batch flushed"
                 ))
                 continue

@@ -31,6 +31,9 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 from ..netlist.bench_io import write_bench
 from ..netlist.circuit import Circuit
 from ..netlist.transform import extract_combinational
+from ..obs.propagate import attach_context
+from ..obs.snapshots import adopt_payload
+from ..obs.spans import trace_span
 from .protocol import (
     ProtocolError,
     error_from_payload,
@@ -38,7 +41,8 @@ from .protocol import (
     send_frame,
 )
 
-__all__ = ["ServeConnection", "RemoteOracle", "parse_address"]
+__all__ = ["ServeConnection", "RemoteOracle", "parse_address",
+           "adopt_remote_trace"]
 
 Address = Union[str, Tuple[str, int]]
 
@@ -74,10 +78,17 @@ class ServeConnection:
         return self._sock
 
     def request(self, obj: Mapping[str, Any]) -> Dict[str, Any]:
-        """Send one request; return the success payload or raise typed."""
+        """Send one request; return the success payload or raise typed.
+
+        With observability enabled, the current trace context rides
+        along as the optional ``ctx`` frame field, so server-side spans
+        re-parent under this client's innermost open span.  Disabled,
+        :func:`attach_context` is an identity and the frame is
+        byte-identical to an untraced client's.
+        """
         sock = self._socket()
         try:
-            send_frame(sock, dict(obj))
+            send_frame(sock, attach_context(dict(obj)))
             response = recv_frame(sock)
         except (OSError, socket.timeout):
             self.close()
@@ -94,6 +105,17 @@ class ServeConnection:
 
     def stats(self) -> Dict[str, Any]:
         return self.request({"op": "stats"})
+
+    def fetch_obs(self, spans: bool = False) -> Dict[str, Any]:
+        """The server's aggregated observability snapshot (``obs`` op).
+
+        ``spans=True`` also drains the server's buffered span trees —
+        destructive server-side, so each tree is fetched exactly once.
+        """
+        request: Dict[str, Any] = {"op": "obs"}
+        if spans:
+            request["spans"] = True
+        return self.request(request)
 
     def close(self) -> None:
         if self._sock is not None:
@@ -185,7 +207,8 @@ class RemoteOracle:
         }
         if self.deadline_ms is not None:
             request["deadline_ms"] = self.deadline_ms
-        response = self.connection.request(request)
+        with trace_span("serve.client.query", patterns=len(assignments)):
+            response = self.connection.request(request)
         self.query_count += len(assignments)
         self.server_query_count = int(
             response.get("query_count", self.server_query_count)
@@ -211,3 +234,28 @@ class RemoteOracle:
         return (f"RemoteOracle({host}:{port}, "
                 f"circuit={self.circuit_id[:12]}..., "
                 f"queries={self.query_count})")
+
+
+def adopt_remote_trace(connection: ServeConnection) -> int:
+    """Pull the server's buffered span trees into the local session.
+
+    Fetches ``obs`` with ``spans=True`` and stitches every tree whose
+    recorded parent token matches a span this session exported (the
+    ``ctx`` the connection attached on each request), producing one
+    contiguous cross-process trace.  Returns the number of trees
+    adopted; 0 — never an error — when observability is disabled, the
+    server predates the ``obs`` op, or the fetch fails.
+    """
+    from ..obs import context as _obs
+
+    session = _obs.ACTIVE
+    if session is None:
+        return 0
+    try:
+        response = connection.fetch_obs(spans=True)
+    except Exception:  # noqa: BLE001 - old server / dead connection
+        return 0
+    trees = response.get("spans")
+    if not trees:
+        return 0
+    return adopt_payload(session, {"spans": trees})

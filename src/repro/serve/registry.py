@@ -251,6 +251,7 @@ class CircuitRegistry:
                 "hits": self.hits,
                 "misses": self.misses,
                 "query_counts": dict(self._query_counts),
+                "budgets": dict(self._budgets),
             }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

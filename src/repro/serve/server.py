@@ -34,8 +34,12 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from ..netlist.bench_io import parse_bench
 from ..netlist.transform import extract_combinational
+from ..obs import context as _obs
 from ..obs import metrics as _metrics
-from ..obs.spans import trace_span
+from ..obs.aggregate import FleetAggregator
+from ..obs.metrics import histogram_snapshot
+from ..obs.propagate import context_from_request, remote_span
+from ..obs.sinks import SlowRequestLog, SpanBuffer
 from .admission import AdmissionConfig, AdmissionController
 from .batcher import BatchConfig, DynamicBatcher
 from .protocol import (
@@ -66,6 +70,15 @@ class ServerConfig:
     #: multiplexing many clients) keep enough queries in flight to fill
     #: 64-lane batches; responses still go out in request order.
     pipeline_depth: int = 1024
+    #: enable observability inside the serving process: spans buffer in
+    #: a :class:`~repro.obs.sinks.SpanBuffer` that the ``obs`` wire op
+    #: drains (how worker traces reach the supervisor and clients)
+    trace: bool = False
+    #: JSONL slow-request log path (None disables the log)
+    slow_log_path: Optional[str] = None
+    #: answered requests at or above this duration are logged as slow
+    #: (rejections and errors are always logged)
+    slow_request_s: float = 1.0
 
 
 def registration_view(
@@ -130,13 +143,23 @@ class OracleServer:
         self,
         registry: Optional[CircuitRegistry] = None,
         config: Optional[ServerConfig] = None,
+        slow_log: Optional[SlowRequestLog] = None,
     ) -> None:
         self.config = config or ServerConfig()
         self.registry = registry if registry is not None else CircuitRegistry()
         self.admission = AdmissionController(self.config.admission)
+        if slow_log is None and self.config.slow_log_path:
+            slow_log = SlowRequestLog(self.config.slow_log_path,
+                                      self.config.slow_request_s)
+        self.slow_log = slow_log
         self.batcher = DynamicBatcher(
-            self.registry, self.admission, self.config.batch
+            self.registry, self.admission, self.config.batch,
+            slow_log=slow_log,
         )
+        #: single-entry fleet view of this process, so the ``obs`` op
+        #: answers the same shape whether it hits a worker, a lone
+        #: server, or the shard supervisor
+        self.fleet = FleetAggregator()
         from ..obs.metrics import DEFAULT_TIME_BUCKETS, Histogram
 
         self.latency = Histogram("serve.request.seconds",
@@ -154,12 +177,22 @@ class OracleServer:
     # ------------------------------------------------------------------
 
     async def handle(self, request: Mapping[str, Any]) -> Dict[str, Any]:
-        """Answer one request object; never raises — errors are payloads."""
+        """Answer one request object; never raises — errors are payloads.
+
+        With observability enabled, the request span is re-parented
+        under the client's trace context (the optional ``ctx`` frame
+        field) so worker-side trees stitch under the submitting span
+        when they ship home.  Disabled, the context field is never even
+        decoded.
+        """
         op = request.get("op")
         t0 = time.perf_counter()
         self.requests += 1
+        ctx = (context_from_request(request)
+               if _obs.ACTIVE is not None else None)
+        error_code: Optional[str] = None
         try:
-            with trace_span("serve.request", op=str(op)):
+            with remote_span("serve.request", ctx, op=str(op)):
                 if op == "ping":
                     response: Dict[str, Any] = {"ok": True, "pong": True}
                 elif op == "register":
@@ -170,18 +203,29 @@ class OracleServer:
                     response = await self._op_query(request)
                 elif op == "stats":
                     response = self._op_stats()
+                elif op == "obs":
+                    response = self._op_obs(request)
                 else:
                     raise ProtocolError(f"unknown op {op!r}")
         except ServeError as exc:
             self.errors += 1
+            error_code = exc.code
             response = {"ok": False, "error": error_to_payload(exc)}
         except Exception as exc:  # noqa: BLE001 - fail the request, not the server
             self.errors += 1
             wrapped = ServeError(f"{type(exc).__name__}: {exc}")
+            error_code = wrapped.code
             response = {"ok": False, "error": error_to_payload(wrapped)}
         took = time.perf_counter() - t0
         self.latency.observe(took)
         _metrics.observe("serve.request.seconds", took)
+        if self.slow_log is not None and \
+                self.slow_log.should_log(took, error_code):
+            circuit = request.get("circuit")
+            self.slow_log.request(
+                str(op), took, error_code,
+                circuit=circuit[:16] if isinstance(circuit, str) else None,
+            )
         return response
 
     def _op_register(self, request: Mapping[str, Any]) -> Dict[str, Any]:
@@ -268,6 +312,43 @@ class OracleServer:
             "batcher": self.batcher.stats(),
             "admission": self.admission.stats(),
         }
+
+    def _op_obs(self, request: Mapping[str, Any]) -> Dict[str, Any]:
+        """This process's aggregated observability snapshot.
+
+        Everything is *cumulative* — stats counters, the full
+        request-latency histogram, the metrics-registry dump — so the
+        op is safe to poll at any rate (the supervisor samples workers
+        with it every ``obs_interval_s``).  ``"spans": true``
+        additionally drains the buffered span trees; that part is
+        destructive by design — each tree ships exactly once.
+        """
+        stats = self._op_stats()
+        stats.pop("ok", None)
+        latency = histogram_snapshot(self.latency)
+        metrics = _metrics.snapshot()
+        self.fleet.update("0", stats, latency=latency, metrics=metrics)
+        response: Dict[str, Any] = {
+            "ok": True,
+            "stats": stats,
+            "latency_hist": latency,
+            "metrics": metrics,
+            "fleet": self.fleet.snapshot(),
+        }
+        if request.get("spans"):
+            response["spans"] = self._drain_spans()
+        return response
+
+    @staticmethod
+    def _drain_spans() -> List[dict]:
+        session = _obs.ACTIVE
+        if session is None:
+            return []
+        trees: List[dict] = []
+        for sink in session.sinks:
+            if isinstance(sink, SpanBuffer):
+                trees.extend(sink.drain())
+        return trees
 
     # ------------------------------------------------------------------
     # In-process transport

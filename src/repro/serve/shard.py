@@ -105,6 +105,19 @@ class ShardConfig:
     #: multiprocessing start method (None = fork where available —
     #: workers inherit the loaded interpreter — else spawn)
     start_method: Optional[str] = None
+    #: enable observability in every worker process (spans buffer
+    #: worker-side; the supervisor drains them over the control channel)
+    trace: bool = False
+    #: seconds between supervisor polls of each worker's ``obs`` op
+    #: (metric samples + buffered spans); 0 disables the loop — the
+    #: fleet view then refreshes only when a client asks
+    obs_interval_s: float = 1.0
+    #: slow-request JSONL log; each worker appends to
+    #: ``<path>.w<index>`` (per-process files, no interleaved writes),
+    #: the supervisor to the path itself
+    slow_log_path: Optional[str] = None
+    #: slow threshold forwarded to workers and the supervisor
+    slow_request_s: float = 1.0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -113,3 +126,5 @@ class ShardConfig:
             raise ValueError("max_inflight must be >= 1")
         if self.retry_limit < 0:
             raise ValueError("retry_limit must be >= 0")
+        if self.obs_interval_s < 0:
+            raise ValueError("obs_interval_s must be >= 0")

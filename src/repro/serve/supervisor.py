@@ -40,7 +40,11 @@ import time
 from collections import deque
 from typing import Any, Deque, Dict, List, Mapping, Optional, Tuple, Union
 
+from ..obs import context as _obs
 from ..obs import metrics as _metrics
+from ..obs.aggregate import FleetAggregator
+from ..obs.propagate import child_context, context_from_request, remote_span
+from ..obs.sinks import SlowRequestLog, SpanBuffer
 from .admission import AdmissionConfig, AdmissionController
 from .protocol import (
     ProtocolError,
@@ -168,6 +172,14 @@ class WorkerHandle:
             batch=shard_config.batch,
             admission=shard_config.admission,
             default_budget=shard_config.default_budget,
+            trace=shard_config.trace,
+            # Per-process log files: concurrent appends from N workers
+            # into one file would interleave mid-line.
+            slow_log_path=(
+                None if shard_config.slow_log_path is None
+                else f"{shard_config.slow_log_path}.w{index}"
+            ),
+            slow_request_s=shard_config.slow_request_s,
         )
         self.process = None
         self.address: Optional[Tuple[str, int]] = None
@@ -328,18 +340,46 @@ class WorkerHandle:
 
     async def control_request(self, request: Mapping[str, Any],
                               timeout_s: float) -> Dict[str, Any]:
-        """Lockstep request on the control connection (ping/stats)."""
+        """Lockstep request on the control connection (ping/stats/obs)."""
         async with self.control_lock:
             if self.control_writer is None:
                 raise ConnectionError(f"worker {self.index} has no "
                                       f"control channel")
             await write_frame_async(self.control_writer, dict(request))
-            body = await asyncio.wait_for(
-                read_raw_frame_async(self.control_reader), timeout_s)
+            try:
+                body = await asyncio.wait_for(
+                    read_raw_frame_async(self.control_reader), timeout_s)
+            except asyncio.TimeoutError:
+                # The response is still in flight; on a lockstep channel
+                # its late arrival would be mis-matched to the NEXT
+                # request, desyncing every control exchange from then
+                # on.  Drop the connection and dial a fresh one — the
+                # worker process itself is untouched.
+                await self._reset_control()
+                raise
         if body is None:
             raise ConnectionError(f"worker {self.index} closed its "
                                   f"control channel")
         return decode_body(body)
+
+    async def _reset_control(self) -> None:
+        """Replace the control connection (caller holds control_lock)."""
+        writer = self.control_writer
+        self.control_reader = self.control_writer = None
+        if writer is not None:
+            try:
+                writer.close()
+            except (ConnectionError, RuntimeError):
+                pass
+        if self.address is None:
+            return
+        try:
+            self.control_reader, self.control_writer = (
+                await asyncio.open_connection(*self.address))
+        except OSError:
+            # Worker unreachable: leave the channel down; heartbeats
+            # will raise ConnectionError and recovery takes over.
+            self.control_reader = self.control_writer = None
 
     def describe(self) -> Dict[str, Any]:
         """Supervisor-side view of this worker (no I/O)."""
@@ -363,7 +403,12 @@ class WorkerHandle:
 class ShardSupervisor:
     """The accepting front-end over a fleet of owning workers."""
 
-    def __init__(self, config: Optional[ShardConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[ShardConfig] = None,
+        slow_log: Optional[SlowRequestLog] = None,
+        span_buffer: Optional[SpanBuffer] = None,
+    ) -> None:
         self.config = config or ShardConfig()
         self.ring = HashRing(self.config.workers, self.config.virtual_nodes)
         self.workers: List[WorkerHandle] = [
@@ -379,9 +424,25 @@ class ShardSupervisor:
         self._open_connections = 0
         self.respawned_total = 0
         self.draining = False
+        if slow_log is None and self.config.slow_log_path:
+            slow_log = SlowRequestLog(self.config.slow_log_path,
+                                      self.config.slow_request_s)
+        self.slow_log = slow_log
+        #: merged fleet view, refreshed by the ``obs`` polling loop and
+        #: on demand by the ``obs`` wire op; keyed by worker index
+        self.fleet = FleetAggregator()
+        #: the supervisor's *own* span shipping buffer.  Injected (by
+        #: ``repro serve``) rather than auto-created: an in-process
+        #: supervisor shares its creator's session, whose sinks already
+        #: see every span — buffering them again would double-ship.
+        self.span_buffer = span_buffer
+        self._worker_spans: List[dict] = []
+        self._worker_spans_cap = 1024
+        self._worker_spans_dropped = 0
         self._started_at = time.time()
         self._server: Optional[asyncio.AbstractServer] = None
         self._heartbeat_task: Optional["asyncio.Task"] = None
+        self._obs_task: Optional["asyncio.Task"] = None
         self._recovery_tasks: List["asyncio.Task"] = []
         self.address: Optional[Tuple[str, int]] = None
 
@@ -402,6 +463,9 @@ class ShardSupervisor:
             await worker.start()
         self._heartbeat_task = asyncio.get_running_loop().create_task(
             self._heartbeat_loop())
+        if self.config.obs_interval_s > 0:
+            self._obs_task = asyncio.get_running_loop().create_task(
+                self._obs_loop())
         self._server = await asyncio.start_server(
             self._on_client, self.config.host, self.config.port)
         self.address = self._server.sockets[0].getsockname()[:2]
@@ -431,6 +495,9 @@ class ShardSupervisor:
         if self._heartbeat_task is not None:
             self._heartbeat_task.cancel()
             self._heartbeat_task = None
+        if self._obs_task is not None:
+            self._obs_task.cancel()
+            self._obs_task = None
         for task in self._recovery_tasks:
             if not task.done():
                 task.cancel()
@@ -477,48 +544,96 @@ class ShardSupervisor:
     async def _dispatch(
         self, request: Dict[str, Any], body: Optional[bytes],
     ) -> Union[bytes, Dict[str, Any]]:
-        """Route one request; returns raw worker bytes or a local dict."""
+        """Route one request; returns raw worker bytes or a local dict.
+
+        With observability enabled, the routing span is re-parented
+        under the client's ``ctx`` and a *fresh* child context replaces
+        it on forwarded requests, so the worker-side request span
+        stitches under this hop (client → route → worker) instead of
+        skipping it.  Rewriting the context invalidates the original
+        body bytes; the untraced hot path keeps forwarding them
+        untouched.
+        """
         op = request.get("op")
         self.requests += 1
+        t0 = time.perf_counter()
+        error_code: Optional[str] = None
         try:
-            if op == "ping":
-                return {"ok": True, "pong": True,
-                        "workers": sum(w.alive for w in self.workers)}
-            if op == "stats":
-                return await self._op_stats()
-            if self.draining:
-                raise ShuttingDownError(
-                    "supervisor is draining; retry elsewhere")
-            if op == "register":
-                return await self._forward_register(request, body)
-            if op not in _FORWARDED_OPS:
-                raise ProtocolError(f"unknown op {op!r}")
-            circuit_id = request.get("circuit")
-            if not isinstance(circuit_id, str):
-                raise ProtocolError(f"{op} needs a 'circuit' field")
-            lanes = 1
-            if op == "query":
-                patterns = request.get("patterns")
-                if not isinstance(patterns, list) or not patterns:
-                    raise ProtocolError(
-                        "query needs a non-empty 'patterns' list")
-                lanes = len(patterns)
-            raw = await self._forward(request, body, circuit_id, lanes)
-            if op == "query":
-                registration = self._catalog.get(circuit_id)
-                if registration is not None:
-                    # Ratchet from *answered* responses only: a request
-                    # lost to a crash reports nothing, so its retry is
-                    # not double-counted by the restore floor.
-                    registration.observe(raw)
-            return raw
+            if _obs.ACTIVE is None:
+                response = await self._route(request, body, op)
+            else:
+                ctx = context_from_request(request)
+                with remote_span("serve.shard.route", ctx,
+                                 op=str(op)) as span:
+                    if op in _FORWARDED_OPS:
+                        new_ctx = child_context(span)
+                        if new_ctx is not None:
+                            request["ctx"] = new_ctx.to_wire()
+                            body = None  # force re-encode in _forward
+                    response = await self._route(request, body, op)
         except ServeError as exc:
             self.errors += 1
-            return {"ok": False, "error": error_to_payload(exc)}
+            error_code = exc.code
+            response = {"ok": False, "error": error_to_payload(exc)}
         except Exception as exc:  # noqa: BLE001 - fail the request, not us
             self.errors += 1
             wrapped = ServeError(f"{type(exc).__name__}: {exc}")
-            return {"ok": False, "error": error_to_payload(wrapped)}
+            error_code = wrapped.code
+            response = {"ok": False, "error": error_to_payload(wrapped)}
+        if self.slow_log is not None:
+            took = time.perf_counter() - t0
+            if error_code is None and isinstance(response,
+                                                 (bytes, bytearray)):
+                # Worker bytes pass through unparsed; the compact
+                # serialization's fixed prefix is enough to classify.
+                if bytes(response[:11]) == b'{"ok":false':
+                    error_code = "worker-error"
+            if self.slow_log.should_log(took, error_code):
+                circuit = request.get("circuit")
+                self.slow_log.request(
+                    str(op), took, error_code,
+                    circuit=(circuit[:16] if isinstance(circuit, str)
+                             else None),
+                )
+        return response
+
+    async def _route(
+        self, request: Dict[str, Any], body: Optional[bytes], op: Any,
+    ) -> Union[bytes, Dict[str, Any]]:
+        """The routing core; raises the typed serve errors."""
+        if op == "ping":
+            return {"ok": True, "pong": True,
+                    "workers": sum(w.alive for w in self.workers)}
+        if op == "stats":
+            return await self._op_stats()
+        if op == "obs":
+            return await self._op_obs(request)
+        if self.draining:
+            raise ShuttingDownError(
+                "supervisor is draining; retry elsewhere")
+        if op == "register":
+            return await self._forward_register(request, body)
+        if op not in _FORWARDED_OPS:
+            raise ProtocolError(f"unknown op {op!r}")
+        circuit_id = request.get("circuit")
+        if not isinstance(circuit_id, str):
+            raise ProtocolError(f"{op} needs a 'circuit' field")
+        lanes = 1
+        if op == "query":
+            patterns = request.get("patterns")
+            if not isinstance(patterns, list) or not patterns:
+                raise ProtocolError(
+                    "query needs a non-empty 'patterns' list")
+            lanes = len(patterns)
+        raw = await self._forward(request, body, circuit_id, lanes)
+        if op == "query":
+            registration = self._catalog.get(circuit_id)
+            if registration is not None:
+                # Ratchet from *answered* responses only: a request
+                # lost to a crash reports nothing, so its retry is
+                # not double-counted by the restore floor.
+                registration.observe(raw)
+        return raw
 
     async def _forward(self, request: Dict[str, Any],
                        body: Optional[bytes], circuit_id: str,
@@ -649,6 +764,10 @@ class ShardSupervisor:
     async def _recover(self, worker: WorkerHandle) -> None:
         """Respawn a dead worker, replay its circuits, retry its work."""
         _metrics.inc("serve.shard.crashes")
+        # The respawned worker restarts its cumulative counters from
+        # zero; a stale fleet sample would make the next QPS delta
+        # negative, so the worker re-enters the fleet view fresh.
+        self.fleet.discard(str(worker.index))
         pending = list(worker.inflight)
         worker.inflight.clear()
         try:
@@ -786,6 +905,93 @@ class ShardSupervisor:
             "workers": per_worker,
             "rollup": rollup,
         }
+
+    # ------------------------------------------------------------------
+    # Fleet observability
+    # ------------------------------------------------------------------
+
+    async def _obs_loop(self) -> None:
+        """Periodic fleet refresh: metric samples plus buffered spans."""
+        while True:
+            await asyncio.sleep(self.config.obs_interval_s)
+            await self._poll_fleet_obs()
+
+    async def _poll_fleet_obs(self) -> None:
+        """Sample every reachable worker's ``obs`` op into the fleet.
+
+        Unreachable workers are skipped, not failed: their last sample
+        stays in the aggregator until recovery discards it, so a
+        mid-poll crash degrades the fleet view instead of erroring it.
+        """
+        timeout = max(self.config.heartbeat_s * 2, 1.0)
+        request: Dict[str, Any] = {"op": "obs"}
+        if self.config.trace:
+            request["spans"] = True
+        for worker in self.workers:
+            if not worker.alive or worker.recovering:
+                continue
+            try:
+                response = await worker.control_request(request, timeout)
+            except (asyncio.TimeoutError, ConnectionError, OSError,
+                    ProtocolError):
+                continue
+            if not response.get("ok"):
+                continue
+            self.fleet.update(
+                str(worker.index),
+                response.get("stats") or {},
+                latency=response.get("latency_hist"),
+                metrics=response.get("metrics"),
+            )
+            spans = response.get("spans")
+            if spans:
+                self._buffer_worker_spans(spans)
+
+    def _buffer_worker_spans(self, trees: List[dict]) -> None:
+        """Park worker span trees until a client's ``obs`` collects them."""
+        self._worker_spans.extend(trees)
+        overflow = len(self._worker_spans) - self._worker_spans_cap
+        if overflow > 0:
+            del self._worker_spans[:overflow]
+            self._worker_spans_dropped += overflow
+
+    async def _op_obs(self, request: Mapping[str, Any]) -> Dict[str, Any]:
+        """Fleet-wide snapshot: merged worker samples + supervisor state.
+
+        Polls the fleet on demand so the answer is current even with
+        the periodic loop disabled.  ``"spans": true`` additionally
+        hands over every buffered span tree — the workers' (collected
+        by the polling loop) and the supervisor's own — destructively,
+        exactly once, so a client can stitch one cross-process trace.
+        """
+        await self._poll_fleet_obs()
+        inflight = sum(worker.ledger.pending for worker in self.workers)
+        alive = sum(worker.alive for worker in self.workers)
+        response: Dict[str, Any] = {
+            "ok": True,
+            "sharded": True,
+            "uptime_s": round(time.time() - self._started_at, 3),
+            "supervisor": {
+                "requests": self.requests,
+                "errors": self.errors,
+                "workers": self.config.workers,
+                "workers_alive": alive,
+                "inflight_lanes": inflight,
+                "respawned_total": self.respawned_total,
+                "registered_circuits": len(self._catalog),
+                "draining": self.draining,
+            },
+            "metrics": _metrics.snapshot(),
+            "fleet": self.fleet.snapshot(),
+        }
+        if request.get("spans"):
+            trees = self._worker_spans
+            self._worker_spans = []
+            if self.span_buffer is not None:
+                trees.extend(self.span_buffer.drain())
+            response["spans"] = trees
+            response["spans_dropped"] = self._worker_spans_dropped
+        return response
 
 
 class ThreadedShardServer:

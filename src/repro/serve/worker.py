@@ -39,6 +39,20 @@ def worker_main(index: int, config: ServerConfig, bootstrap) -> None:
     """
 
     async def main() -> None:
+        # Never inherit the supervisor's observability session across a
+        # fork: its sinks hold file descriptors (a --trace JSONL file)
+        # that two processes must not interleave writes into.  Clear
+        # the flag without close() — the parent still owns the streams.
+        from ..obs import context as _obs
+
+        _obs.ACTIVE = None
+        if config.trace:
+            from ..obs.context import enable
+            from ..obs.sinks import SpanBuffer
+
+            # Spans buffer locally; the supervisor (or any client's
+            # ``obs`` request) drains them over the control channel.
+            enable(SpanBuffer())
         server = OracleServer(config=config)
         try:
             host, port = await server.start()

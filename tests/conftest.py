@@ -43,6 +43,33 @@ def _global_rng_guard(request):
         random.setstate(saved)
 
 
+@pytest.fixture(autouse=True)
+def _force_trace():
+    """Run every test under an enabled obs session when
+    ``REPRO_FORCE_TRACE`` is set (the CI forced-trace differential
+    tier): the *traced* serving path is what gets exercised, so trace
+    propagation bugs cannot hide behind the disabled-path fast exit.
+
+    Only for suites that never assert the disabled path (e.g.
+    ``tests/serve/test_differential.py``).  Tests that manage their own
+    session are unaffected — ``obs.enable`` replaces the forced one,
+    and teardown's ``disable`` is a no-op on an already-closed session.
+    """
+    if not os.environ.get("REPRO_FORCE_TRACE"):
+        yield
+        return
+    from repro import obs
+
+    if obs.is_enabled():
+        yield
+        return
+    obs.enable(obs.InMemorySink())
+    try:
+        yield
+    finally:
+        obs.disable()
+
+
 @pytest.fixture
 def rng():
     """A fresh, fixed-seed RNG per test (function-scoped on purpose:
