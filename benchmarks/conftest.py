@@ -26,6 +26,11 @@ if os.path.isdir(_SRC) and _SRC not in sys.path:
 
 from repro import obs  # noqa: E402
 from repro.bench import BENCHMARKS, iwls_benchmark  # noqa: E402
+from repro.bench.generator import (  # noqa: E402
+    GeneratorSpec,
+    random_sequential_circuit,
+)
+from repro.netlist.compiled import default_lanes  # noqa: E402
 
 _OBS_DUMP = os.path.join(os.path.dirname(__file__), "BENCH_obs.json")
 _SNAPSHOTS = {}
@@ -49,9 +54,27 @@ def _obs_snapshot(request):
         yield
         session.publish_metrics()
         if sink.last_snapshot:
-            _SNAPSHOTS[request.node.nodeid] = sink.last_snapshot
+            _SNAPSHOTS[request.node.nodeid] = dict(
+                sink.last_snapshot, lane_width=default_lanes()
+            )
     finally:
         obs.disable()
+
+
+@pytest.fixture(scope="session")
+def bench_record():
+    """Stamp the effective lane width into a BENCH payload.
+
+    Every record a benchmark dumps goes through this, so the committed
+    artifacts always say which compile width (``REPRO_LANES`` or the
+    default 64) produced the numbers.
+    """
+
+    def stamp(payload):
+        payload["lane_width"] = default_lanes()
+        return payload
+
+    return stamp
 
 
 def pytest_sessionfinish(session, exitstatus):
@@ -109,6 +132,28 @@ def instances():
 @pytest.fixture(scope="session")
 def s1238():
     return iwls_benchmark("s1238")
+
+
+#: The serving/width benchmarks' oracle: deep and interface-light, so a
+#: lane carries ~100 gate evaluations per interface net (the generated
+#: IWLS stand-ins sit near 3, which caps what batching or widening can
+#: recover).  At ~4.6k gates it is the largest circuit in the benchmark
+#: suite — deeper than any IWLS stand-in's combinational core.
+DEEP_SPEC = GeneratorSpec(
+    name="deep4k",
+    num_inputs=48,
+    num_outputs=32,
+    num_flip_flops=0,
+    num_combinational=4000,
+    seed=11,
+    reduce_dangling=True,
+)
+
+
+@pytest.fixture(scope="session")
+def deep4k():
+    """The deep generated oracle, built once per benchmark session."""
+    return random_sequential_circuit(DEEP_SPEC)
 
 
 @pytest.fixture(scope="session")

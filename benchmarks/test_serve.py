@@ -78,19 +78,6 @@ MIN_BATCHING_SPEEDUP = 8.0
 CLIENTS = 64
 ROUNDS = 8
 
-#: The serving benchmark's oracle: deep and interface-light, so a lane
-#: carries ~100 gate evaluations per interface net (the generated IWLS
-#: stand-ins sit near 3, which caps what *any* batching can recover).
-DEEP_SPEC = GeneratorSpec(
-    name="deep4k",
-    num_inputs=48,
-    num_outputs=32,
-    num_flip_flops=0,
-    num_combinational=4000,
-    seed=11,
-    reduce_dangling=True,
-)
-
 
 def _throughput(circuit, max_batch):
     """Patterns/second for 64 concurrent single-pattern clients."""
@@ -130,11 +117,13 @@ def _throughput(circuit, max_batch):
 
 
 @pytest.mark.no_obs
-def test_serve_batching_throughput(s1238):
-    deep = random_sequential_circuit(DEEP_SPEC)
+def test_serve_batching_throughput(s1238, deep4k, bench_record):
+    deep = deep4k
     shallow = extract_combinational(s1238.circuit).circuit
 
-    results = {"clients": CLIENTS, "rounds": ROUNDS, "circuits": {}}
+    results = bench_record(
+        {"clients": CLIENTS, "rounds": ROUNDS, "circuits": {}}
+    )
     ratios = {}
     for label, circuit in (("deep4k", deep), ("s1238_comb", shallow)):
         on_pps, on_stats = _throughput(circuit, max_batch=64)
@@ -253,7 +242,7 @@ def _socket_throughput(address, circuits):
 
 
 @pytest.mark.no_obs
-def test_sharded_vs_single_process_throughput():
+def test_sharded_vs_single_process_throughput(bench_record):
     circuits = _balanced_circuits(SHARD_WORKERS, SHARD_PER_WORKER)
     batch = BatchConfig(max_batch=SHARD_PATTERNS, window_s=0.001)
     admission = AdmissionConfig(max_pending=8192)
@@ -270,7 +259,7 @@ def test_sharded_vs_single_process_throughput():
 
     speedup = sharded_pps / single_pps
     cores = os.cpu_count() or 1
-    _merge_dump("sharded", {
+    _merge_dump("sharded", bench_record({
         "workers": SHARD_WORKERS,
         "clients": len(circuits),
         "rounds": SHARD_ROUNDS,
@@ -282,7 +271,7 @@ def test_sharded_vs_single_process_throughput():
         },
         "speedup": round(speedup, 2),
         "speedup_asserted": cores >= SHARD_WORKERS,
-    })
+    }))
     print(f"\nBENCH_serve sharded: {single_pps:.0f} -> {sharded_pps:.0f} "
           f"patterns/s ({speedup:.2f}x, {cores} cores)")
 
@@ -291,3 +280,100 @@ def test_sharded_vs_single_process_throughput():
             f"{SHARD_WORKERS} workers deliver only {speedup:.2f}x the "
             f"single-process throughput (need {MIN_SHARD_SPEEDUP:.0f}x)"
         )
+
+
+# ----------------------------------------------------------------------
+# Serve-level lane width curve
+# ----------------------------------------------------------------------
+
+LANE_WIDTHS = (64, 256)
+LANE_CLIENTS = 64
+LANE_PATTERNS = 4           # 64 clients x 4 patterns = 256 lanes in flight
+LANE_ROUNDS = 6
+
+
+def _lane_throughput(circuit, lanes):
+    """Patterns/second through the full dispatch path at one width.
+
+    ``max_batch=None`` resolves against the registry's lane width, so
+    the flush trigger follows ``lanes`` with no separate knob — the
+    exact configuration ``repro serve --lanes`` produces.
+    """
+
+    async def scenario():
+        server = OracleServer(config=ServerConfig(
+            lanes=lanes,
+            batch=BatchConfig(max_batch=None, window_s=0.05),
+            admission=AdmissionConfig(max_pending=8192),
+        ))
+        assert server.batcher.max_batch == lanes
+        entry = server.registry.register(circuit)
+        assert entry.compiled.lanes == lanes
+        rng = random.Random(0x1A4E5)
+        requests = [
+            {
+                "op": "query",
+                "circuit": entry.circuit_id,
+                "patterns": [
+                    {net: rng.randint(0, 1) for net in entry.compiled.inputs}
+                    for _ in range(LANE_PATTERNS)
+                ],
+            }
+            for _ in range(LANE_CLIENTS)
+        ]
+        conn = server.connect_local()
+
+        async def client(index, rounds):
+            for _ in range(rounds):
+                response = await conn.request(requests[index])
+                assert response["ok"], response
+
+        await asyncio.gather(*(client(i, 1) for i in range(LANE_CLIENTS)))
+        start = time.perf_counter()
+        await asyncio.gather(
+            *(client(i, LANE_ROUNDS) for i in range(LANE_CLIENTS))
+        )
+        elapsed = time.perf_counter() - start
+        pps = LANE_CLIENTS * LANE_ROUNDS * LANE_PATTERNS / elapsed
+        return pps, server.batcher.stats()
+
+    return asyncio.run(scenario())
+
+
+@pytest.mark.no_obs
+def test_serve_lane_width_curve(deep4k, bench_record):
+    """End-to-end lanes-vs-throughput: the deep oracle served at 64 and
+    256 lanes under the same concurrent multi-pattern workload.  Wider
+    flushes amortize the per-chunk schedule walk over more patterns;
+    the gain is recorded, and wide serving must at least hold the line
+    (the compiled-IR curve in BENCH_compiled.json carries the asserted
+    2x — this one includes protocol framing, which widening cannot
+    shrink)."""
+    curve = {}
+    stats = {}
+    for lanes in LANE_WIDTHS:
+        curve[lanes], stats[lanes] = _lane_throughput(deep4k, lanes)
+
+    results = bench_record({
+        "circuit": "deep4k",
+        "clients": LANE_CLIENTS,
+        "rounds": LANE_ROUNDS,
+        "patterns_per_request": LANE_PATTERNS,
+        "patterns_per_second": {
+            str(w): round(pps, 1) for w, pps in curve.items()
+        },
+        "speedup_vs_64": {
+            str(w): round(curve[w] / curve[64], 2) for w in LANE_WIDTHS
+        },
+        "occupancy_mean": {
+            str(w): stats[w]["occupancy_mean"] for w in LANE_WIDTHS
+        },
+    })
+    _merge_dump("lane_width", results)
+    print(f"\nBENCH_serve lane curve: "
+          f"{json.dumps(results['patterns_per_second'])}")
+
+    assert curve[256] >= 0.9 * curve[64], (
+        f"serving at 256 lanes dropped throughput to "
+        f"{curve[256] / curve[64]:.2f}x of 64-lane serving"
+    )

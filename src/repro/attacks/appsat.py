@@ -140,7 +140,7 @@ def appsat_attack(
 
         # Approximate phase: random-query reconciliation.  Patterns are
         # drawn in the same order the per-query loop used, then both
-        # sides resolve in 64-wide bit-parallel passes.
+        # sides resolve in lane-wide bit-parallel passes.
         key = candidate_key()
         if key is None:
             return result

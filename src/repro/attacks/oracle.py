@@ -139,7 +139,7 @@ class CombinationalOracle:
     def query_batch(
         self, assignments: Sequence[Mapping[str, LogicValue]]
     ) -> List[Dict[str, LogicValue]]:
-        """Outputs for many patterns: one bit-parallel pass per 64.
+        """Outputs for many patterns: one bit-parallel pass per lane width.
 
         Counts one oracle query per pattern — batching is an evaluation
         optimization, not a cheaper attack model.

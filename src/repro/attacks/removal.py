@@ -32,7 +32,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..locking.base import LockedCircuit
 from ..netlist.circuit import Circuit
-from ..netlist.compiled import MASK, compile_circuit
+from ..netlist.compiled import compile_circuit
 from ..netlist.transform import extract_combinational
 from ..synth.optimize import sweep_dead_gates
 from .oracle import CombinationalOracle
@@ -85,11 +85,12 @@ def signal_probabilities(
     sensitive_flags = [False] * len(ids)
 
     num_nets = compiled.num_nets
+    lanes = compiled.lanes
     remaining = samples
     while remaining:
-        used = min(64, remaining)
+        used = min(lanes, remaining)
         remaining -= used
-        lane_mask = MASK if used == 64 else (1 << used) - 1
+        lane_mask = compiled.mask if used == lanes else (1 << used) - 1
         va = [0] * num_nets
         ka = [0] * num_nets
         vb = [0] * num_nets

@@ -235,7 +235,7 @@ def verify_key_against_oracle(
 
     oracle_output_of = _interface_map(comb, oracle)
     # Draw every pattern first (the same stream the per-pattern loop
-    # consumed), then resolve both sides in 64-wide passes.
+    # consumed), then resolve both sides in lane-wide passes.
     patterns = [
         {net: rng.randint(0, 1) for net in comb.inputs}
         for _ in range(samples)

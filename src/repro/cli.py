@@ -10,7 +10,7 @@ Gives the library's main flows a tool-like surface operating on
   (in-process, or served: ``--remote HOST:PORT`` queries an oracle
   server instead)
 * ``serve``    — host activated-chip oracles on the asyncio server
-  (dynamic 64-lane batching, admission control; see
+  (dynamic lane-wide batching, admission control; see
   :mod:`repro.serve`)
 * ``profile``  — run the whole pipeline under the observability
   harness and print the span tree + metrics table
@@ -502,6 +502,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     if args.workers < 1:
         raise SystemExit("--workers must be >= 1")
+    if args.lanes is not None:
+        from .netlist.compiled import check_lanes
+
+        try:
+            check_lanes(args.lanes)
+        except ValueError as exc:
+            raise SystemExit(f"--lanes: {exc}")
     batch = BatchConfig(
         max_batch=args.max_batch,
         window_s=args.window_ms / 1000.0,
@@ -518,6 +525,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         batch=batch,
         admission=admission,
         default_budget=args.budget,
+        lanes=args.lanes,
         trace=args.fleet_trace,
         slow_log_path=args.slow_log,
         slow_request_s=args.slow_threshold_ms / 1000.0,
@@ -536,7 +544,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
                   f"{len(entry.compiled.outputs)} out)", result=True)
         host, port = await server.start()
         _emit(f"serving {len(circuits)} circuit(s) on {host}:{port} "
-              f"(batch<= {args.max_batch}, window {args.window_ms}ms)",
+              f"({server.registry.lane_width()} lanes, "
+              f"batch<= {server.batcher.max_batch}, "
+              f"window {args.window_ms}ms)",
               result=True)
         dumper = None
         if args.metrics_file:
@@ -589,6 +599,7 @@ def _serve_sharded(args: argparse.Namespace, batch, admission,
         batch=batch,
         admission=admission,
         default_budget=args.budget,
+        lanes=args.lanes,
         trace=args.fleet_trace,
         slow_log_path=args.slow_log,
         slow_request_s=args.slow_threshold_ms / 1000.0,
@@ -617,8 +628,15 @@ def _serve_sharded(args: argparse.Namespace, batch, admission,
                 owner = supervisor.owner_index(response["circuit"])
                 _emit(f"{response['circuit']}  {path} "
                       f"(worker {owner})", result=True)
+            # Workers resolve max_batch=None against their own registry
+            # width; mirror that resolution for the banner.
+            from .netlist.compiled import default_lanes
+            lanes = args.lanes if args.lanes is not None else default_lanes()
+            batch_width = (batch.max_batch if batch.max_batch is not None
+                           else lanes)
             _emit(f"serving {len(circuits)} circuit(s) on {host}:{port} "
-                  f"({args.workers} workers, batch<= {args.max_batch}, "
+                  f"({args.workers} workers, {lanes} lanes, "
+                  f"batch<= {batch_width}, "
                   f"window {args.window_ms}ms)", result=True)
             dumper = None
             if args.metrics_file:
@@ -781,7 +799,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "serve",
-        help="host activated-chip oracles (64-lane dynamic batching)",
+        help="host activated-chip oracles (lane-wide dynamic batching)",
         parents=[obs_flags],
     )
     p.add_argument("netlists", nargs="+", metavar="NETLIST",
@@ -790,8 +808,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=0,
                    help="TCP port (0 = ephemeral, printed on startup)")
-    p.add_argument("--max-batch", type=int, default=64, metavar="N",
-                   help="lanes per batch; 1 disables coalescing")
+    p.add_argument("--lanes", type=int, default=None, metavar="N",
+                   help="bit-parallel lane width circuits are compiled "
+                        "at — any positive multiple of 64 (default: "
+                        "REPRO_LANES or 64); sharded workers inherit it")
+    p.add_argument("--max-batch", type=int, default=None, metavar="N",
+                   help="lanes per batch flush; 1 disables coalescing "
+                        "(default: match --lanes)")
     p.add_argument("--window-ms", type=float, default=2.0, metavar="MS",
                    help="max latency a lone query waits for co-batching")
     p.add_argument("--max-pending", type=int, default=1024, metavar="N",

@@ -24,7 +24,7 @@ from ..sat.cnf import CNF
 from ..sat.solver import Solver
 from ..sat.tseitin import CircuitEncoder
 from .circuit import Circuit, NetlistError
-from .compiled import MASK, compile_circuit
+from .compiled import compile_circuit
 from .transform import extract_combinational
 
 __all__ = ["Fault", "TestPattern", "generate_test", "fault_coverage"]
@@ -160,12 +160,15 @@ def fault_coverage(
         nets = rng.sample(nets, sample)
     report = CoverageReport()
 
-    # Bit-parallel random fault simulation first: 64 patterns per fault
-    # through the compiled evaluator catch the easy-to-detect majority,
-    # leaving SAT-exact ATPG for the stubborn remainder.  Sound because
-    # a simulated Boolean difference *is* a detecting pattern, so the
-    # detected/untestable counts are identical to the pure-SAT sweep.
+    # Bit-parallel random fault simulation first: one lane-wide pass of
+    # patterns per fault through the compiled evaluator catches the
+    # easy-to-detect majority, leaving SAT-exact ATPG for the stubborn
+    # remainder.  Sound because a simulated Boolean difference *is* a
+    # detecting pattern, so the detected/untestable counts are identical
+    # to the pure-SAT sweep (wider lanes can only move faults from the
+    # SAT column to the cheaper sim column).
     compiled = compile_circuit(comb)
+    lanes, mask = compiled.lanes, compiled.mask
     sim_rng = random.Random(0x5EED)  # never the caller's rng
     pinned = dict(key or {})
     sim_ok = all(
@@ -179,17 +182,17 @@ def fault_coverage(
         good_v = [0] * compiled.num_nets
         good_k = [0] * compiled.num_nets
         for net_id in compiled.input_ids:
-            good_v[net_id] = sim_rng.getrandbits(64)
-            good_k[net_id] = MASK
+            good_v[net_id] = sim_rng.getrandbits(lanes)
+            good_k[net_id] = mask
         for net in compiled.key_inputs:
             if net not in pinned:
                 net_id = compiled.net_ids[net]
-                good_v[net_id] = sim_rng.getrandbits(64)
-                good_k[net_id] = MASK
+                good_v[net_id] = sim_rng.getrandbits(lanes)
+                good_k[net_id] = mask
         for net, value in pinned.items():
             net_id = compiled.net_ids[net]
-            good_v[net_id] = MASK if value else 0
-            good_k[net_id] = MASK
+            good_v[net_id] = mask if value else 0
+            good_k[net_id] = mask
         compiled.run_planes(good_v, good_k)
 
     for net in nets:
@@ -201,8 +204,8 @@ def fault_coverage(
                 fid = compiled.net_ids[net]
                 faulty_v = list(good_v)
                 faulty_k = list(good_k)
-                faulty_v[fid] = MASK if value else 0
-                faulty_k[fid] = MASK
+                faulty_v[fid] = mask if value else 0
+                faulty_k[fid] = mask
                 compiled.run_planes(faulty_v, faulty_k, skip_out=fid)
                 for out_id in compiled.output_ids:
                     if ((good_v[out_id] ^ faulty_v[out_id])

@@ -111,7 +111,7 @@ class Circuit:
     # existed loadable (the campaign cache stores pickled circuits).
     _mutations: int = 0
     _topo_cache = None  # (mutations, tuple of gates) or None
-    _compiled_cache = None  # (mutations, CompiledCircuit) or None
+    _compiled_cache = None  # (mutations, {lanes: CompiledCircuit}) or None
 
     def __init__(
         self,
@@ -308,14 +308,15 @@ class Circuit:
         self._topo_cache = (self._mutations, tuple(order))
         return order
 
-    def compiled(self) -> "object":
-        """The circuit's compiled IR (cached behind the mutation counter).
+    def compiled(self, lanes: Optional[int] = None) -> "object":
+        """The circuit's compiled IR (cached per lane width behind the
+        mutation counter).
 
         See :func:`repro.netlist.compiled.compile_circuit`.
         """
         from .compiled import compile_circuit
 
-        return compile_circuit(self)
+        return compile_circuit(self, lanes)
 
     def stats(self) -> CircuitStats:
         ffs = self.flip_flops()

@@ -22,11 +22,15 @@ levels are metadata, not a reordering — so consumers that assign CNF
 variables or arrival times in iteration order produce byte-identical
 results before and after the migration.
 
-On top of the arrays sits a two-plane **64-way bit-parallel** evaluator
-with full 0/1/X semantics: each net carries a ``value`` word and a
-``known`` word (bit *i* = lane *i*; X ⇔ known bit clear; the invariant
+On top of the arrays sits a two-plane **bit-parallel** evaluator with
+full 0/1/X semantics: each net carries a ``value`` word and a ``known``
+word (bit *i* = lane *i*; X ⇔ known bit clear; the invariant
 ``value & ~known == 0`` holds everywhere), so one pass over the arrays
-simulates 64 input patterns.  The per-op plane formulas implement the
+simulates *lanes* input patterns at once.  The lane width is a
+compile-time parameter (default :data:`LANES` = 64; any positive
+multiple of 64 accepted — Python ints are arbitrary-precision, so the
+identical word algebra runs at 256/1024/4096 lanes with no new code
+paths).  The per-op plane formulas implement the
 same pessimistic ternary semantics as :mod:`repro.sim.logic` — a
 controlling value decides the output with X on the other pin, a MUX
 with an X select is known only when both candidates agree, and a LUT
@@ -41,6 +45,8 @@ the campaign cache ships it to pool workers alongside the instance.
 
 from __future__ import annotations
 
+import os
+
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from .circuit import Circuit, NetlistError
@@ -50,12 +56,60 @@ __all__ = [
     "MASK",
     "CompiledCircuit",
     "compile_circuit",
+    "check_lanes",
+    "default_lanes",
+    "set_default_lanes",
 ]
 
-#: patterns evaluated per bit-parallel pass (lane = bit position)
+#: the historical default width and the plane-word quantum: every lane
+#: width must be a positive multiple of this
 LANES = 64
-#: all-lanes-set plane word
+#: all-lanes-set plane word at the default width
 MASK = (1 << LANES) - 1
+
+#: process-wide programmatic override of the default width (set via
+#: :func:`set_default_lanes`); takes precedence over ``REPRO_LANES``
+_default_lanes_override: Optional[int] = None
+
+
+def check_lanes(lanes: int) -> int:
+    """Validate a lane width: any positive multiple of :data:`LANES`."""
+    if not isinstance(lanes, int) or lanes <= 0 or lanes % LANES:
+        raise ValueError(
+            f"lane width must be a positive multiple of {LANES}, "
+            f"got {lanes!r}"
+        )
+    return lanes
+
+
+def default_lanes() -> int:
+    """The width used when a caller does not pass one explicitly.
+
+    Resolution order: :func:`set_default_lanes` override, then the
+    ``REPRO_LANES`` environment variable (how CI runs the whole suite
+    wide), then :data:`LANES`.
+    """
+    if _default_lanes_override is not None:
+        return _default_lanes_override
+    raw = os.environ.get("REPRO_LANES")
+    if not raw:
+        return LANES
+    try:
+        lanes = int(raw)
+    except ValueError:
+        raise ValueError(f"REPRO_LANES must be an integer, got {raw!r}")
+    return check_lanes(lanes)
+
+
+def set_default_lanes(lanes: Optional[int]) -> Optional[int]:
+    """Set (or with ``None`` clear) the process-wide default width.
+
+    Returns the previous override so callers can restore it.
+    """
+    global _default_lanes_override
+    previous = _default_lanes_override
+    _default_lanes_override = None if lanes is None else check_lanes(lanes)
+    return previous
 
 # Function opcodes, dense so the evaluator dispatches on small ints.
 (
@@ -123,6 +177,8 @@ class CompiledCircuit:
     """
 
     __slots__ = (
+        "lanes",
+        "mask",
         "name",
         "net_names",
         "net_ids",
@@ -155,9 +211,15 @@ class CompiledCircuit:
         "truth_tables",
         "lut_value_planes",
         "_sched",
+        "_iface_keyset",
     )
 
-    def __init__(self, circuit: Circuit) -> None:
+    #: slots rebuilt from the others on unpickle, never serialized
+    _DERIVED = ("_sched", "_iface_keyset")
+
+    def __init__(self, circuit: Circuit, lanes: Optional[int] = None) -> None:
+        self.lanes = check_lanes(default_lanes() if lanes is None else lanes)
+        self.mask = (1 << self.lanes) - 1
         order = circuit.topological_order()
         comb_driven = {gate.output for gate in order}
 
@@ -237,7 +299,7 @@ class CompiledCircuit:
             truth_tables.append(gate.truth_table)
             if gate.truth_table is not None:
                 lut_value_planes.append(
-                    tuple(MASK if bit else 0 for bit in gate.truth_table)
+                    tuple(self.mask if bit else 0 for bit in gate.truth_table)
                 )
             else:
                 lut_value_planes.append(None)
@@ -265,6 +327,8 @@ class CompiledCircuit:
             zip(self.ops, self.out_ids, self.fanin_tuples,
                 self.lut_value_planes)
         )
+        self._iface_keyset = frozenset(self.inputs) | frozenset(
+            self.key_inputs)
 
     # ------------------------------------------------------------------
     # Pickle support (__slots__ classes need explicit state plumbing)
@@ -272,15 +336,21 @@ class CompiledCircuit:
 
     def __getstate__(self):
         return {slot: getattr(self, slot) for slot in self.__slots__
-                if slot != "_sched"}
+                if slot not in self._DERIVED}
 
     def __setstate__(self, state):
+        # Pre-width pickles (campaign caches) carry no lanes/mask slots:
+        # they were compiled at the historical 64-lane width.
+        state.setdefault("lanes", LANES)
+        state.setdefault("mask", (1 << state["lanes"]) - 1)
         for slot, value in state.items():
             object.__setattr__(self, slot, value)
         self._sched = list(
             zip(self.ops, self.out_ids, self.fanin_tuples,
                 self.lut_value_planes)
         )
+        self._iface_keyset = frozenset(self.inputs) | frozenset(
+            self.key_inputs)
 
     # ------------------------------------------------------------------
     # The bit-parallel core
@@ -299,6 +369,7 @@ class CompiledCircuit:
         *skip_out* to leave one driven net's plane untouched (stuck-at
         fault injection).
         """
+        mask = self.mask
         for op, out, fin, lut_planes in self._sched:
             if out == skip_out:
                 continue
@@ -369,13 +440,13 @@ class CompiledCircuit:
                 known[out] = k
             elif op == OP_TIE0:
                 value[out] = 0
-                known[out] = MASK
+                known[out] = mask
             elif op == OP_TIE1:
-                value[out] = MASK
-                known[out] = MASK
+                value[out] = mask
+                known[out] = mask
             else:  # OP_LUT: Shannon reduction over the entry planes
                 vals = list(lut_planes)
-                knowns = [MASK] * len(vals)
+                knowns = [mask] * len(vals)
                 for sel in fin:  # I0..Ik, low-to-high
                     vs, ks = value[sel], known[sel]
                     half = len(vals) // 2
@@ -395,6 +466,11 @@ class CompiledCircuit:
 
     def _check_assignment(self, assignment: Mapping) -> None:
         """Missing inputs and unknown extras both raise NetlistError."""
+        # Fast path: exactly the interface nets, nothing extra — the
+        # shape every oracle/attack caller produces.  One C-speed set
+        # comparison instead of a Python loop over the interface.
+        if assignment.keys() == self._iface_keyset:
+            return
         for net in self.inputs:
             if net not in assignment:
                 raise NetlistError(f"no value supplied for input {net!r}")
@@ -424,7 +500,7 @@ class CompiledCircuit:
         assignments: Sequence[Mapping],
         state: Optional[Mapping] = None,
     ) -> Tuple[List[int], List[int]]:
-        """Source planes for up to :data:`LANES` checked assignments."""
+        """Source planes for up to ``self.lanes`` checked assignments."""
         value = [0] * self.num_nets
         known = [0] * self.num_nets
         net_ids = self.net_ids
@@ -448,10 +524,11 @@ class CompiledCircuit:
                     raise ValueError(f"not a logic value: {val!r}")
         if state is None:
             state = {}
+        mask = self.mask
         for ff_name, q_id in zip(self.ff_names, self.ff_q_ids):
             v, k = _plane_bits(state.get(ff_name, None))
-            value[q_id] = MASK if v else 0
-            known[q_id] = MASK if k else 0
+            value[q_id] = mask if v else 0
+            known[q_id] = mask if k else 0
         return value, known
 
     @staticmethod
@@ -480,22 +557,29 @@ class CompiledCircuit:
         assignments: Sequence[Mapping],
         state: Optional[Mapping] = None,
     ) -> List[Dict[str, object]]:
-        """Full net-for-net evaluation of many patterns (64 per pass)."""
+        """Full net-for-net evaluation of many patterns, ``lanes`` per pass."""
         results: List[Dict[str, object]] = []
         if state is None:
             state = {}
-        for start in range(0, len(assignments), LANES):
-            chunk = assignments[start:start + LANES]
+        lanes = self.lanes
+        for start in range(0, len(assignments), lanes):
+            chunk = assignments[start:start + lanes]
             for assignment in chunk:
                 self._check_assignment(assignment)
             value, known = self._pack(chunk, state)
             self.run_planes(value, known)
+            # Byte-rendered planes: O(1) lane reads at any width (see
+            # query_outputs).
+            nbytes = lanes >> 3
             out_planes = [
-                (net, value[net_id], known[net_id])
+                (net, value[net_id].to_bytes(nbytes, "little"),
+                 known[net_id].to_bytes(nbytes, "little"))
                 for net, net_id in zip(self.out_names, self.out_ids)
             ]
             for lane, assignment in enumerate(chunk):
-                bit = 1 << lane
+                byte = lane >> 3
+                shift = lane & 7
+                bit = 1 << shift
                 values: Dict[str, object] = {}
                 for net in self.inputs:
                     values[net] = assignment[net]
@@ -505,8 +589,9 @@ class CompiledCircuit:
                     values[extra] = val
                 for ff_name, q_net in zip(self.ff_names, self.ff_q_nets):
                     values[q_net] = state.get(ff_name, None)
-                for net, v, k in out_planes:
-                    values[net] = (v >> lane) & 1 if k & bit else None
+                for net, vb, kb in out_planes:
+                    values[net] = (vb[byte] >> shift) & 1 if kb[byte] & bit \
+                        else None
                 results.append(values)
         return results
 
@@ -517,23 +602,31 @@ class CompiledCircuit:
     ) -> List[Dict[str, object]]:
         """Primary-output dicts for many patterns (the oracle's view)."""
         results: List[Dict[str, object]] = []
-        for start in range(0, len(assignments), LANES):
-            chunk = assignments[start:start + LANES]
+        lanes = self.lanes
+        for start in range(0, len(assignments), lanes):
+            chunk = assignments[start:start + lanes]
             for assignment in chunk:
                 self._check_assignment(assignment)
             value, known = self._pack(chunk, state)
             self.run_planes(value, known)
-            # Lane extraction inlined (no per-net function call): this
-            # dictcomp is the hottest line of the batched oracle path.
+            # Lane extraction: each plane word is rendered to bytes once
+            # per chunk, so reading lane *i* is O(1) byte indexing at any
+            # width — shifting a wide plane per lane would be O(lanes)
+            # and widening would *slow* this, the hottest line of the
+            # batched oracle path.
+            nbytes = lanes >> 3
             po_planes = [
-                (net, value[net_id], known[net_id])
+                (net, value[net_id].to_bytes(nbytes, "little"),
+                 known[net_id].to_bytes(nbytes, "little"))
                 for net, net_id in zip(self.outputs, self.output_ids)
             ]
             for lane in range(len(chunk)):
-                bit = 1 << lane
+                byte = lane >> 3
+                shift = lane & 7
+                bit = 1 << shift
                 results.append({
-                    net: (v >> lane) & 1 if k & bit else None
-                    for net, v, k in po_planes
+                    net: (vb[byte] >> shift) & 1 if kb[byte] & bit else None
+                    for net, vb, kb in po_planes
                 })
         return results
 
@@ -558,16 +651,29 @@ class CompiledCircuit:
         return outputs, next_state
 
 
-def compile_circuit(circuit: Circuit) -> CompiledCircuit:
-    """The compiled IR of *circuit*, memoized behind its mutation counter.
+def compile_circuit(
+    circuit: Circuit, lanes: Optional[int] = None
+) -> CompiledCircuit:
+    """The compiled IR of *circuit* at *lanes*, memoized per width behind
+    the circuit's mutation counter.
 
-    The cache lives on the circuit instance (and therefore travels with
-    pickles, which is how the campaign cache lets pool workers skip
-    recompilation); any structural edit invalidates it.
+    The cache — ``(mutations, {lanes: CompiledCircuit})`` — lives on the
+    circuit instance (and therefore travels with pickles, which is how
+    the campaign cache lets pool workers skip recompilation), so one
+    circuit can hold compiled instances at several widths at once; any
+    structural edit invalidates all of them.
     """
+    lanes = check_lanes(default_lanes() if lanes is None else lanes)
     cached = circuit._compiled_cache
-    if cached is not None and cached[0] == circuit._mutations:
-        return cached[1]
-    compiled = CompiledCircuit(circuit)
-    circuit._compiled_cache = (circuit._mutations, compiled)
+    if cached is not None and not isinstance(cached[1], dict):
+        # Pre-width pickle: a bare (mutations, compiled) pair.
+        cached = (cached[0], {cached[1].lanes: cached[1]})
+        circuit._compiled_cache = cached
+    if cached is None or cached[0] != circuit._mutations:
+        cached = (circuit._mutations, {})
+        circuit._compiled_cache = cached
+    by_width = cached[1]
+    compiled = by_width.get(lanes)
+    if compiled is None:
+        by_width[lanes] = compiled = CompiledCircuit(circuit, lanes)
     return compiled

@@ -1,4 +1,4 @@
-"""repro.serve — async oracle serving with dynamic 64-lane batching.
+"""repro.serve — async oracle serving with dynamic lane-wide batching.
 
 The paper's threat model is an attacker querying an *activated chip* as
 a black box; at system scale that chip is a service under heavy query
@@ -7,7 +7,7 @@ behind an asyncio server and serves oracle queries over a
 length-prefixed JSON protocol, with:
 
 * a **dynamic batcher** coalescing concurrent single-pattern queries
-  into 64-lane bit-parallel evaluations (:mod:`repro.serve.batcher`);
+  into lane-wide bit-parallel evaluations (:mod:`repro.serve.batcher`);
 * a content-addressed **circuit registry** with an LRU of compiled
   instances, shared with the in-process oracles
   (:mod:`repro.serve.registry`);

@@ -1,16 +1,18 @@
-"""Dynamic batcher: coalesce concurrent oracle queries into 64-lane passes.
+"""Dynamic batcher: coalesce concurrent oracle queries into lane-wide passes.
 
-The compiled IR evaluates 64 patterns for roughly the price of one
-(:mod:`repro.netlist.compiled`), but a *served* oracle sees that
-parallelism shredded: every client sends one pattern at a time, exactly
-like the SAT attack's DIP loop.  The batcher reassembles it — queries
-against the same circuit arriving within one **batching window** are
-coalesced into a single ``CompiledCircuit.query_outputs`` pass.
+The compiled IR evaluates one lane-width of patterns for roughly the
+price of one (:mod:`repro.netlist.compiled`), but a *served* oracle
+sees that parallelism shredded: every client sends one pattern at a
+time, exactly like the SAT attack's DIP loop.  The batcher reassembles
+it — queries against the same circuit arriving within one **batching
+window** are coalesced into a single ``CompiledCircuit.query_outputs``
+pass.
 
 A batch flushes when either trigger fires, whichever comes first:
 
-* **width** — the pending lane count reaches ``max_batch`` (64, the
-  bit-parallel width), or
+* **width** — the pending lane count reaches ``max_batch`` (default:
+  the registry's compiled lane width, so a flush fills exactly one
+  bit-parallel pass at any ``--lanes`` setting), or
 * **deadline** — ``window_s`` elapsed since the batch's first request
   (bounded added latency for a lone client).
 
@@ -27,10 +29,11 @@ wasted on them), budgets are charged per request in arrival order, and
 the surviving patterns run in one pass whose results are sliced back
 per request.
 
-The evaluation itself runs synchronously on the event loop: a 64-lane
-pass over the biggest benchmark is ~1 ms, well under the batching
-window, and keeping it on-loop makes result delivery deterministic —
-no executor handoff, no cross-thread wakeups.
+The evaluation itself runs synchronously on the event loop: a lane-wide
+pass over the biggest benchmark is ~1 ms at 64 lanes (and grows far
+slower than linearly with width), well under the batching window, and
+keeping it on-loop makes result delivery deterministic — no executor
+handoff, no cross-thread wakeups.
 """
 
 from __future__ import annotations
@@ -39,7 +42,6 @@ import asyncio
 from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Sequence
 
-from ..netlist.compiled import LANES
 from ..obs import metrics as _metrics
 from ..obs.metrics import Histogram
 from ..obs.spans import trace_span
@@ -49,21 +51,25 @@ from .registry import CircuitRegistry, RegisteredCircuit
 
 __all__ = ["BatchConfig", "DynamicBatcher", "OCCUPANCY_BUCKETS"]
 
-#: occupancy histogram boundaries (lanes per flushed batch)
-OCCUPANCY_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 48.0, 64.0)
+#: occupancy histogram boundaries (lanes per flushed batch); extends
+#: past 64 so wide-lane deployments still resolve their flush sizes
+OCCUPANCY_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 48.0, 64.0,
+                     128.0, 256.0, 512.0, 1024.0, 2048.0, 4096.0)
 
 
 @dataclass(frozen=True)
 class BatchConfig:
     """Batching policy knobs."""
 
-    #: lanes per flush; 1 disables coalescing (the "batching off" mode)
-    max_batch: int = LANES
+    #: lanes per flush; 1 disables coalescing (the "batching off" mode);
+    #: ``None`` matches the registry's compiled lane width, so the flush
+    #: trigger tracks ``--lanes`` without separate plumbing
+    max_batch: Optional[int] = None
     #: max seconds a lone request waits before its batch flushes anyway
     window_s: float = 0.002
 
     def __post_init__(self) -> None:
-        if self.max_batch < 1:
+        if self.max_batch is not None and self.max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if self.window_s < 0:
             raise ValueError("window_s must be >= 0")
@@ -102,6 +108,11 @@ class DynamicBatcher:
         self.registry = registry
         self.admission = admission
         self.config = config or BatchConfig()
+        #: resolved flush width: explicit max_batch, else one full
+        #: bit-parallel pass at the registry's lane width
+        self.max_batch = (self.config.max_batch
+                          if self.config.max_batch is not None
+                          else registry.lane_width())
         #: optional :class:`~repro.obs.sinks.SlowRequestLog`; deadline
         #: expiries are logged here at flush time with their lateness,
         #: which the request-level log upstream cannot know
@@ -148,7 +159,7 @@ class DynamicBatcher:
                 self._pending[circuit_id] = pending
             pending.requests.append(request)
             pending.lanes += lanes
-            if pending.lanes >= self.config.max_batch:
+            if pending.lanes >= self.max_batch:
                 self._flush(circuit_id, full=True)
             elif pending.timer is None:
                 pending.timer = loop.call_later(
@@ -264,6 +275,6 @@ class DynamicBatcher:
             "occupancy_max": self.occupancy.max,
             "occupancy_p50": self.occupancy.quantile(0.5),
             "occupancy_p99": self.occupancy.quantile(0.99),
-            "max_batch": self.config.max_batch,
+            "max_batch": self.max_batch,
             "window_ms": self.config.window_s * 1000.0,
         }

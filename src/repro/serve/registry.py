@@ -32,7 +32,12 @@ from typing import Any, Dict, Optional, Tuple
 from ..campaign.cache import content_key
 from ..netlist.bench_io import write_bench
 from ..netlist.circuit import Circuit, NetlistError
-from ..netlist.compiled import CompiledCircuit, compile_circuit
+from ..netlist.compiled import (
+    CompiledCircuit,
+    check_lanes,
+    compile_circuit,
+    default_lanes,
+)
 from .protocol import QueryBudgetExceededError, UnknownCircuitError
 
 __all__ = [
@@ -92,6 +97,7 @@ class RegisteredCircuit:
             "name": self.circuit.name,
             "inputs": list(self.compiled.inputs),
             "outputs": list(self.compiled.outputs),
+            "lanes": self.compiled.lanes,
         }
 
 
@@ -103,10 +109,14 @@ class CircuitRegistry:
     instances through the same object.
     """
 
-    def __init__(self, capacity: int = 16) -> None:
+    def __init__(self, capacity: int = 16,
+                 lanes: Optional[int] = None) -> None:
         if capacity < 1:
             raise ValueError("registry capacity must be >= 1")
         self.capacity = capacity
+        #: bit-parallel width circuits are compiled at; ``None`` follows
+        #: the process default (:func:`repro.netlist.compiled.default_lanes`)
+        self.lanes = None if lanes is None else check_lanes(lanes)
         self._entries: "OrderedDict[str, RegisteredCircuit]" = OrderedDict()
         self._lock = threading.Lock()
         # Accounting outlives eviction (budgets must not reset).
@@ -148,7 +158,7 @@ class CircuitRegistry:
         # Compile outside the lock (it can take milliseconds on the big
         # benchmarks); compile_circuit memoizes on the circuit, so a
         # racing duplicate registration costs nothing extra.
-        compiled = compile_circuit(circuit)
+        compiled = compile_circuit(circuit, self.lanes)
         entry = RegisteredCircuit(circuit_id, circuit, compiled)
         with self._lock:
             self.misses += 1
@@ -190,6 +200,10 @@ class CircuitRegistry:
     def compiled_for(self, circuit: Circuit) -> CompiledCircuit:
         """Register-and-resolve for in-process consumers (the oracles)."""
         return self.register(circuit).compiled
+
+    def lane_width(self) -> int:
+        """The concrete width this registry compiles at, resolved now."""
+        return self.lanes if self.lanes is not None else default_lanes()
 
     # ------------------------------------------------------------------
     # Query accounting
@@ -246,6 +260,7 @@ class CircuitRegistry:
             return {
                 "size": len(self._entries),
                 "capacity": self.capacity,
+                "lanes": self.lane_width(),
                 "registrations": self.registrations,
                 "evictions": self.evictions,
                 "hits": self.hits,

@@ -68,7 +68,7 @@ class ServerConfig:
     #: requests one connection may have in flight before reads pause.
     #: Pipelining lets a single connection (the shard supervisor
     #: multiplexing many clients) keep enough queries in flight to fill
-    #: 64-lane batches; responses still go out in request order.
+    #: lane-wide batches; responses still go out in request order.
     pipeline_depth: int = 1024
     #: enable observability inside the serving process: spans buffer in
     #: a :class:`~repro.obs.sinks.SpanBuffer` that the ``obs`` wire op
@@ -79,6 +79,12 @@ class ServerConfig:
     #: answered requests at or above this duration are logged as slow
     #: (rejections and errors are always logged)
     slow_request_s: float = 1.0
+    #: bit-parallel lane width circuits are compiled at (and, unless
+    #: ``batch.max_batch`` is set explicitly, the batcher's flush
+    #: width); ``None`` follows the process default — ``REPRO_LANES``
+    #: or 64.  Only used when the server builds its own registry; a
+    #: registry passed in keeps its own width.
+    lanes: Optional[int] = None
 
 
 def registration_view(
@@ -146,7 +152,8 @@ class OracleServer:
         slow_log: Optional[SlowRequestLog] = None,
     ) -> None:
         self.config = config or ServerConfig()
-        self.registry = registry if registry is not None else CircuitRegistry()
+        self.registry = (registry if registry is not None
+                         else CircuitRegistry(lanes=self.config.lanes))
         self.admission = AdmissionController(self.config.admission)
         if slow_log is None and self.config.slow_log_path:
             slow_log = SlowRequestLog(self.config.slow_log_path,

@@ -118,8 +118,17 @@ class ShardConfig:
     slow_log_path: Optional[str] = None
     #: slow threshold forwarded to workers and the supervisor
     slow_request_s: float = 1.0
+    #: bit-parallel lane width forwarded into each worker's
+    #: :class:`~repro.serve.server.ServerConfig` (compile width and,
+    #: unless ``batch.max_batch`` is explicit, flush width); ``None``
+    #: follows each worker process's default (``REPRO_LANES`` or 64)
+    lanes: Optional[int] = None
 
     def __post_init__(self) -> None:
+        if self.lanes is not None:
+            from ..netlist.compiled import check_lanes
+
+            check_lanes(self.lanes)
         if self.workers < 1:
             raise ValueError("a shard needs at least one worker")
         if self.max_inflight < 1:

@@ -1,6 +1,6 @@
 """Shard supervisor: one accepting process, N owning workers.
 
-The single-process server leaves 64-lane evaluation throughput capped
+The single-process server leaves lane-wide evaluation throughput capped
 by one CPU core.  :class:`ShardSupervisor` lifts that cap without a
 cache-coherence protocol: it accepts every client connection itself and
 routes each request to the worker process that *owns* the named
@@ -172,6 +172,7 @@ class WorkerHandle:
             batch=shard_config.batch,
             admission=shard_config.admission,
             default_budget=shard_config.default_budget,
+            lanes=shard_config.lanes,
             trace=shard_config.trace,
             # Per-process log files: concurrent appends from N workers
             # into one file would interleave mid-line.

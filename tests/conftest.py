@@ -70,6 +70,31 @@ def _force_trace():
         obs.disable()
 
 
+@pytest.fixture(autouse=True)
+def _lane_width():
+    """Run every test at the ``REPRO_LANES`` lane width when set (the
+    CI wide-lane differential tier, mirroring ``REPRO_FORCE_TRACE``):
+    every existing test then doubles as a cross-width check, because
+    all compiled evaluation inherits the default width.
+
+    Installed as a ``set_default_lanes`` override (not just the env
+    var) so a test that clears the environment still runs wide, and
+    restored afterwards so an explicit override inside a test cannot
+    leak.  Tests that pass an explicit ``lanes=`` are unaffected.
+    """
+    raw = os.environ.get("REPRO_LANES")
+    if not raw:
+        yield
+        return
+    from repro.netlist.compiled import set_default_lanes
+
+    previous = set_default_lanes(int(raw))
+    try:
+        yield
+    finally:
+        set_default_lanes(previous)
+
+
 @pytest.fixture
 def rng():
     """A fresh, fixed-seed RNG per test (function-scoped on purpose:

@@ -110,12 +110,25 @@ class TestPickle:
         )
 
     def test_circuit_pickle_carries_compiled_cache(self, toy_sequential):
-        compile_circuit(toy_sequential)
+        default = compile_circuit(toy_sequential)
+        wide = compile_circuit(toy_sequential, default.lanes * 4)
         clone = pickle.loads(pickle.dumps(toy_sequential))
         cached = clone._compiled_cache
         assert cached is not None and cached[0] == clone._mutations
-        # The carried cache is served, not recompiled.
-        assert compile_circuit(clone) is cached[1]
+        # The carried cache is served, not recompiled — per width.
+        assert compile_circuit(clone) is cached[1][default.lanes]
+        assert compile_circuit(clone, wide.lanes) is cached[1][wide.lanes]
+
+    def test_pre_width_cache_tuple_still_served(self, toy_sequential):
+        # Circuits pickled before the width parameter carried a bare
+        # (mutations, CompiledCircuit) pair; compile_circuit adopts it.
+        compiled = compile_circuit(toy_sequential)
+        toy_sequential._compiled_cache = (toy_sequential._mutations,
+                                          compiled)
+        assert compile_circuit(toy_sequential) is compiled
+        assert toy_sequential._compiled_cache[1] == {
+            compiled.lanes: compiled
+        }
 
     def test_unpickled_circuit_still_evaluates(self, toy_combinational):
         compile_circuit(toy_combinational)

@@ -1,0 +1,237 @@
+"""Cross-width property suite for the parameterized bit-parallel planes.
+
+The compiled evaluator's lane width is a compile-time parameter
+(:mod:`repro.netlist.compiled`): the same two-plane 0/1/X word algebra
+runs at 64, 256, or 1024 lanes.  Nothing downstream may be able to
+tell the widths apart — these properties pin that down with hypothesis
+over random circuits and random ternary pattern sets, including the
+shapes where a width bug would hide:
+
+* **partial final chunks** — a pattern count that fills the last pass
+  of one width exactly and leaves another width's pass mostly empty;
+* **all-X lanes** — patterns whose planes contribute no set bits, so a
+  stray mask of the wrong width shows up as a spurious known;
+* result order — lane-for-lane: result *i* is pattern *i* at every
+  width, so plain list equality is the lane-level comparison.
+
+Deterministic cases cover the width contract itself: validation,
+``REPRO_LANES``/override resolution, per-width memoization, and pickle.
+"""
+
+import pickle
+import random
+from functools import lru_cache
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bench.generator import GeneratorSpec, random_sequential_circuit
+from repro.netlist.compiled import (
+    LANES,
+    CompiledCircuit,
+    check_lanes,
+    compile_circuit,
+    default_lanes,
+    set_default_lanes,
+)
+
+WIDTHS = (64, 256, 1024)
+TERNARY = (0, 1, None)
+
+#: pattern counts chosen so that, at some width in WIDTHS, the final
+#: chunk is exactly full, one lane over, or one lane short
+CHUNK_EDGE_COUNTS = (1, 63, 64, 65, 127, 128, 129, 140, 256, 257)
+
+
+@lru_cache(maxsize=None)
+def _circuit(seed: int, num_gates: int, num_flip_flops: int = 0):
+    spec = GeneratorSpec(
+        f"widthprop_{seed}_{num_gates}_{num_flip_flops}",
+        num_inputs=6,
+        num_outputs=4,
+        num_flip_flops=num_flip_flops,
+        num_combinational=num_gates,
+        seed=seed,
+    )
+    return random_sequential_circuit(spec)
+
+
+def _patterns(circuit, rng, count, x_bias):
+    """*count* ternary patterns; *x_bias* is the per-net X probability."""
+    patterns = []
+    for _ in range(count):
+        patterns.append({
+            net: None if rng.random() < x_bias else rng.randint(0, 1)
+            for net in circuit.inputs
+        })
+    return patterns
+
+
+class TestCrossWidthProperties:
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        circuit_seed=st.integers(min_value=0, max_value=5),
+        num_gates=st.sampled_from([12, 36]),
+        pattern_seed=st.integers(min_value=0, max_value=2**16),
+        count=st.integers(min_value=1, max_value=140),
+        x_bias=st.sampled_from([0.0, 0.3, 1.0]),
+    )
+    def test_query_outputs_bit_identical_lane_for_lane(
+        self, circuit_seed, num_gates, pattern_seed, count, x_bias
+    ):
+        circuit = _circuit(circuit_seed, num_gates)
+        rng = random.Random(pattern_seed)
+        patterns = _patterns(circuit, rng, count, x_bias)
+        reference = compile_circuit(circuit, 64).query_outputs(patterns)
+        assert len(reference) == count
+        for lanes in WIDTHS[1:]:
+            assert compile_circuit(circuit, lanes).query_outputs(
+                patterns) == reference
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        circuit_seed=st.integers(min_value=0, max_value=3),
+        pattern_seed=st.integers(min_value=0, max_value=2**16),
+        count=st.sampled_from([5, 65, 130]),
+    )
+    def test_evaluate_many_bit_identical(self, circuit_seed, pattern_seed,
+                                         count):
+        """Full net-for-net dicts, not just the primary outputs."""
+        circuit = _circuit(circuit_seed, 24)
+        rng = random.Random(pattern_seed)
+        patterns = _patterns(circuit, rng, count, x_bias=0.25)
+        reference = compile_circuit(circuit, 64).evaluate_many(patterns)
+        for lanes in WIDTHS[1:]:
+            assert compile_circuit(circuit, lanes).evaluate_many(
+                patterns) == reference
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        circuit_seed=st.integers(min_value=0, max_value=3),
+        pattern_seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_sequential_step_state_agrees(self, circuit_seed, pattern_seed):
+        """FF state planes are all-lanes-replicated; widths must agree."""
+        circuit = _circuit(circuit_seed, 30, num_flip_flops=4)
+        rng = random.Random(pattern_seed)
+        assignment = {net: rng.choice(TERNARY) for net in circuit.inputs}
+        state = {g.name: rng.choice(TERNARY) for g in circuit.flip_flops()}
+        reference = compile_circuit(circuit, 64).step_state(assignment, state)
+        for lanes in WIDTHS[1:]:
+            assert compile_circuit(circuit, lanes).step_state(
+                assignment, state) == reference
+
+
+class TestChunkEdges:
+    @pytest.mark.parametrize("count", CHUNK_EDGE_COUNTS)
+    def test_partial_final_chunks_account_identically(self, count):
+        """Every width returns exactly *count* results, in lane order."""
+        circuit = _circuit(1, 24)
+        rng = random.Random(count * 7919)
+        patterns = _patterns(circuit, rng, count, x_bias=0.2)
+        reference = compile_circuit(circuit, 64).query_outputs(patterns)
+        assert len(reference) == count
+        for lanes in WIDTHS[1:]:
+            got = compile_circuit(circuit, lanes).query_outputs(patterns)
+            assert len(got) == count
+            assert got == reference
+
+    def test_all_x_lanes(self):
+        """All-X patterns: planes carry zero set bits at every width."""
+        circuit = _circuit(2, 24)
+        patterns = [{net: None for net in circuit.inputs}
+                    for _ in range(67)]
+        reference = compile_circuit(circuit, 64).query_outputs(patterns)
+        assert len(reference) == 67
+        for lanes in WIDTHS[1:]:
+            assert compile_circuit(circuit, lanes).query_outputs(
+                patterns) == reference
+
+
+class TestWidthContract:
+    @pytest.mark.parametrize("bad", [0, -64, 1, 63, 65, 100, 96])
+    def test_rejects_non_multiples_of_64(self, bad):
+        with pytest.raises(ValueError, match="positive multiple"):
+            check_lanes(bad)
+        with pytest.raises(ValueError, match="positive multiple"):
+            compile_circuit(_circuit(0, 12), bad)
+
+    @pytest.mark.parametrize("lanes", [64, 128, 256, 4096])
+    def test_accepts_positive_multiples(self, lanes):
+        assert check_lanes(lanes) == lanes
+        compiled = compile_circuit(_circuit(0, 12), lanes)
+        assert compiled.lanes == lanes
+        assert compiled.mask == (1 << lanes) - 1
+
+    def test_memoized_per_width(self):
+        circuit = _circuit(3, 12)
+        c64 = compile_circuit(circuit, 64)
+        c256 = compile_circuit(circuit, 256)
+        assert c64 is not c256
+        # One circuit holds compiled instances at several widths.
+        assert compile_circuit(circuit, 64) is c64
+        assert compile_circuit(circuit, 256) is c256
+
+    def test_structural_edit_invalidates_every_width(self):
+        circuit = _circuit(4, 12)
+        c64 = compile_circuit(circuit, 64)
+        c256 = compile_circuit(circuit, 256)
+        net = circuit.new_net("width_probe")
+        circuit.add_gate(circuit.new_gate_name("inv"), "INV_X1",
+                         {"A": list(circuit.inputs)[0]}, net)
+        assert compile_circuit(circuit, 64) is not c64
+        assert compile_circuit(circuit, 256) is not c256
+
+    def test_pickle_preserves_width(self):
+        compiled = compile_circuit(_circuit(5, 12), 256)
+        clone = pickle.loads(pickle.dumps(compiled))
+        assert isinstance(clone, CompiledCircuit)
+        assert clone.lanes == 256
+        assert clone.mask == compiled.mask
+        patterns = _patterns(_circuit(5, 12), random.Random(9), 70, 0.2)
+        assert clone.query_outputs(patterns) == compiled.query_outputs(
+            patterns)
+
+    def test_env_var_sets_default(self, monkeypatch):
+        # Clear any programmatic override (e.g. the suite-wide
+        # REPRO_LANES fixture) so the env var itself is what resolves.
+        previous = set_default_lanes(None)
+        try:
+            monkeypatch.setenv("REPRO_LANES", "256")
+            assert default_lanes() == 256
+            compiled = compile_circuit(_circuit(0, 12))
+            assert compiled.lanes == 256
+        finally:
+            set_default_lanes(previous)
+
+    def test_env_var_validated(self, monkeypatch):
+        previous = set_default_lanes(None)
+        try:
+            monkeypatch.setenv("REPRO_LANES", "100")
+            with pytest.raises(ValueError, match="positive multiple"):
+                default_lanes()
+            monkeypatch.setenv("REPRO_LANES", "wide")
+            with pytest.raises(ValueError, match="integer"):
+                default_lanes()
+        finally:
+            set_default_lanes(previous)
+
+    def test_override_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LANES", "256")
+        previous = set_default_lanes(1024)
+        try:
+            assert default_lanes() == 1024
+        finally:
+            set_default_lanes(previous)
+
+    def test_default_is_64_without_overrides(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LANES", raising=False)
+        previous = set_default_lanes(None)
+        try:
+            assert default_lanes() == LANES == 64
+        finally:
+            set_default_lanes(previous)

@@ -62,6 +62,61 @@ def test_65_concurrent_requests_split_64_plus_1(registry):
     assert admission.idle
 
 
+def test_65_patterns_at_width_64_vs_128_identical_accounting(registry):
+    """The off-by-width regression pair: the same 65 single-pattern
+    requests take **two flushes at width 64** (width trigger at lane 64,
+    window for the straggler) but **one flush at width 128** (window
+    only) — and every observable except the flush split is identical:
+    same answers, same lanes_total, same cumulative query count.
+    """
+    from repro.serve import CircuitRegistry
+
+    patterns = [{"a": i % 2} for i in range(65)]
+
+    async def drive(batcher, entry):
+        tasks = [
+            asyncio.create_task(batcher.submit(entry.circuit_id, [p]))
+            for p in patterns
+        ]
+        return [r for result in await asyncio.gather(*tasks) for r in result]
+
+    # Width 64: the historical behavior (also pinned by the
+    # split-64-plus-1 test above).
+    entry64 = registry.register(build_chain())
+    narrow, _ = make_batcher(registry, max_batch=64, window_s=0.02)
+    narrow_results = asyncio.run(drive(narrow, entry64))
+    assert narrow.batches == 2
+    assert narrow.lanes_total == 65
+
+    # Width 128: same request stream through a 128-lane registry with
+    # max_batch=None (match the lane width) — a single window flush.
+    wide_registry = CircuitRegistry(lanes=128)
+    entry128 = wide_registry.register(build_chain())
+    assert entry128.compiled.lanes == 128
+    wide, _ = make_batcher(wide_registry, max_batch=None, window_s=0.02)
+    assert wide.max_batch == 128
+    wide_results = asyncio.run(drive(wide, entry128))
+    assert wide.batches == 1
+    assert wide.full_batches == 0
+    assert wide.window_batches == 1
+    assert wide.occupancy.max == 65
+    assert wide.lanes_total == 65
+
+    # Identical accounting and identical answers, flush split aside.
+    assert wide_results == narrow_results == expected_outputs(
+        entry64, patterns)
+    assert registry.query_count(entry64.circuit_id) == 65
+    assert wide_registry.query_count(entry128.circuit_id) == 65
+
+
+def test_max_batch_none_matches_registry_lane_width(registry):
+    """BatchConfig(max_batch=None) resolves against the registry, so the
+    flush trigger tracks ``--lanes`` with no separate plumbing."""
+    batcher, _ = make_batcher(registry, max_batch=None)
+    assert batcher.max_batch == registry.lane_width()
+    assert batcher.stats()["max_batch"] == registry.lane_width()
+
+
 def test_mixed_circuits_are_never_cobatched(registry):
     """Queries against different circuits keep separate pending queues."""
     first = registry.register(build_chain("first", 2))

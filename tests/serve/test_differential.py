@@ -212,6 +212,44 @@ class TestTransportsAgree:
         assert outcomes[0][1] == 3  # refused exactly at the budget
 
 
+class TestWideFlush:
+    """Backends serving at a widened lane width (>64 lanes per batcher
+    flush) must stay observationally identical to the 64-lane local
+    oracle — outputs bit-identical, accounting per pattern."""
+
+    def test_wide_flush_agrees_across_transports(self):
+        from repro.serve import ServerConfig
+
+        circuit = generated_circuit(777)
+        local = CombinationalOracle(circuit)
+        patterns = patterns_for(local, 13, count=65)
+        want = local.query_batch(patterns)
+
+        # In-process: the 65-pattern request rides one 128-lane flush.
+        server = OracleServer(config=ServerConfig(lanes=128))
+        assert server.registry.lane_width() == 128
+        assert server.batcher.max_batch == 128
+        inproc = InProcessOracle(server, circuit)
+        assert inproc.query_batch(patterns) == want
+        assert inproc.server_query_count == len(patterns)
+        assert server.batcher.occupancy.max == 65
+
+        # Threaded: same config behind real sockets.
+        with ThreadedServer(OracleServer(
+                config=ServerConfig(lanes=128))) as address:
+            remote = RemoteOracle(address, circuit=circuit)
+            assert remote.query_batch(patterns) == want
+            assert remote.server_query_count == len(patterns)
+
+        # Sharded: ShardConfig.lanes reaches every forked worker.
+        supervisor = ShardSupervisor(ShardConfig(workers=2, lanes=128))
+        with ThreadedShardServer(supervisor) as address:
+            remote = RemoteOracle(address, circuit=circuit)
+            assert remote.query_batch(patterns) == want
+            assert remote.server_query_count == len(patterns)
+            assert remote.query(patterns[0]) == want[0]
+
+
 class TestTimingOracleDifferential:
     @pytest.mark.parametrize("seed", [1, 7, 23])
     def test_served_outputs_match_at_speed_capture(self, seed):

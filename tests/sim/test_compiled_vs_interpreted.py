@@ -5,7 +5,9 @@ is the executable specification; the compiled two-plane evaluator must
 agree with it net for net — values *and* result-dict ordering — on
 random circuits under random ternary (0/1/X) stimulus, and on the
 corner cases where ternary semantics are subtle (MUX with an X select,
-LUTs with X inputs).
+LUTs with X inputs).  The random-circuit and batched cases run at
+several lane widths: the interpreted walk is width-blind, so agreement
+at 64 *and* 256 lanes means the widths agree with each other too.
 """
 
 import random
@@ -22,19 +24,26 @@ from repro.sim import (
 
 TERNARY = (0, 1, None)
 
+#: lane widths the differential cases replay at (64 = the historical
+#: single-word plane; 256 exercises multi-word-quantum carries)
+WIDTHS = (64, 256)
+
 
 def ternary_pattern(nets, rng):
     return {net: rng.choice(TERNARY) for net in nets}
 
 
-def assert_same_evaluation(circuit, assignment, state=None):
-    got = evaluate_combinational(circuit, assignment, state=state)
+def assert_same_evaluation(circuit, assignment, state=None, lanes=None):
+    if lanes is None:
+        got = evaluate_combinational(circuit, assignment, state=state)
+    else:
+        got = compile_circuit(circuit, lanes).evaluate(assignment, state)
     want = evaluate_combinational_interpreted(circuit, assignment, state=state)
     assert list(got) == list(want), "result-dict net ordering diverged"
     for net in want:
         assert got[net] == want[net], (
             f"net {net!r}: compiled={got[net]!r} interpreted={want[net]!r} "
-            f"under {assignment!r} state={state!r}"
+            f"under {assignment!r} state={state!r} lanes={lanes!r}"
         )
 
 
@@ -51,27 +60,32 @@ SPECS = [
 
 
 class TestRandomCircuits:
+    @pytest.mark.parametrize("lanes", WIDTHS)
     @pytest.mark.parametrize("spec", SPECS, ids=lambda s: s.name)
-    def test_net_for_net_under_ternary_stimulus(self, spec):
+    def test_net_for_net_under_ternary_stimulus(self, spec, lanes):
         circuit = random_sequential_circuit(spec)
         rng = random.Random(spec.seed * 7919)
         ffs = [g.name for g in circuit.flip_flops()]
         for _ in range(25):
             assignment = ternary_pattern(circuit.inputs, rng)
             state = ternary_pattern(ffs, rng) if ffs else None
-            assert_same_evaluation(circuit, assignment, state=state)
+            assert_same_evaluation(circuit, assignment, state=state,
+                                   lanes=lanes)
 
+    @pytest.mark.parametrize("lanes", WIDTHS)
     @pytest.mark.parametrize("spec", SPECS[2:], ids=lambda s: s.name)
-    def test_extracted_combinational_core(self, spec):
+    def test_extracted_combinational_core(self, spec, lanes):
         comb = extract_combinational(random_sequential_circuit(spec)).circuit
         rng = random.Random(spec.seed * 104729)
         for _ in range(25):
-            assert_same_evaluation(comb, ternary_pattern(comb.inputs, rng))
+            assert_same_evaluation(comb, ternary_pattern(comb.inputs, rng),
+                                   lanes=lanes)
 
-    def test_all_x_inputs_propagate_identically(self):
+    @pytest.mark.parametrize("lanes", WIDTHS)
+    def test_all_x_inputs_propagate_identically(self, lanes):
         circuit = random_sequential_circuit(SPECS[1])
         assignment = {net: None for net in circuit.inputs}
-        assert_same_evaluation(circuit, assignment)
+        assert_same_evaluation(circuit, assignment, lanes=lanes)
 
     def test_key_inputs_participate(self):
         b = Builder("keyed")
@@ -150,22 +164,34 @@ class TestTernaryCorners:
 
 
 class TestBatchedEvaluation:
-    def test_evaluate_many_matches_per_pattern(self):
-        """>64 patterns forces multiple bit-parallel chunks."""
+    @pytest.mark.parametrize("lanes", WIDTHS)
+    def test_evaluate_many_matches_per_pattern(self, lanes):
+        """130 patterns: three chunks at width 64, one partial at 256."""
         circuit = random_sequential_circuit(SPECS[0])
-        compiled = compile_circuit(circuit)
+        compiled = compile_circuit(circuit, lanes)
         rng = random.Random(99)
         patterns = [ternary_pattern(circuit.inputs, rng) for _ in range(130)]
         batched = compiled.evaluate_many(patterns)
         singles = [compiled.evaluate(p) for p in patterns]
         assert batched == singles
 
-    def test_query_outputs_matches_full_evaluation(self):
+    @pytest.mark.parametrize("lanes", WIDTHS)
+    def test_query_outputs_matches_full_evaluation(self, lanes):
         circuit = random_sequential_circuit(SPECS[1])
-        compiled = compile_circuit(circuit)
+        compiled = compile_circuit(circuit, lanes)
         rng = random.Random(7)
         patterns = [ternary_pattern(circuit.inputs, rng) for _ in range(70)]
         outputs = compiled.query_outputs(patterns)
         full = compiled.evaluate_many(patterns)
         for out, values in zip(outputs, full):
             assert out == {net: values[net] for net in circuit.outputs}
+
+    def test_widths_agree_lane_for_lane(self):
+        """The same pattern list, chunked differently, answers the same."""
+        circuit = random_sequential_circuit(SPECS[1])
+        rng = random.Random(31)
+        patterns = [ternary_pattern(circuit.inputs, rng) for _ in range(193)]
+        reference = compile_circuit(circuit, 64).query_outputs(patterns)
+        for lanes in (256, 1024):
+            assert compile_circuit(circuit, lanes).query_outputs(
+                patterns) == reference
