@@ -1,0 +1,22 @@
+"""The attack x scheme arena: declarative scenario files on the
+campaign engine.
+
+A scenario is a stdlib-JSON file naming schemes, attacks, benchmarks,
+key widths, and seeds; the arena expands the cross product, skips
+capability-incompatible cells with explicit reasons (the registries'
+tag algebra decides), runs the rest on the campaign engine
+(ProcessPool fan-out, content-addressed cache, resumable JSONL store),
+and aggregates one leaderboard.  Data, not code: adding a scheme or
+attack to the matrix is editing a JSON list.
+"""
+
+from .scenario import ArenaCell, Expectation, Scenario
+from .runner import ArenaResult, run_arena
+
+__all__ = [
+    "ArenaCell",
+    "Expectation",
+    "Scenario",
+    "ArenaResult",
+    "run_arena",
+]

@@ -1,0 +1,116 @@
+"""Arena execution: scenario -> campaign -> checked results.
+
+:func:`run_arena` is deliberately thin: the scenario expands to
+``arena``-kind :class:`~repro.campaign.matrix.JobSpec` cells, the
+existing campaign engine runs them, and the result wraps the records
+with the skip list and the scenario's expectation verdicts.  The
+leaderboard itself is a reporting concern
+(:mod:`repro.reporting.leaderboard`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..campaign.matrix import JobSpec
+from ..campaign.runner import CampaignConfig, CampaignResult, run_campaign
+from .scenario import ArenaCell, Scenario
+
+__all__ = ["ArenaResult", "run_arena", "arena_jobs"]
+
+#: the module pool workers import to register the ``arena`` job kind
+_WORKER_MODULE = "repro.arena.jobs"
+
+
+def arena_jobs(scenario: Scenario) -> Tuple[List[JobSpec], List[ArenaCell],
+                                            List[Tuple[ArenaCell, str]]]:
+    """(jobs, runnable cells, skipped cells) for a scenario."""
+    runnable, skipped = scenario.cells()
+    jobs = [
+        JobSpec.make(
+            "arena",
+            benchmark=cell.benchmark,
+            scheme=cell.scheme,
+            attack=cell.attack,
+            key_bits=cell.key_bits,
+            seed=cell.seed,
+            attack_params=scenario.params_for(cell.attack),
+        )
+        for cell in runnable
+    ]
+    return jobs, runnable, skipped
+
+
+@dataclass
+class ArenaResult:
+    """One arena run: campaign records plus arena-level bookkeeping."""
+
+    scenario: Scenario
+    cells: List[ArenaCell]
+    skipped: List[Tuple[ArenaCell, str]]
+    campaign: CampaignResult
+    #: (cell, mismatch description) for every failed expectation
+    expectation_failures: List[Tuple[ArenaCell, str]] = field(
+        default_factory=list
+    )
+
+    @property
+    def ok(self) -> bool:
+        return self.campaign.ok and not self.expectation_failures
+
+    def outcomes(self) -> List[Tuple[ArenaCell, Optional[Dict[str, Any]]]]:
+        """Cells paired with their outcome dicts (None for failed cells)."""
+        paired = []
+        for cell, record in zip(self.cells, self.campaign.ordered()):
+            payload = record.get("payload") or {}
+            outcome = payload.get("outcome") if record["status"] == "ok" else None
+            paired.append((cell, outcome))
+        return paired
+
+
+def _check_expectations(
+    scenario: Scenario,
+    pairs: List[Tuple[ArenaCell, Optional[Dict[str, Any]]]],
+) -> List[Tuple[ArenaCell, str]]:
+    failures: List[Tuple[ArenaCell, str]] = []
+    for expectation in scenario.expectations:
+        for cell, outcome in pairs:
+            if not expectation.matches(cell):
+                continue
+            if outcome is None:
+                failures.append((cell, "cell failed; expectation unchecked"))
+                continue
+            for problem in expectation.check(outcome):
+                failures.append((cell, problem))
+    return failures
+
+
+def run_arena(
+    scenario: Scenario,
+    config: Optional[CampaignConfig] = None,
+    progress: Optional[Callable[[Dict[str, Any]], None]] = None,
+) -> ArenaResult:
+    """Run every runnable cell of *scenario* on the campaign engine.
+
+    *config* is the ordinary campaign config (jobs, timeout, cache,
+    store, resume); the arena's job kind module is appended to its
+    ``worker_modules`` so pool workers can execute ``arena`` cells.
+    """
+    config = config or CampaignConfig()
+    if _WORKER_MODULE not in config.worker_modules:
+        config.worker_modules = tuple(config.worker_modules) + (
+            _WORKER_MODULE,
+        )
+    jobs, runnable, skipped = arena_jobs(scenario)
+    campaign = run_campaign(jobs, config, progress=progress)
+    result = ArenaResult(
+        scenario=scenario,
+        cells=runnable,
+        skipped=skipped,
+        campaign=campaign,
+    )
+    result.expectation_failures = _check_expectations(
+        scenario, result.outcomes()
+    )
+    return result

@@ -1,5 +1,21 @@
-"""Attacks on logic locking: SAT, removal, enhanced removal, TCF, scan."""
+"""Attacks on logic locking: SAT, removal, enhanced removal, TCF, scan.
 
+Every family also registers a normalized runner with
+:mod:`repro.attacks.registry`; harnesses that need uniform results
+(the campaign, the arena, the CLI) drive attacks through it.
+"""
+
+from .outcome import AttackOutcome, recovered_corruption, score_recovery
+from .registry import (
+    AttackContext,
+    AttackInfo,
+    attack_info,
+    attack_infos,
+    attack_names,
+    incompatibility,
+    register_attack,
+    run_attack,
+)
 from .oracle import (
     CombinationalOracle,
     OracleProtocol,
@@ -28,6 +44,9 @@ from .appsat import AppSatResult, appsat_attack
 from .unroll import SequentialAttackResult, sequential_sat_attack
 
 __all__ = [
+    "AttackOutcome", "recovered_corruption", "score_recovery",
+    "AttackContext", "AttackInfo", "attack_info", "attack_infos",
+    "attack_names", "incompatibility", "register_attack", "run_attack",
     "CombinationalOracle", "OracleProtocol", "TimingOracle",
     "TwoVectorOracleProtocol", "random_pattern",
     "SatAttackResult", "sat_attack", "verify_key_against_oracle",

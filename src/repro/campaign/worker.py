@@ -283,7 +283,28 @@ def _run_attack(params: Dict[str, Any], cache: NetlistCache) -> Dict[str, Any]:
             base.update(success=result.success)
             return base
         if attack != "sat":
-            raise ValueError(f"unknown attack {attack!r}")
+            # Every other family dispatches through the attack
+            # registry; the payload carries the normalized outcome.
+            from ..attacks.registry import (
+                AttackContext, attack_names, run_attack,
+            )
+
+            if attack not in attack_names():
+                raise ValueError(
+                    f"unknown attack {attack!r}; choose from "
+                    f"{', '.join(attack_names())}"
+                )
+            outcome = run_attack(attack, AttackContext(
+                locked=locked, clock=instance.clock, seed=seed,
+            ))
+            base.update(
+                success=outcome.success,
+                completed=outcome.completed,
+                key_correct=outcome.key_correct,
+                oracle_queries=outcome.oracle_queries,
+                outcome=outcome.to_dict(),
+            )
+            return base
         # The paper's Sec. VI preprocessing: GK-style schemes are
         # attacked through their exposed Boolean key view.
         target = (

@@ -22,8 +22,20 @@ Gives the library's main flows a tool-like surface operating on
   ``--timeout``, bounded retries, a resumable JSONL result store
   (``--store`` / ``--resume``), and a content-addressed netlist cache
   (``--cache-dir``)
+* ``arena``    — run a scheme x attack scenario file (stdlib JSON) on
+  the campaign engine and print the leaderboard; incompatible cells
+  are skipped with an explicit reason, and ``--store``/``--resume``
+  make an interrupted run replay to a byte-identical leaderboard
+* ``list``     — the registered locking schemes and attack families
+  (names, capability tags, descriptions); every scheme/attack choice
+  above is derived from these registries
 * ``figures``  — print the paper's timing diagrams
 * ``reproduce`` — regenerate the whole evaluation in one run
+
+Scheme and attack ``choices=`` lists are built from
+:mod:`repro.locking.registry` / :mod:`repro.attacks.registry` at
+parser-construction time, so a newly registered scheme or attack shows
+up in ``lock``, ``campaign`` and ``arena`` without touching this file.
 
 Every command accepts three observability flags:
 
@@ -420,6 +432,54 @@ def _render_campaign_table(matrix, result) -> str:
     return format_table2(table2_rows_from_cells(cells, benchmarks))
 
 
+def cmd_arena(args: argparse.Namespace) -> int:
+    from .arena import Scenario, run_arena
+    from .reporting.leaderboard import format_leaderboard, leaderboard_markdown
+
+    try:
+        scenario = Scenario.from_file(args.scenario)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(str(exc))
+
+    config = _campaign_config(args, default_store=f"{scenario.name}.jsonl")
+    runnable, skipped = scenario.cells()
+    _emit(
+        f"arena {scenario.name}: {len(runnable)} cells "
+        f"({len(skipped)} skipped) on "
+        f"{config.resolve_jobs(len(runnable))} worker(s)"
+        + (f", store={config.store_path}" if config.store_path else "")
+        + (f", cache={config.cache_dir}" if config.cache_dir else "")
+    )
+    result = run_arena(
+        scenario, config, progress=_campaign_progress(len(runnable))
+    )
+
+    _emit(format_leaderboard(result), result=True)
+    if args.markdown:
+        with open(args.markdown, "w") as stream:
+            stream.write(leaderboard_markdown(result))
+        _emit(f"markdown -> {args.markdown}")
+    _warn_failures(result.campaign)
+    return 0 if result.ok else 1
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    from .attacks.registry import attack_infos
+    from .locking.registry import scheme_infos
+
+    lines = ["locking schemes:"]
+    for info in scheme_infos():
+        tags = f"  [{', '.join(sorted(info.tags))}]" if info.tags else ""
+        lines.append(f"  {info.name:<18}{info.description}{tags}")
+    lines.append("")
+    lines.append("attack families:")
+    for info in attack_infos():
+        tags = f"  [{', '.join(sorted(info.tags))}]" if info.tags else ""
+        lines.append(f"  {info.name:<18}{info.description}{tags}")
+    _emit("\n".join(lines), result=True)
+    return 0
+
+
 def cmd_reproduce(args: argparse.Namespace) -> int:
     from .reporting.summary import reproduce
 
@@ -753,6 +813,16 @@ def build_parser() -> argparse.ArgumentParser:
     group.add_argument("--resume", action="store_true",
                        help="skip jobs already completed in --store")
 
+    # Every scheme/attack choices= list below derives from the
+    # registries — a new @register_scheme/@register_attack shows up
+    # here without edits (asserted by tests/test_cli_registry_drift.py).
+    from .attacks.registry import attack_names
+    from .locking.registry import scheme_names
+    from .reporting.tables import TABLE2_CONFIGS
+
+    schemes = list(scheme_names())
+    attacks = list(attack_names())
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Glitch Key-gate logic locking — paper reproduction CLI",
@@ -772,8 +842,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("lock", help="encrypt a design", parents=[obs_flags])
     p.add_argument("netlist")
-    p.add_argument("--scheme", default="gk",
-                   choices=["gk", "xor", "sarlock", "antisat", "tdk", "hybrid"])
+    p.add_argument("--scheme", default="gk", choices=schemes)
     p.add_argument("--key-bits", type=int, default=8)
     p.add_argument("--seed", type=int, default=2019)
     p.add_argument("--period", type=float)
@@ -900,20 +969,35 @@ def build_parser() -> argparse.ArgumentParser:
                         "or a path to one; overrides the axis flags")
     p.add_argument("--benchmarks", nargs="*", choices=list(BENCHMARKS),
                    metavar="BENCH", help="benchmark axis (default: all)")
-    p.add_argument("--configs", nargs="*",
-                   choices=["gk4", "gk8", "gk16", "hybrid"],
+    p.add_argument("--configs", nargs="*", choices=list(TABLE2_CONFIGS),
                    help="table2 configuration axis")
-    p.add_argument("--schemes", nargs="*",
-                   choices=["gk", "xor", "sarlock", "antisat", "tdk",
-                            "hybrid"],
+    p.add_argument("--schemes", nargs="*", choices=schemes,
                    help="locking-scheme axis (lock/attack kinds)")
-    p.add_argument("--attacks", nargs="*", choices=["sat", "removal"],
+    p.add_argument("--attacks", nargs="*", choices=attacks,
                    help="attack axis (attack kind)")
     p.add_argument("--key-bits", nargs="*", type=int, metavar="N",
                    help="key-width axis (lock/attack kinds)")
     p.add_argument("--seeds", nargs="*", type=int, metavar="N",
                    help="seed axis")
     p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser(
+        "arena",
+        help="run a scheme x attack scenario and print the leaderboard",
+        parents=[obs_flags, pool_flags],
+    )
+    p.add_argument("scenario", metavar="SCENARIO.json",
+                   help="declarative scenario file (see repro.arena)")
+    p.add_argument("--markdown", metavar="FILE",
+                   help="also write the leaderboard as markdown to FILE")
+    p.set_defaults(func=cmd_arena)
+
+    p = sub.add_parser(
+        "list",
+        help="registered locking schemes and attack families",
+        parents=[obs_flags],
+    )
+    p.set_defaults(func=cmd_list)
 
     p = sub.add_parser("figures", help="regenerate paper Figs. 4/6/7/9",
                        parents=[obs_flags])

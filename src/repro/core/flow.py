@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..locking.base import LockedCircuit, LockingError, LockingScheme
+from ..locking.registry import register_scheme
 from ..netlist.circuit import Circuit
 from ..obs import metrics as _metrics
 from ..obs.spans import trace_span
@@ -75,6 +76,14 @@ class GkRecord:
         return x_net
 
 
+@register_scheme(
+    "gk",
+    description="Glitch Key-gate timing-domain locking (the paper)",
+    tags=("gk-family", "needs-clock", "sequential-only"),
+    key_bits_multiple=2,
+    min_key_bits=2,
+    corruption_domain="timing",
+)
 class GkLock(LockingScheme):
     """Glitch Key-gate logic locking (the paper's contribution).
 
@@ -375,35 +384,24 @@ class GkLock(LockingScheme):
 def scheme_registry(clock: ClockSpec) -> Dict[str, "object"]:
     """Name -> zero-arg factory for every locking scheme in the repo.
 
-    The one authoritative list, shared by the CLI's ``--scheme`` flag
-    and the campaign workers' ``lock``/``attack`` job kinds (which run
-    in separate processes and must resolve names identically).
+    A compatibility view over :mod:`repro.locking.registry` — the one
+    authoritative table, shared by the CLI's ``--scheme`` flag and the
+    campaign workers' ``lock``/``attack`` job kinds (which run in
+    separate processes and must resolve names identically).
     """
-    from ..locking.antisat import AntiSat
-    from ..locking.hybrid import HybridGkXor
-    from ..locking.sarlock import SarLock
-    from ..locking.tdk import TdkLock
-    from ..locking.xor_lock import XorLock
+    from ..locking import registry as _registry
 
     return {
-        "gk": lambda: GkLock(clock),
-        "xor": XorLock,
-        "sarlock": SarLock,
-        "antisat": AntiSat,
-        "tdk": TdkLock,
-        "hybrid": lambda: HybridGkXor(clock),
+        info.name: (lambda info=info: info.build(clock))
+        for info in _registry.scheme_infos()
     }
 
 
 def build_scheme(name: str, clock: ClockSpec) -> LockingScheme:
     """Instantiate the locking scheme registered under *name*."""
-    registry = scheme_registry(clock)
-    try:
-        return registry[name]()
-    except KeyError:
-        raise KeyError(
-            f"unknown scheme {name!r}; choose from {', '.join(registry)}"
-        ) from None
+    from ..locking import registry as _registry
+
+    return _registry.build_scheme(name, clock)
 
 
 def expose_gk_keys(locked: LockedCircuit) -> Circuit:

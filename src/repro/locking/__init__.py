@@ -1,28 +1,52 @@
-"""Logic-locking schemes: the GK baselines and companions."""
+"""Logic-locking schemes: the GK baselines and companions.
+
+Importing this package registers every scheme with
+:mod:`repro.locking.registry` — a new scheme is one module here plus
+one ``@register_scheme`` decorator.
+"""
 
 from .base import LockedCircuit, LockingError, LockingScheme
 from .keys import enumerate_keys, flip_bits, format_key, hamming_distance, random_key
+from .registry import (
+    SchemeInfo,
+    build_scheme,
+    register_scheme,
+    scheme_info,
+    scheme_infos,
+    scheme_names,
+)
 from .xor_lock import XorLock, insert_xor_keygate, lockable_nets
-from .encrypt_ff import po_signatures, rank_groups, select_encrypt_ff_group
+from .encrypt_ff import (
+    EncryptFF,
+    po_signatures,
+    rank_groups,
+    select_encrypt_ff_group,
+)
 from .sarlock import SarLock
 from .antisat import AntiSat
 from .tdk import TdkLock
 from .hybrid import HybridGkXor
 from .compound import CompoundLock
+from .kgate import KGateLock
 from .camouflage import (
     CAMOUFLAGE_CANDIDATES,
     CamouflagedCircuit,
+    CamouflageLock,
     attacker_view,
     camouflage,
     decamouflage_attack,
+    keyed_model,
 )
 
 __all__ = [
     "LockedCircuit", "LockingError", "LockingScheme",
     "enumerate_keys", "flip_bits", "format_key", "hamming_distance", "random_key",
+    "SchemeInfo", "register_scheme", "build_scheme",
+    "scheme_info", "scheme_infos", "scheme_names",
     "XorLock", "insert_xor_keygate", "lockable_nets",
-    "po_signatures", "rank_groups", "select_encrypt_ff_group",
+    "EncryptFF", "po_signatures", "rank_groups", "select_encrypt_ff_group",
     "SarLock", "AntiSat", "TdkLock", "HybridGkXor", "CompoundLock",
-    "CAMOUFLAGE_CANDIDATES", "CamouflagedCircuit", "attacker_view",
-    "camouflage", "decamouflage_attack",
+    "KGateLock",
+    "CAMOUFLAGE_CANDIDATES", "CamouflagedCircuit", "CamouflageLock",
+    "attacker_view", "camouflage", "decamouflage_attack", "keyed_model",
 ]

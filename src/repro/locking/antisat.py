@@ -27,10 +27,18 @@ from typing import Dict, List
 
 from ..netlist.circuit import Circuit
 from .base import LockedCircuit, LockingError, LockingScheme
+from .registry import register_scheme
 
 __all__ = ["AntiSat"]
 
 
+@register_scheme(
+    "antisat",
+    description="Anti-SAT point-function block (Xie & Srivastava)",
+    tags=("point-function",),
+    key_bits_multiple=2,
+    min_key_bits=2,
+)
 class AntiSat(LockingScheme):
     """Append an Anti-SAT block to one primary output."""
 

@@ -27,13 +27,17 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..netlist.circuit import Circuit
 from ..sim.logic import eval_function
+from .base import LockedCircuit, LockingError, LockingScheme
+from .registry import register_scheme
 
 __all__ = [
     "CAMOUFLAGE_CANDIDATES",
     "CamouflagedGate",
     "CamouflagedCircuit",
+    "CamouflageLock",
     "camouflage",
     "attacker_view",
+    "keyed_model",
     "decamouflage_attack",
 ]
 
@@ -143,6 +147,98 @@ def attacker_view(camo: CamouflagedCircuit) -> Circuit:
     return view
 
 
+def keyed_model(
+    source: Circuit, records: Sequence[CamouflagedGate]
+) -> Tuple[Circuit, List[Tuple[CamouflagedGate, str, str]]]:
+    """The standard locking reduction of a camouflaged netlist.
+
+    Each ambiguous cell becomes a 4-way choice among its candidate
+    functions selected by two fresh key bits (``cam{i}_s0``/``_s1``).
+    Returns the keyed circuit plus ``(record, s0, s1)`` selector
+    triples.  Both the SAT de-camouflaging attack and
+    :class:`CamouflageLock` build on this model.
+    """
+    modeled = source.clone(f"{source.name}__model")
+    selectors: List[Tuple[CamouflagedGate, str, str]] = []
+    for i, record in enumerate(records):
+        gate = modeled.gates[record.gate_name]
+        operands = gate.input_nets()
+        output = gate.output
+        modeled.remove_gate(record.gate_name)
+        arms = []
+        for function in record.candidates:
+            out = modeled.new_net("camarm")
+            modeled.add_gate(
+                modeled.new_gate_name("camarm"),
+                modeled.library.cheapest(function).name,
+                {"A": operands[0], "B": operands[1]},
+                out,
+            )
+            arms.append(out)
+        s0 = modeled.add_key_input(f"cam{i}_s0")
+        s1 = modeled.add_key_input(f"cam{i}_s1")
+        modeled.add_gate(
+            modeled.new_gate_name("cammux"),
+            modeled.library.cheapest("MUX4").name,
+            {"A": arms[0], "B": arms[1], "C": arms[2], "D": arms[3],
+             "S0": s0, "S1": s1},
+            output,
+        )
+        selectors.append((record, s0, s1))
+    modeled.validate()
+    return modeled, selectors
+
+
+@register_scheme(
+    "camouflage",
+    description="look-alike cells via the keyed MUX4 reduction",
+    key_bits_multiple=2,
+    min_key_bits=2,
+)
+class CamouflageLock(LockingScheme):
+    """Camouflaging cast as a locking scheme (two key bits per cell).
+
+    The locked circuit is the keyed reduction of the camouflaged
+    netlist: each hidden cell's candidate arms behind a MUX4 whose
+    select bits are key inputs.  The correct key picks the true
+    function everywhere, so this slots camouflaging straight into the
+    scheme x attack arena alongside the key-based schemes.
+    """
+
+    name = "camouflage"
+
+    def lock(
+        self, circuit: Circuit, num_key_bits: int, rng: random.Random
+    ) -> LockedCircuit:
+        if num_key_bits < 2 or num_key_bits % 2:
+            raise LockingError(
+                "each camouflaged cell uses 2 key bits; width must be even"
+            )
+        try:
+            camo = camouflage(circuit, num_key_bits // 2, rng)
+        except ValueError as exc:
+            raise LockingError(str(exc)) from None
+        modeled, selectors = keyed_model(attacker_view(camo), camo.gates)
+        modeled.name = f"{circuit.name}__camouflage{num_key_bits}"
+        key: Dict[str, int] = {}
+        for record, s0, s1 in selectors:
+            index = record.candidates.index(record.true_function)
+            key[s0] = index & 1
+            key[s1] = (index >> 1) & 1
+        return LockedCircuit(
+            circuit=modeled,
+            original=circuit,
+            key=key,
+            scheme=self.name,
+            metadata={
+                "camouflaged_gates": [
+                    {"gate": r.gate_name, "candidates": list(r.candidates)}
+                    for r in camo.gates
+                ],
+            },
+        )
+
+
 @dataclass
 class DecamouflageResult:
     resolved: Dict[str, str] = field(default_factory=dict)  # gate -> function
@@ -169,35 +265,7 @@ def decamouflage_attack(
     from ..attacks.oracle import CombinationalOracle
     from ..attacks.sat_attack import sat_attack
 
-    view = attacker_view(camo)
-    modeled = view.clone(f"{view.name}__model")
-    selectors: List[Tuple[CamouflagedGate, str, str]] = []
-    for i, record in enumerate(camo.gates):
-        gate = modeled.gates[record.gate_name]
-        operands = gate.input_nets()
-        output = gate.output
-        modeled.remove_gate(record.gate_name)
-        arms = []
-        for function in record.candidates:
-            out = modeled.new_net("camarm")
-            modeled.add_gate(
-                modeled.new_gate_name("camarm"),
-                modeled.library.cheapest(function).name,
-                {"A": operands[0], "B": operands[1]},
-                out,
-            )
-            arms.append(out)
-        s0 = modeled.add_key_input(f"cam{i}_s0")
-        s1 = modeled.add_key_input(f"cam{i}_s1")
-        modeled.add_gate(
-            modeled.new_gate_name("cammux"),
-            modeled.library.cheapest("MUX4").name,
-            {"A": arms[0], "B": arms[1], "C": arms[2], "D": arms[3],
-             "S0": s0, "S1": s1},
-            output,
-        )
-        selectors.append((record, s0, s1))
-    modeled.validate()
+    modeled, selectors = keyed_model(attacker_view(camo), camo.gates)
 
     oracle = CombinationalOracle(camo.original)
     attack = sat_attack(modeled, oracle, max_iterations=max_iterations)

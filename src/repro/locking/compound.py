@@ -18,6 +18,7 @@ from typing import Dict, List, Sequence, Tuple
 
 from ..netlist.circuit import Circuit
 from .base import LockedCircuit, LockingError, LockingScheme
+from .registry import register_scheme
 
 __all__ = ["CompoundLock"]
 
@@ -59,7 +60,7 @@ class CompoundLock(LockingScheme):
             stages.append((scheme.name, width))
             metadata[f"stage:{scheme.name}"] = stage.metadata
             current = stage.circuit
-        current.name = f"{circuit.name}__{self.name}{num_key_bits}"
+        current.name = f"{circuit.name}__compound{num_key_bits}"
         locked = LockedCircuit(
             circuit=current,
             original=circuit,
@@ -69,3 +70,16 @@ class CompoundLock(LockingScheme):
         )
         assert locked.key_size == num_key_bits
         return locked
+
+
+@register_scheme(
+    "compound",
+    description="XOR + SARLock compound (corruption + SAT resistance)",
+    tags=("point-function",),
+    min_key_bits=2,
+)
+def _build_compound(clock=None):
+    from .sarlock import SarLock
+    from .xor_lock import XorLock
+
+    return CompoundLock([XorLock(), SarLock()])

@@ -26,11 +26,20 @@ from ..netlist.circuit import Circuit
 from ..sta.clock import ClockSpec
 from ..sta.timing import analyze
 from .base import LockedCircuit, LockingError, LockingScheme
+from .registry import register_scheme
 from .xor_lock import insert_xor_keygate, lockable_nets
 
 __all__ = ["HybridGkXor"]
 
 
+@register_scheme(
+    "hybrid",
+    description="hybrid GK + XOR key-gates in the GK cones (Sec. VI)",
+    tags=("gk-family", "needs-clock", "sequential-only"),
+    key_bits_multiple=4,
+    min_key_bits=4,
+    corruption_domain="timing",
+)
 class HybridGkXor(LockingScheme):
     """Half the key bits drive GKs, half drive XOR gates in their cones."""
 

@@ -1,0 +1,99 @@
+"""K-Gate-style input-encoding multi-key lock (cf. arXiv:2501.02118).
+
+K-Gate Lock encodes locked inputs with keyed gates such that *several*
+key assignments unlock the design: the secret is an equivalence class,
+not a single vector, which defeats attacks that assume key uniqueness.
+
+Our single-file rendition pairs key bits: each pair ``(k1, k2)``
+splices ``net -> net XOR (k1 XOR k2)`` into a random internal net, so
+any assignment with ``k1 == k2`` (00 or 11 per pair) is correct.
+``LockedCircuit.key`` records the all-zeros canonical member.
+
+This module doubles as the registry's extensibility proof: one file,
+one :func:`~repro.locking.registry.register_scheme` decorator, and the
+scheme appears in ``repro list``, every CLI ``choices=``, and arena
+scenarios with no integration-layer edits.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from ..netlist.circuit import Circuit
+from .base import LockedCircuit, LockingError, LockingScheme
+from .registry import register_scheme
+
+__all__ = ["KGateLock"]
+
+
+@register_scheme(
+    "kgate",
+    description="input-encoding lock with multiple correct keys",
+    tags=("multi-key",),
+    key_bits_multiple=2,
+    min_key_bits=2,
+)
+class KGateLock(LockingScheme):
+    """Pairs of key bits gate a net through ``XOR(k1, k2)``.
+
+    Correct iff the pair agrees — a 2^(bits/2)-member unlocking class.
+    """
+
+    name = "kgate"
+
+    def lock(
+        self, circuit: Circuit, num_key_bits: int, rng: random.Random
+    ) -> LockedCircuit:
+        if num_key_bits < 2 or num_key_bits % 2:
+            raise LockingError(
+                "each K-Gate uses a key-bit pair; width must be even"
+            )
+        from .xor_lock import lockable_nets
+
+        locked = circuit.clone(f"{circuit.name}__kgate{num_key_bits}")
+        pairs = num_key_bits // 2
+        candidates = lockable_nets(locked)
+        if len(candidates) < pairs:
+            raise LockingError(
+                f"only {len(candidates)} lockable nets for {pairs} K-Gates"
+            )
+        sites = rng.sample(candidates, pairs)
+
+        key: Dict[str, int] = {}
+        gates: List[Dict[str, str]] = []
+        for i, net in enumerate(sites):
+            k1 = locked.add_key_input(f"keyin_kg{i}a")
+            k2 = locked.add_key_input(f"keyin_kg{i}b")
+            # Canonical key member: both zero (11 unlocks identically).
+            key[k1] = 0
+            key[k2] = 0
+            mask = locked.new_net("kgmask")
+            mask_gate = locked.new_gate_name("kgm")
+            locked.add_gate(
+                mask_gate,
+                locked.library.cheapest("XOR2").name,
+                {"A": k1, "B": k2},
+                mask,
+            )
+            out = locked.new_net("kglk")
+            gate_name = locked.new_gate_name("kg")
+            locked.rewire_sinks(net, out)
+            locked.add_gate(
+                gate_name,
+                locked.library.cheapest("XOR2").name,
+                {"A": net, "B": mask},
+                out,
+            )
+            gates.append(
+                {"gate": gate_name, "mask": mask_gate, "net": net,
+                 "keys": f"{k1},{k2}"}
+            )
+        locked.validate()
+        return LockedCircuit(
+            circuit=locked,
+            original=circuit,
+            key=key,
+            scheme=self.name,
+            metadata={"key_gates": gates, "keys_per_gate": 2},
+        )

@@ -1,0 +1,172 @@
+"""The locking-scheme registry: one decorator, one authoritative list.
+
+Every scheme in the repo registers itself here with
+:func:`register_scheme`; the CLI's ``--scheme`` choices, the campaign
+workers' ``lock``/``attack`` job kinds, and the arena's scenario
+validation all read the same table, so a new scheme is one file plus
+one decorator — nothing in the integration layer changes, and the CLI
+can never drift out of sync with the library again.
+
+Capability tags drive the arena's scheme x attack compatibility
+matrix (see :func:`repro.attacks.registry.incompatibility`):
+
+* ``gk-family``        — the scheme records GK structures in
+  ``metadata["gks"]``; GK-specific attacks (enhanced removal, scan)
+  apply, and SAT-style attacks go through the exposed-key view.
+* ``needs-clock``      — the factory needs the design's
+  :class:`~repro.sta.clock.ClockSpec` (timing-driven insertion).
+* ``sequential-only``  — locking targets flip-flops; combinational
+  benchmarks are incompatible.
+* ``point-function``   — SAT-resistance via a point function (SARLock,
+  Anti-SAT): low corruption, removal-attack food.
+* ``multi-key``        — several key assignments are equally correct
+  (K-Gate-style input encoding); ``LockedCircuit.key`` is one
+  canonical choice.
+
+``corruption_domain`` records where a wrong key's damage shows up:
+``"boolean"`` schemes corrupt the combinational function; ``"timing"``
+schemes (the GK) corrupt only the timing-accurate chip, which is why
+Boolean equivalence under a wrong GK key still holds — the paper's
+central claim, and the property the cross-scheme test suite pins.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING, Callable, Dict, FrozenSet, List, Optional, Tuple,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sta.clock import ClockSpec
+    from .base import LockingScheme
+
+__all__ = [
+    "SchemeInfo",
+    "register_scheme",
+    "scheme_names",
+    "scheme_info",
+    "scheme_infos",
+    "build_scheme",
+    "ensure_schemes_loaded",
+]
+
+#: Modules whose import registers schemes.  ``repro.locking`` pulls in
+#: every scheme module of the package; ``repro.core.flow`` carries the
+#: GK flow itself.  A scheme living in a new file registers by being
+#: imported from ``repro.locking.__init__`` like its siblings.
+_PROVIDERS: Tuple[str, ...] = ("repro.locking", "repro.core.flow")
+
+_SCHEMES: Dict[str, "SchemeInfo"] = {}
+_LOADED = False
+
+
+@dataclass(frozen=True)
+class SchemeInfo:
+    """Registry entry: how to build a scheme and what it is like."""
+
+    name: str
+    factory: Callable[[Optional["ClockSpec"]], "LockingScheme"]
+    description: str = ""
+    tags: FrozenSet[str] = field(default_factory=frozenset)
+    #: key widths must be a positive multiple of this
+    key_bits_multiple: int = 1
+    min_key_bits: int = 1
+    #: where wrong-key corruption manifests: "boolean" or "timing"
+    corruption_domain: str = "boolean"
+
+    def build(self, clock: Optional["ClockSpec"] = None) -> "LockingScheme":
+        """Instantiate the scheme (supplying *clock* when it needs one)."""
+        if "needs-clock" in self.tags and clock is None:
+            raise ValueError(f"scheme {self.name!r} needs a ClockSpec")
+        return self.factory(clock)
+
+    def supports_key_bits(self, key_bits: int) -> Optional[str]:
+        """None if *key_bits* is a legal width, else the reason it isn't."""
+        if key_bits < self.min_key_bits:
+            return (f"scheme {self.name!r} needs >= {self.min_key_bits} "
+                    f"key bits")
+        if key_bits % self.key_bits_multiple:
+            return (f"scheme {self.name!r} needs a multiple of "
+                    f"{self.key_bits_multiple} key bits")
+        return None
+
+
+def register_scheme(
+    name: str,
+    *,
+    description: str = "",
+    tags: Tuple[str, ...] = (),
+    key_bits_multiple: int = 1,
+    min_key_bits: int = 1,
+    corruption_domain: str = "boolean",
+):
+    """Class/factory decorator adding one scheme to the registry.
+
+    Decorate a :class:`~repro.locking.base.LockingScheme` subclass
+    (instantiated with no arguments, or with the clock when tagged
+    ``needs-clock``) or a factory function taking the optional clock.
+    """
+
+    def decorator(target):
+        if isinstance(target, type):
+            if "needs-clock" in tags:
+                factory = lambda clock: target(clock)  # noqa: E731
+            else:
+                factory = lambda clock: target()  # noqa: E731
+        else:
+            factory = target
+        if name in _SCHEMES:
+            raise ValueError(f"scheme {name!r} registered twice")
+        _SCHEMES[name] = SchemeInfo(
+            name=name,
+            factory=factory,
+            description=description,
+            tags=frozenset(tags),
+            key_bits_multiple=key_bits_multiple,
+            min_key_bits=min_key_bits,
+            corruption_domain=corruption_domain,
+        )
+        return target
+
+    return decorator
+
+
+def ensure_schemes_loaded() -> None:
+    """Import every provider module once, filling the registry."""
+    global _LOADED
+    if _LOADED:
+        return
+    _LOADED = True
+    for module in _PROVIDERS:
+        importlib.import_module(module)
+
+
+def scheme_names() -> List[str]:
+    """Registered scheme names, sorted (the one authoritative list)."""
+    ensure_schemes_loaded()
+    return sorted(_SCHEMES)
+
+
+def scheme_info(name: str) -> SchemeInfo:
+    ensure_schemes_loaded()
+    try:
+        return _SCHEMES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scheme {name!r}; choose from "
+            f"{', '.join(sorted(_SCHEMES))}"
+        ) from None
+
+
+def scheme_infos() -> List[SchemeInfo]:
+    ensure_schemes_loaded()
+    return [_SCHEMES[name] for name in sorted(_SCHEMES)]
+
+
+def build_scheme(
+    name: str, clock: Optional["ClockSpec"] = None
+) -> "LockingScheme":
+    """Instantiate the scheme registered under *name*."""
+    return scheme_info(name).build(clock)

@@ -23,10 +23,16 @@ from typing import Dict, List
 
 from ..netlist.circuit import Circuit
 from .base import LockedCircuit, LockingError, LockingScheme
+from .registry import register_scheme
 
 __all__ = ["SarLock"]
 
 
+@register_scheme(
+    "sarlock",
+    description="SARLock point-function SAT mitigation",
+    tags=("point-function",),
+)
 class SarLock(LockingScheme):
     """Append a SARLock comparator to one primary output."""
 

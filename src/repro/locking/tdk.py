@@ -24,10 +24,19 @@ from typing import Dict, List, Optional, Sequence
 from ..netlist.circuit import Circuit
 from ..synth.delay_synthesis import insert_delay_chain
 from .base import LockedCircuit, LockingError, LockingScheme
+from .registry import register_scheme
 
 __all__ = ["TdkLock"]
 
 
+@register_scheme(
+    "tdk",
+    description="Tunable Delay Key-gate delay locking (Xie et al.)",
+    tags=("sequential-only", "delay-based"),
+    key_bits_multiple=2,
+    min_key_bits=2,
+    corruption_domain="timing",
+)
 class TdkLock(LockingScheme):
     """Insert TDKs at flip-flop data inputs.
 

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..netlist.circuit import Circuit
 from .base import LockedCircuit, LockingError, LockingScheme
+from .registry import register_scheme
 
 __all__ = ["XorLock", "lockable_nets"]
 
@@ -58,6 +59,10 @@ def insert_xor_keygate(
     return gate_name
 
 
+@register_scheme(
+    "xor",
+    description="random XOR/XNOR key-gate insertion (EPIC-style)",
+)
 class XorLock(LockingScheme):
     """Random XOR/XNOR key-gate insertion.
 

@@ -16,6 +16,12 @@ from .corruption import (
     sequential_corruption,
 )
 from .activity import ActivityReport, switching_activity
+from .leaderboard import (
+    LeaderboardRow,
+    build_leaderboard,
+    format_leaderboard,
+    leaderboard_markdown,
+)
 from .summary import reproduce
 from .figures import (
     Figure,
@@ -30,6 +36,8 @@ __all__ = [
     "format_table1", "format_table2", "table1_row", "table2_row",
     "CorruptionReport", "combinational_corruption", "sequential_corruption",
     "ActivityReport", "switching_activity",
+    "LeaderboardRow", "build_leaderboard", "format_leaderboard",
+    "leaderboard_markdown",
     "reproduce",
     "Figure", "figure4_gk_waveform", "figure6_keygen_waveform",
     "figure7_scenarios", "figure9_trigger_windows",

@@ -1,0 +1,173 @@
+"""Arena leaderboard: scheme x attack aggregates, table and markdown.
+
+Built *only* from cell payload data (the cached
+:class:`~repro.attacks.outcome.AttackOutcome` dicts and the skip
+list), with fixed sort order and fixed float formatting — so a resumed
+arena run renders a leaderboard byte-identical to an uninterrupted
+one: the payloads replay from the store/cache, and nothing
+run-dependent (timestamps, worker counts, completion order) enters the
+text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..arena.runner import ArenaResult
+
+__all__ = [
+    "LeaderboardRow",
+    "build_leaderboard",
+    "format_leaderboard",
+    "leaderboard_markdown",
+]
+
+
+@dataclass(frozen=True)
+class LeaderboardRow:
+    """Aggregate of one (scheme, attack) pair across its cells."""
+
+    scheme: str
+    attack: str
+    cells: int
+    errors: int
+    #: cells where the attack's own success predicate held
+    successes: int
+    #: cells whose recovered key equivalence-checked correct
+    recovered: int
+    mean_queries: Optional[float]
+    mean_wall: Optional[float]
+    mean_corruption: Optional[float]
+
+    @property
+    def recovery_rate(self) -> Optional[float]:
+        scored = self.cells - self.errors
+        return self.recovered / scored if scored else None
+
+    @property
+    def success_rate(self) -> Optional[float]:
+        scored = self.cells - self.errors
+        return self.successes / scored if scored else None
+
+
+def _mean(values: Sequence[float]) -> Optional[float]:
+    return sum(values) / len(values) if values else None
+
+
+def build_leaderboard(result: "ArenaResult") -> List[LeaderboardRow]:
+    """Aggregate outcomes per (scheme, attack), sorted by recovery rate
+    descending (strongest attack first), then name."""
+    groups: Dict[Tuple[str, str], List[Optional[Mapping[str, Any]]]] = {}
+    for cell, outcome in result.outcomes():
+        groups.setdefault((cell.scheme, cell.attack), []).append(outcome)
+
+    rows: List[LeaderboardRow] = []
+    for (scheme, attack), outcomes in groups.items():
+        scored = [o for o in outcomes if o is not None]
+        rows.append(
+            LeaderboardRow(
+                scheme=scheme,
+                attack=attack,
+                cells=len(outcomes),
+                errors=len(outcomes) - len(scored),
+                successes=sum(1 for o in scored if o.get("success")),
+                recovered=sum(1 for o in scored if o.get("key_correct")),
+                mean_queries=_mean(
+                    [float(o.get("oracle_queries", 0)) for o in scored]
+                ),
+                mean_wall=_mean(
+                    [float(o.get("wall_time", 0.0)) for o in scored]
+                ),
+                mean_corruption=_mean(
+                    [
+                        float(o["corruption"])
+                        for o in scored
+                        if o.get("corruption") is not None
+                    ]
+                ),
+            )
+        )
+    rows.sort(
+        key=lambda row: (
+            -(row.recovery_rate if row.recovery_rate is not None else -1.0),
+            row.scheme,
+            row.attack,
+        )
+    )
+    return rows
+
+
+def _fmt_rate(value: Optional[float]) -> str:
+    return "-" if value is None else f"{value * 100.0:.0f}%"
+
+
+def _fmt_float(value: Optional[float], digits: int = 2) -> str:
+    return "-" if value is None else f"{value:.{digits}f}"
+
+
+def format_leaderboard(result: "ArenaResult") -> str:
+    """Fixed-width leaderboard plus the explicit skip list."""
+    rows = build_leaderboard(result)
+    lines = [
+        f"arena: {result.scenario.name} — "
+        f"{len(result.cells)} cells run, {len(result.skipped)} skipped",
+        "",
+        f"{'scheme':<12}{'attack':<18}{'cells':>6}{'err':>5}"
+        f"{'success':>9}{'recov.':>8}{'queries':>9}{'wall(s)':>9}"
+        f"{'corrupt':>9}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.scheme:<12}{row.attack:<18}{row.cells:>6}"
+            f"{row.errors:>5}{_fmt_rate(row.success_rate):>9}"
+            f"{_fmt_rate(row.recovery_rate):>8}"
+            f"{_fmt_float(row.mean_queries, 1):>9}"
+            f"{_fmt_float(row.mean_wall):>9}"
+            f"{_fmt_float(row.mean_corruption, 3):>9}"
+        )
+    if result.skipped:
+        lines.append("")
+        lines.append("skipped cells:")
+        for cell, reason in result.skipped:
+            lines.append(f"  {cell.describe()}: {reason}")
+    if result.expectation_failures:
+        lines.append("")
+        lines.append("FAILED expectations:")
+        for cell, problem in result.expectation_failures:
+            lines.append(f"  {cell.describe()}: {problem}")
+    return "\n".join(lines)
+
+
+def leaderboard_markdown(result: "ArenaResult") -> str:
+    """The same leaderboard as a GitHub-flavored markdown document."""
+    rows = build_leaderboard(result)
+    lines = [
+        f"# Arena leaderboard: {result.scenario.name}",
+        "",
+        f"{len(result.cells)} cells run, {len(result.skipped)} skipped.",
+        "",
+        "| scheme | attack | cells | errors | success | recovery "
+        "| mean queries | mean wall (s) | mean corruption |",
+        "|---|---|---:|---:|---:|---:|---:|---:|---:|",
+    ]
+    for row in rows:
+        lines.append(
+            f"| {row.scheme} | {row.attack} | {row.cells} | {row.errors} "
+            f"| {_fmt_rate(row.success_rate)} "
+            f"| {_fmt_rate(row.recovery_rate)} "
+            f"| {_fmt_float(row.mean_queries, 1)} "
+            f"| {_fmt_float(row.mean_wall)} "
+            f"| {_fmt_float(row.mean_corruption, 3)} |"
+        )
+    if result.skipped:
+        lines.extend(["", "## Skipped cells", ""])
+        for cell, reason in result.skipped:
+            lines.append(f"- `{cell.describe()}` — {reason}")
+    if result.expectation_failures:
+        lines.extend(["", "## Failed expectations", ""])
+        for cell, problem in result.expectation_failures:
+            lines.append(f"- `{cell.describe()}` — {problem}")
+    lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,132 @@
+"""End-to-end arena tests: campaign execution, expectations, and the
+kill / ``--resume`` / byte-identical-leaderboard guarantee."""
+
+import pytest
+
+from repro.arena import Scenario, run_arena
+from repro.campaign import CampaignConfig
+from repro.reporting.leaderboard import (
+    build_leaderboard,
+    format_leaderboard,
+    leaderboard_markdown,
+)
+
+# All-fast cells: the removal attack finishes in milliseconds.
+SCENARIO = {
+    "name": "unit",
+    "schemes": ["xor", "sarlock"],
+    "attacks": ["removal", "scan"],
+    "key_bits": [4],
+    "seeds": [1, 2],
+    "expectations": [
+        {"where": {"scheme": "sarlock", "attack": "removal"},
+         "expect": {"success": True, "completed": True}},
+    ],
+}
+
+
+def config(tmp_path, store="store.jsonl", resume=False):
+    return CampaignConfig(
+        jobs=1,
+        cache_dir=str(tmp_path / "cache"),
+        store_path=str(tmp_path / store),
+        resume=resume,
+    )
+
+
+class TestRunArena:
+    def test_runs_all_runnable_cells(self, tmp_path):
+        result = run_arena(
+            Scenario.from_dict(SCENARIO), config(tmp_path)
+        )
+        assert result.ok
+        # 2 schemes x 2 seeds for removal; scan skipped on both schemes.
+        assert len(result.cells) == 4
+        assert len(result.skipped) == 4
+        assert all(
+            outcome is not None for _cell, outcome in result.outcomes()
+        )
+
+    def test_failed_expectation_fails_the_run(self, tmp_path):
+        data = dict(SCENARIO)
+        data["expectations"] = [
+            {"where": {"scheme": "xor", "attack": "removal"},
+             "expect": {"success": True}},  # removal can't beat XOR
+        ]
+        result = run_arena(Scenario.from_dict(data), config(tmp_path))
+        assert result.campaign.ok
+        assert not result.ok
+        assert result.expectation_failures
+        text = format_leaderboard(result)
+        assert "FAILED expectations" in text
+
+    def test_leaderboard_lists_rows_and_skips(self, tmp_path):
+        result = run_arena(
+            Scenario.from_dict(SCENARIO), config(tmp_path)
+        )
+        rows = build_leaderboard(result)
+        assert {(row.scheme, row.attack) for row in rows} == {
+            ("xor", "removal"), ("sarlock", "removal")
+        }
+        text = format_leaderboard(result)
+        assert "skipped cells:" in text
+        assert "inserts none" in text
+        markdown = leaderboard_markdown(result)
+        assert "| scheme |" in markdown
+        assert "## Skipped cells" in markdown
+
+
+class TestResume:
+    def test_killed_then_resumed_leaderboard_is_byte_identical(
+        self, tmp_path
+    ):
+        """Kill after two cells, ``--resume``, compare against an
+        uninterrupted run sharing the content-addressed cache: the
+        replayed payloads (wall times included) must render the exact
+        same bytes."""
+        scenario = Scenario.from_dict(SCENARIO)
+
+        class Kill(RuntimeError):
+            pass
+
+        landed = []
+
+        def die_after_two(record):
+            landed.append(record)
+            if len(landed) == 2:
+                raise Kill()
+
+        with pytest.raises(Kill):
+            run_arena(
+                scenario, config(tmp_path, "killed.jsonl"),
+                progress=die_after_two,
+            )
+        # The kill left a partial store behind: two finalized records.
+        store = tmp_path / "killed.jsonl"
+        assert len(store.read_text().splitlines()) == 2
+
+        resumed = run_arena(
+            scenario, config(tmp_path, "killed.jsonl", resume=True)
+        )
+        assert resumed.ok
+        assert resumed.campaign.resumed == 2
+
+        uninterrupted = run_arena(
+            scenario, config(tmp_path, "fresh.jsonl")
+        )
+        assert uninterrupted.ok
+
+        assert format_leaderboard(resumed) == format_leaderboard(
+            uninterrupted
+        )
+        assert leaderboard_markdown(resumed) == leaderboard_markdown(
+            uninterrupted
+        )
+
+    def test_resume_skips_completed_cells(self, tmp_path):
+        scenario = Scenario.from_dict(SCENARIO)
+        first = run_arena(scenario, config(tmp_path))
+        assert first.campaign.resumed == 0
+        again = run_arena(scenario, config(tmp_path, resume=True))
+        assert again.campaign.resumed == len(first.cells)
+        assert format_leaderboard(again) == format_leaderboard(first)

@@ -1,0 +1,89 @@
+"""Tests for the K-Gate-style multi-key scheme (the registry's
+extensibility proof: one file + one decorator, visible everywhere)."""
+
+import random
+
+import pytest
+
+from repro.locking import KGateLock, LockingError
+from repro.locking.registry import scheme_info, scheme_names
+from repro.netlist.equivalence import check_equivalence
+
+
+@pytest.fixture()
+def locked(toy_sequential, rng):
+    return KGateLock().lock(toy_sequential, 4, rng)
+
+
+class TestStructure:
+    def test_two_bits_per_gate(self, locked):
+        assert locked.key_size == 4
+        assert len(locked.metadata["key_gates"]) == 2
+        assert locked.metadata["keys_per_gate"] == 2
+
+    def test_canonical_key_all_zeros(self, locked):
+        assert set(locked.key.values()) == {0}
+
+    def test_odd_width_rejected(self, toy_sequential, rng):
+        with pytest.raises(LockingError, match="even"):
+            KGateLock().lock(toy_sequential, 3, rng)
+
+    def test_insufficient_sites_rejected(self, toy_sequential, rng):
+        with pytest.raises(LockingError, match="lockable nets"):
+            KGateLock().lock(toy_sequential, 64, rng)
+
+
+class TestMultiKeySemantics:
+    def test_canonical_key_unlocks(self, toy_sequential, locked):
+        assert check_equivalence(
+            toy_sequential, locked.circuit, key_b=locked.key
+        ).equivalent
+
+    def test_agreeing_pair_also_unlocks(self, toy_sequential, locked):
+        """Flipping BOTH bits of a pair lands on another class member."""
+        k1, k2 = locked.metadata["key_gates"][0]["keys"].split(",")
+        other = dict(locked.key, **{k1: 1, k2: 1})
+        assert other != locked.key
+        assert check_equivalence(
+            toy_sequential, locked.circuit, key_b=other
+        ).equivalent
+
+    def test_disagreeing_pair_corrupts(self, toy_sequential, locked):
+        """Flipping ONE bit of a pair leaves the unlocking class."""
+        k1, _k2 = locked.metadata["key_gates"][0]["keys"].split(",")
+        wrong = dict(locked.key, **{k1: 1})
+        assert not check_equivalence(
+            toy_sequential, locked.circuit, key_b=wrong
+        ).equivalent
+
+    def test_full_unlocking_class(self, toy_sequential, rng):
+        """Every member of the 2^(pairs) class unlocks: 4 keys at w=4."""
+        locked = KGateLock().lock(toy_sequential, 4, rng)
+        pairs = [
+            record["keys"].split(",")
+            for record in locked.metadata["key_gates"]
+        ]
+        for bits in ((0, 0), (0, 1), (1, 0), (1, 1)):
+            key = {}
+            for (k1, k2), bit in zip(pairs, bits):
+                key[k1] = key[k2] = bit
+            assert check_equivalence(
+                toy_sequential, locked.circuit, key_b=key
+            ).equivalent
+
+
+class TestRegistration:
+    def test_registered_with_multi_key_tag(self):
+        assert "kgate" in scheme_names()
+        info = scheme_info("kgate")
+        assert "multi-key" in info.tags
+        assert info.key_bits_multiple == 2
+
+    def test_visible_in_arena_scenarios(self):
+        from repro.arena import Scenario
+
+        scenario = Scenario.from_dict(
+            {"schemes": ["kgate"], "attacks": ["removal"]}
+        )
+        runnable, skipped = scenario.cells()
+        assert runnable and not skipped

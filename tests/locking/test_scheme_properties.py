@@ -1,0 +1,131 @@
+"""Cross-scheme property suite, driven entirely by the registry.
+
+Every registered scheme — current and future — is held to the locking
+contract on a small sequential rig:
+
+* the correct key restores the original behavior (Boolean equivalence
+  for ``corruption_domain == "boolean"`` schemes, cycle-accurate
+  timing simulation for ``"timing"`` ones), and
+* wrong keys corrupt in the scheme's declared domain (at least one
+  sampled wrong key breaks equivalence, resp. the timing-level
+  corruption rate is positive — an *existence* property, because
+  point-function and multi-key schemes legitimately leave many wrong
+  keys harmless).
+
+A new ``@register_scheme`` is pulled into this suite automatically;
+there is nothing to update here.
+"""
+
+import random
+
+import pytest
+
+from repro.locking.registry import scheme_infos, scheme_names
+from repro.netlist import Builder
+from repro.netlist.equivalence import check_equivalence
+from repro.reporting.corruption import sequential_corruption
+from repro.sim.harness import compare_with_original, random_input_sequence
+from repro.sta import ClockSpec
+
+CLOCK = ClockSpec(period=3.0)
+
+
+def build_rig(name="rig"):
+    """4 PIs, 4 FFs, a dozen gates: enough sites for every scheme."""
+    b = Builder(name)
+    b.clock("clk")
+    a, bb, c, d = b.inputs("a", "b", "c", "d")
+    q = [b.circuit.new_net(f"q{i}") for i in range(4)]
+    d0 = b.xor(a, q[1])
+    d1 = b.nand2(bb, q[0])
+    d2 = b.and2(b.or2(c, q[3]), a)
+    d3 = b.xor(b.and2(d, q[2]), bb)
+    for i, dn in enumerate((d0, d1, d2, d3)):
+        b.dff(dn, out=q[i], name=f"ff{i}")
+    b.po(b.or2(q[0], q[1]), "y0")
+    b.po(b.xor(q[2], q[3]), "y1")
+    b.po(b.and2(q[0], q[3]), "y2")
+    b.circuit.validate()
+    return b.circuit
+
+
+def smallest_width(info):
+    """The smallest key width >= 2 the scheme accepts."""
+    width = max(2, info.min_key_bits)
+    if width % info.key_bits_multiple:
+        width += info.key_bits_multiple - width % info.key_bits_multiple
+    return width
+
+
+@pytest.fixture(scope="module")
+def rig():
+    return build_rig()
+
+
+@pytest.fixture(scope="module")
+def locked_rigs(rig):
+    """Every scheme locked once on the shared rig (module-cached)."""
+    out = {}
+    for info in scheme_infos():
+        scheme = info.build(CLOCK)
+        out[info.name] = (
+            info,
+            scheme.lock(rig, smallest_width(info), random.Random(11)),
+        )
+    return out
+
+
+@pytest.mark.parametrize("name", scheme_names())
+class TestCorrectKey:
+    def test_correct_key_restores_function(self, name, rig, locked_rigs):
+        info, locked = locked_rigs[name]
+        if info.corruption_domain == "boolean":
+            assert check_equivalence(
+                rig, locked.circuit, key_b=locked.key
+            ).equivalent
+        else:
+            seq = random_input_sequence(rig, 8, random.Random(21))
+            result = compare_with_original(
+                rig, locked.circuit, CLOCK.period, seq, locked.key
+            )
+            assert result.mismatch_count == 0
+            assert result.violations == 0
+
+
+@pytest.mark.parametrize("name", scheme_names())
+class TestWrongKey:
+    def test_some_wrong_key_corrupts(self, name, rig, locked_rigs):
+        info, locked = locked_rigs[name]
+        if info.corruption_domain == "boolean":
+            rng = random.Random(13)
+            corrupting = sum(
+                not check_equivalence(
+                    rig, locked.circuit,
+                    key_b=locked.random_wrong_key(rng),
+                ).equivalent
+                for _ in range(8)
+            )
+            assert corrupting > 0, (
+                f"{name}: no sampled wrong key broke equivalence"
+            )
+        else:
+            report = sequential_corruption(
+                locked, CLOCK.period, wrong_keys=4, cycles=8,
+                rng=random.Random(23),
+            )
+            assert report.rate > 0, (
+                f"{name}: wrong keys caused no timing-level corruption"
+            )
+
+
+@pytest.mark.parametrize("name", scheme_names())
+class TestInterface:
+    def test_key_width_honored(self, name, locked_rigs):
+        info, locked = locked_rigs[name]
+        assert locked.key_size == smallest_width(info)
+        assert set(locked.key) == set(locked.circuit.key_inputs)
+
+    def test_original_preserved(self, name, rig, locked_rigs):
+        _info, locked = locked_rigs[name]
+        assert locked.original is rig
+        assert not rig.key_inputs

@@ -1,0 +1,79 @@
+"""Tests for the locking-scheme registry."""
+
+import pytest
+
+from repro.locking.registry import (
+    SchemeInfo,
+    build_scheme,
+    register_scheme,
+    scheme_info,
+    scheme_infos,
+    scheme_names,
+)
+from repro.sta import ClockSpec
+
+
+class TestNames:
+    def test_sorted_and_complete(self):
+        names = scheme_names()
+        assert names == sorted(names)
+        # The core families every harness must reach.
+        for expected in ("gk", "xor", "sarlock", "antisat", "tdk",
+                         "hybrid", "camouflage", "encrypt_ff", "compound",
+                         "kgate"):
+            assert expected in names
+
+    def test_infos_align_with_names(self):
+        assert [info.name for info in scheme_infos()] == scheme_names()
+
+    def test_every_scheme_described(self):
+        for info in scheme_infos():
+            assert info.description, f"{info.name} lacks a description"
+            assert info.corruption_domain in ("boolean", "timing")
+
+
+class TestLookup:
+    def test_unknown_scheme_names_the_choices(self):
+        with pytest.raises(KeyError, match="choose from"):
+            scheme_info("rot13")
+
+    def test_build_unknown_scheme(self):
+        with pytest.raises(KeyError, match="rot13"):
+            build_scheme("rot13")
+
+    def test_needs_clock_enforced(self):
+        with pytest.raises(ValueError, match="ClockSpec"):
+            build_scheme("gk", None)
+
+    def test_every_scheme_buildable_with_clock(self):
+        clock = ClockSpec(period=3.0)
+        for info in scheme_infos():
+            scheme = info.build(clock)
+            assert hasattr(scheme, "lock")
+
+
+class TestKeyWidths:
+    def test_multiple_of_constraint(self):
+        info = scheme_info("gk")
+        assert info.supports_key_bits(4) is None
+        assert "multiple" in info.supports_key_bits(3)
+
+    def test_minimum_constraint(self):
+        info = scheme_info("hybrid")
+        assert "needs >=" in info.supports_key_bits(2)
+        assert info.supports_key_bits(4) is None
+
+    def test_unconstrained_scheme(self):
+        assert scheme_info("xor").supports_key_bits(1) is None
+
+
+class TestRegistration:
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ValueError, match="registered twice"):
+            register_scheme("xor")(object)
+
+    def test_info_is_frozen(self):
+        info = scheme_info("xor")
+        with pytest.raises(Exception):
+            info.name = "other"
+        assert isinstance(info, SchemeInfo)

@@ -1,0 +1,122 @@
+"""The CLI can never drift from the registries: every scheme/attack
+``choices=`` list is asserted equal to the registry contents, so adding
+a scheme without it reaching the CLI is a test failure, not a latent
+gap."""
+
+import json
+
+import pytest
+
+from repro.attacks.registry import attack_names
+from repro.cli import build_parser, main
+from repro.locking.registry import scheme_names
+from repro.reporting.tables import TABLE2_CONFIGS
+
+
+def subparser(parser, name):
+    for action in parser._actions:
+        if hasattr(action, "choices") and isinstance(action.choices, dict):
+            return action.choices[name]
+    raise AssertionError("no subparsers")  # pragma: no cover
+
+
+def choices_of(parser, flag):
+    for action in parser._actions:
+        if flag in action.option_strings:
+            return list(action.choices)
+    raise AssertionError(f"{flag} not found")  # pragma: no cover
+
+
+class TestChoicesDeriveFromRegistries:
+    def test_lock_scheme_choices(self):
+        parser = build_parser()
+        assert choices_of(
+            subparser(parser, "lock"), "--scheme"
+        ) == scheme_names()
+
+    def test_campaign_scheme_choices(self):
+        parser = build_parser()
+        assert choices_of(
+            subparser(parser, "campaign"), "--schemes"
+        ) == scheme_names()
+
+    def test_campaign_attack_choices(self):
+        parser = build_parser()
+        assert choices_of(
+            subparser(parser, "campaign"), "--attacks"
+        ) == attack_names()
+
+    def test_campaign_config_choices(self):
+        parser = build_parser()
+        assert choices_of(
+            subparser(parser, "campaign"), "--configs"
+        ) == list(TABLE2_CONFIGS)
+
+    def test_newly_registered_schemes_reachable_from_lock(self):
+        """The PR's drift fix: camouflage / encrypt_ff / compound (and
+        the kgate extensibility proof) are lockable from the CLI."""
+        choices = choices_of(subparser(build_parser(), "lock"), "--scheme")
+        for name in ("camouflage", "encrypt_ff", "compound", "kgate"):
+            assert name in choices
+
+
+class TestNewSubcommands:
+    def test_arena_parser_wired(self):
+        args = build_parser().parse_args(
+            ["arena", "s.json", "--resume", "--jobs", "2"]
+        )
+        assert args.func.__name__ == "cmd_arena"
+        assert args.scenario == "s.json"
+        assert args.resume is True
+
+    def test_list_prints_registries(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in scheme_names():
+            assert name in out
+        for name in attack_names():
+            assert name in out
+        assert "gk-family" in out  # tags are shown
+
+    def test_arena_rejects_bad_scenario_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(SystemExit, match="not valid JSON"):
+            main(["arena", str(path)])
+
+    def test_arena_end_to_end_with_markdown(self, tmp_path, capsys):
+        scenario = tmp_path / "s.json"
+        scenario.write_text(json.dumps({
+            "name": "cli-unit",
+            "schemes": ["xor"],
+            "attacks": ["removal"],
+            "key_bits": [4],
+            "seeds": [1],
+        }))
+        markdown = tmp_path / "board.md"
+        assert main([
+            "arena", str(scenario), "--jobs", "1",
+            "--store", str(tmp_path / "store.jsonl"),
+            "--cache-dir", str(tmp_path / "cache"),
+            "--markdown", str(markdown),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "scheme" in out and "removal" in out
+        assert markdown.read_text().startswith("# Arena leaderboard")
+
+
+class TestLockNewSchemesEndToEnd:
+    @pytest.mark.parametrize("scheme", ["camouflage", "encrypt_ff",
+                                        "compound", "kgate"])
+    def test_lock_via_cli(self, scheme, tmp_path, capsys):
+        # Verilog output: cell-generic, so it also carries the MUX4
+        # cells of the camouflage keyed model.
+        out_path = tmp_path / "locked.v"
+        assert main([
+            "lock", "iwls:s1238", "--scheme", scheme, "--key-bits", "2",
+            "-o", str(out_path), "--quiet",
+        ]) == 0
+        from repro.netlist import parse_verilog
+
+        locked = parse_verilog(out_path.read_text())
+        assert len(locked.key_inputs) == 2
