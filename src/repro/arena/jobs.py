@@ -58,6 +58,9 @@ def _run_arena_cell(
             clock=instance.clock,
             seed=seed,
             params=attack_params,
+            # Warm-start clause pools (portfolio=N cells) persist in the
+            # same campaign cache the cell results live in.
+            cache=cache,
         )
         outcome = run_attack(attack, context)
         return {

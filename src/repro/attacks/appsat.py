@@ -64,6 +64,7 @@ def appsat_attack(
     queries_per_round: int = 24,
     error_threshold: float = 0.0,
     max_rounds: int = 24,
+    solver: Optional[Solver] = None,
 ) -> AppSatResult:
     """Run AppSAT against *locked_netlist* with the activated chip.
 
@@ -72,6 +73,9 @@ def appsat_attack(
     candidate key.  Mismatching patterns are added as constraints (they
     prune the candidate); when a whole batch matches (observed error <=
     *error_threshold*), the key is declared approximately correct.
+
+    *solver* swaps in any Solver-compatible object (e.g. a
+    :class:`~repro.sat.portfolio.PortfolioSolver`); it must be fresh.
     """
     rng = rng or random.Random(0)
     comb = _comb_view(locked_netlist)
@@ -79,7 +83,8 @@ def appsat_attack(
         raise NetlistError("netlist has no key inputs; nothing to attack")
     oracle_output_of = _interface_map(comb, oracle)
 
-    solver = Solver()
+    if solver is None:
+        solver = Solver()
 
     def encode_copy(shared: Mapping[str, int]) -> CircuitEncoder:
         cnf = CNF(num_vars=solver.num_vars)

@@ -102,6 +102,7 @@ def sat_attack(
     locked_netlist: Circuit,
     oracle: OracleProtocol,
     max_iterations: int = 256,
+    solver: Optional[Solver] = None,
 ) -> SatAttackResult:
     """Run the DIP loop against *locked_netlist* using *oracle*.
 
@@ -109,13 +110,20 @@ def sat_attack(
     (pseudo-PI/PO transformation), matching the paper's preprocessing.
     The oracle must expose the same input/output interface (it will, if
     built from the corresponding original design).
+
+    *solver*, when given, replaces the default incremental CDCL with
+    any Solver-compatible object — in particular a
+    :class:`~repro.sat.portfolio.PortfolioSolver`, which races N
+    configurations per DIP query and shares learned clauses between
+    miter iterations.  It must be fresh (no clauses added yet).
     """
     comb = _comb_view(locked_netlist)
     if not comb.key_inputs:
         raise NetlistError("netlist has no key inputs; nothing to attack")
     oracle_output_of = _interface_map(comb, oracle)
 
-    solver = Solver()
+    if solver is None:
+        solver = Solver()
 
     def encode_copy(shared: Mapping[str, int]) -> CircuitEncoder:
         cnf = CNF(num_vars=solver.num_vars)

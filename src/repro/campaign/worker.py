@@ -261,9 +261,13 @@ def _run_attack(params: Dict[str, Any], cache: NetlistCache) -> Dict[str, Any]:
     key_bits = int(params["key_bits"])
     seed = int(params["seed"])
     max_iterations = int(params.get("max_iterations", 128))
+    portfolio = int(params.get("portfolio", 0))
+    # Serial cells keep their historical cache identity; a portfolio
+    # width is a new computation (different solver, different stats).
+    extra_key = {"portfolio": portfolio} if portfolio else {}
     key = cache.key(kind="attack", benchmark=name, scheme=scheme,
                     attack=attack, key_bits=key_bits, seed=seed,
-                    max_iterations=max_iterations)
+                    max_iterations=max_iterations, **extra_key)
 
     def compute() -> Dict[str, Any]:
         import random
@@ -296,6 +300,7 @@ def _run_attack(params: Dict[str, Any], cache: NetlistCache) -> Dict[str, Any]:
                 )
             outcome = run_attack(attack, AttackContext(
                 locked=locked, clock=instance.clock, seed=seed,
+                params=dict(params), cache=cache,
             ))
             base.update(
                 success=outcome.success,
@@ -330,9 +335,30 @@ def _run_attack(params: Dict[str, Any], cache: NetlistCache) -> Dict[str, Any]:
                 ) from exc
         else:
             oracle = CombinationalOracle(instance.circuit)
+        solver = None
+        pool_key = None
+        if portfolio:
+            from ..sat.portfolio import (
+                PortfolioSolver, load_shared_clauses, oracle_fingerprint,
+                shared_clause_key, store_shared_clauses,
+            )
+
+            deadline = params.get("portfolio_deadline")
+            solver = PortfolioSolver(
+                n=portfolio, base_seed=seed,
+                deadline=float(deadline) if deadline else None,
+            )
+            if cache.enabled:
+                pool_key = shared_clause_key(
+                    target, "sat", oracle_fingerprint(oracle)
+                )
+                solver.seed_shared_clauses(
+                    load_shared_clauses(cache, pool_key)
+                )
         try:
             result = sat_attack(
-                target, oracle, max_iterations=max_iterations
+                target, oracle, max_iterations=max_iterations,
+                solver=solver,
             )
             accuracy = None
             if result.key is not None:
@@ -350,6 +376,12 @@ def _run_attack(params: Dict[str, Any], cache: NetlistCache) -> Dict[str, Any]:
         finally:
             if oracle_address:
                 oracle.close()
+        if solver is not None:
+            base["portfolio"] = solver.stats.to_dict()
+            if pool_key is not None:
+                store_shared_clauses(
+                    cache, pool_key, solver.persistable_clauses()
+                )
         base.update(
             completed=result.completed,
             iterations=result.iterations,

@@ -1,7 +1,11 @@
-"""SAT substrate: CNF, CDCL solver, and circuit (Tseitin) encoding."""
+"""SAT substrate: CNF, CDCL solver, portfolio racing, Tseitin encoding."""
 
 from .cnf import CNF
-from .solver import Solver, luby
+from .portfolio import PortfolioSolver, default_portfolio
+from .solver import Solver, SolverConfig, luby
 from .tseitin import CircuitEncoder, encode_circuit
 
-__all__ = ["CNF", "Solver", "luby", "CircuitEncoder", "encode_circuit"]
+__all__ = [
+    "CNF", "Solver", "SolverConfig", "PortfolioSolver",
+    "default_portfolio", "luby", "CircuitEncoder", "encode_circuit",
+]

@@ -21,16 +21,95 @@ netlist layer (see :mod:`repro.sat.tseitin` for the bridge).
 
 from __future__ import annotations
 
+import heapq
+import random
 import time
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..obs import context as _obs
 from ..obs.spans import trace_span
 from .cnf import CNF
 
-__all__ = ["Solver", "luby"]
+__all__ = ["Solver", "SolverConfig", "SolverInterrupted", "luby"]
 
 _UNASSIGNED = 2  # internal truth values: 1 true, 0 false, 2 unassigned
+
+
+class SolverInterrupted(Exception):
+    """Raised out of :meth:`Solver.solve` when the solver's
+    ``interrupt`` callback returns True.  The solver is left in a
+    consistent state (backtracked to level 0, learned clauses and
+    activities retained), so a later ``solve`` call resumes the search
+    with everything the interrupted run learned."""
+
+_RESTART_POLICIES = ("luby", "geometric")
+_POLARITY_MODES = ("saved", "false", "true", "random")
+
+
+@dataclass(frozen=True)
+class SolverConfig:
+    """One deterministic CDCL configuration.
+
+    The defaults reproduce the solver's historical behaviour exactly
+    (``Solver()`` and ``Solver(SolverConfig())`` run the same search),
+    which is what makes the configuration space safe to race: every
+    portfolio member is this solver with different heuristics, not a
+    different solver.  Identical configs on identical clause streams
+    take identical decisions — all randomness flows from ``seed``
+    through one private ``random.Random`` — so runs reproduce
+    bit-for-bit across processes.
+
+    * ``var_decay`` / ``clause_decay`` — VSIDS activity decay factors
+      (each conflict multiplies the bump increment by ``1/decay``).
+    * ``restart`` — ``"luby"`` (the Luby sequence scaled by
+      ``restart_base``) or ``"geometric"`` (``restart_base *
+      restart_factor**k``).
+    * ``polarity`` — branch-phase choice: ``"saved"`` (phase saving,
+      the default), ``"false"``/``"true"`` (fixed), or ``"random"``.
+    * ``random_decision_freq`` — probability of branching on a random
+      variable instead of the VSIDS maximum (MiniSat's diversification
+      knob; one probe, falling back to the activity order).
+    * ``seed`` — seed for the solver's private RNG; only drawn from
+      when ``polarity="random"`` or ``random_decision_freq > 0``.
+    """
+
+    var_decay: float = 0.95
+    clause_decay: float = 0.999
+    restart: str = "luby"
+    restart_base: int = 100
+    restart_factor: float = 1.5
+    polarity: str = "saved"
+    random_decision_freq: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.var_decay <= 1.0:
+            raise ValueError(f"var_decay {self.var_decay} outside (0, 1]")
+        if not 0.0 < self.clause_decay <= 1.0:
+            raise ValueError(
+                f"clause_decay {self.clause_decay} outside (0, 1]"
+            )
+        if self.restart not in _RESTART_POLICIES:
+            raise ValueError(
+                f"restart {self.restart!r} not in {_RESTART_POLICIES}"
+            )
+        if self.restart_base < 1:
+            raise ValueError("restart_base must be positive")
+        if self.restart_factor <= 1.0:
+            raise ValueError("restart_factor must exceed 1.0")
+        if self.polarity not in _POLARITY_MODES:
+            raise ValueError(
+                f"polarity {self.polarity!r} not in {_POLARITY_MODES}"
+            )
+        if not 0.0 <= self.random_decision_freq <= 1.0:
+            raise ValueError("random_decision_freq outside [0, 1]")
+
+    def describe(self) -> str:
+        return (f"decay={self.var_decay}/{self.clause_decay} "
+                f"restart={self.restart}({self.restart_base}) "
+                f"polarity={self.polarity} "
+                f"rnd={self.random_decision_freq} seed={self.seed}")
 
 
 def luby(index: int) -> int:
@@ -66,7 +145,8 @@ class _Clause:
 class Solver:
     """Incremental CDCL solver over DIMACS-style integer literals."""
 
-    def __init__(self) -> None:
+    def __init__(self, config: Optional[SolverConfig] = None) -> None:
+        self.config = config if config is not None else SolverConfig()
         self._num_vars = 0
         self._clauses: List[_Clause] = []
         self._learnts: List[_Clause] = []
@@ -79,9 +159,10 @@ class Solver:
         self._reason: List[Optional[_Clause]] = []
         self._activity: List[float] = []
         self._var_inc = 1.0
-        self._var_decay = 1.0 / 0.95
+        self._var_decay = 1.0 / self.config.var_decay
         self._cla_inc = 1.0
-        self._cla_decay = 1.0 / 0.999
+        self._cla_decay = 1.0 / self.config.clause_decay
+        self._rng = random.Random(self.config.seed)
         self._trail: List[int] = []
         self._trail_lim: List[int] = []
         self._qhead = 0
@@ -92,7 +173,13 @@ class Solver:
         self.num_decisions = 0
         self.num_propagations = 0
         self.num_learned = 0  # clauses ever learned (survives _reduce_db)
+        self.num_imported = 0  # clauses accepted via import_clauses
         self.num_solve_calls = 0
+        #: optional zero-arg callback polled every few hundred conflicts
+        #: (and periodically between conflicts); returning True aborts
+        #: the current solve with :class:`SolverInterrupted`.  The
+        #: portfolio's shadow race uses it to yield to a faster child.
+        self.interrupt = None
 
     # ------------------------------------------------------------------
     # Variables and literals
@@ -108,8 +195,6 @@ class Solver:
         self._activity.append(0.0)
         self._watches.append([])
         self._watches.append([])
-        import heapq
-
         heapq.heappush(self._order, (0.0, self._num_vars - 1))
         return self._num_vars
 
@@ -217,8 +302,6 @@ class Solver:
     def _cancel_until(self, level: int) -> None:
         if self._decision_level() <= level:
             return
-        import heapq
-
         bound = self._trail_lim[level]
         for ilit in reversed(self._trail[bound:]):
             var = ilit >> 1
@@ -421,17 +504,49 @@ class Solver:
     # ------------------------------------------------------------------
 
     def _pick_branch_var(self) -> Optional[int]:
-        import heapq
-
+        if (
+            self.config.random_decision_freq > 0.0
+            and self._num_vars
+            and self._rng.random() < self.config.random_decision_freq
+        ):
+            # One random probe (MiniSat's scheme): hit an unassigned
+            # variable and branch on it; otherwise fall through to the
+            # activity order.  Its heap entry stays put — stale entries
+            # are already skipped at pop time.
+            var = self._rng.randrange(self._num_vars)
+            if self._assigns[var] == _UNASSIGNED:
+                return var
         while self._order:
             _neg_act, var = heapq.heappop(self._order)
             if self._assigns[var] == _UNASSIGNED:
                 return var
         return None
 
+    def _decide_phase(self, var: int) -> bool:
+        """True to assign the branch variable True."""
+        polarity = self.config.polarity
+        if polarity == "saved":
+            return self._polarity[var] == 1
+        if polarity == "true":
+            return True
+        if polarity == "false":
+            return False
+        return self._rng.random() < 0.5
+
     # ------------------------------------------------------------------
     # Main search
     # ------------------------------------------------------------------
+
+    def _restart_limit(self, index: int) -> int:
+        """Conflicts allowed before restart *index* (1-based) fires."""
+        config = self.config
+        if config.restart == "geometric":
+            return max(
+                1,
+                int(config.restart_base
+                    * config.restart_factor ** (index - 1)),
+            )
+        return config.restart_base * luby(index)
 
     def solve(self, assumptions: Sequence[int] = ()) -> bool:
         """Solve the current formula under *assumptions*.
@@ -490,16 +605,24 @@ class Solver:
             internal_assumptions.append(self._to_internal(lit))
 
         restart_index = 1
-        conflicts_until_restart = 100 * luby(restart_index)
+        conflicts_until_restart = self._restart_limit(restart_index)
         max_learnts = max(1000, len(self._clauses) // 3)
         conflict_count = 0
         root_level = 0  # decision levels consumed by the assumption prefix
 
+        interrupt = self.interrupt
         while True:
             conflict = self._propagate()
             if conflict is not None:
                 self.num_conflicts += 1
                 conflict_count += 1
+                if (
+                    interrupt is not None
+                    and self.num_conflicts % 128 == 0
+                    and interrupt()
+                ):
+                    self._cancel_until(0)
+                    raise SolverInterrupted
                 if self._decision_level() <= root_level:
                     # Conflict inside/below the assumption prefix: UNSAT.
                     self._cancel_until(0)
@@ -516,7 +639,9 @@ class Solver:
                 if conflict_count >= conflicts_until_restart:
                     conflict_count = 0
                     restart_index += 1
-                    conflicts_until_restart = 100 * luby(restart_index)
+                    conflicts_until_restart = self._restart_limit(
+                        restart_index
+                    )
                     self._cancel_until(root_level)
                 continue
 
@@ -541,10 +666,63 @@ class Solver:
                 self._cancel_until(0)
                 return True
             self.num_decisions += 1
+            if (
+                interrupt is not None
+                and self.num_decisions % 4096 == 0
+                and interrupt()
+            ):
+                self._cancel_until(0)
+                raise SolverInterrupted
             self._trail_lim.append(len(self._trail))
-            phase = self._polarity[var]
-            ilit = 2 * var + (1 if phase == 0 else 0)
+            ilit = 2 * var + (0 if self._decide_phase(var) else 1)
             self._enqueue(ilit, None)
+
+    # ------------------------------------------------------------------
+    # Clause sharing (the portfolio's transport)
+    # ------------------------------------------------------------------
+
+    def export_learned(self, max_length: int = 8) -> List[Tuple[int, ...]]:
+        """Short clauses *implied by the problem clauses*, external form.
+
+        Exports the level-0 trail (facts unit-propagation has proven)
+        as unit clauses, plus every retained learned clause of length
+        <= *max_length*.  Soundness: learned clauses come from
+        resolution over problem and previously learned clauses only —
+        assumption literals enter a learned clause as literals, never
+        as resolved-away facts, and level-0 literals (the only ones
+        dropped during minimization) are themselves formula-implied.
+        So every exported clause is a logical consequence of the
+        clauses added so far and may be injected into any solver
+        working on a superset of this formula.
+        """
+        exported: List[Tuple[int, ...]] = []
+        bound = self._trail_lim[0] if self._trail_lim else len(self._trail)
+        for ilit in self._trail[:bound]:
+            exported.append((self._to_external(ilit),))
+        for clause in self._learnts:
+            if len(clause.lits) <= max_length:
+                exported.append(
+                    tuple(self._to_external(lit) for lit in clause.lits)
+                )
+        return exported
+
+    def import_clauses(
+        self, clauses: Iterable[Sequence[int]]
+    ) -> int:
+        """Add clauses exported from another solver; returns the count.
+
+        Imported clauses enter the database as problem clauses (they
+        are implied, so they can never flip a satisfiable formula to
+        UNSAT — the certification suite checks exactly this), which
+        also exempts them from learned-clause reduction: a clause
+        worth shipping between solvers is worth keeping.
+        """
+        count = 0
+        for clause in clauses:
+            self.add_clause(clause)
+            count += 1
+        self.num_imported += count
+        return count
 
     def model(self) -> Dict[int, bool]:
         """Variable -> truth value of the last satisfying assignment."""
